@@ -1,0 +1,25 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures/measured
+claims and prints it in a paper-vs-measured format.  Absolute numbers
+differ (the substrate is a simulator, not a 1995 SPARCstation); the
+*shape* — who wins, rough factors, crossovers — is the reproduction
+target (see EXPERIMENTS.md).
+"""
+
+import sys
+
+
+def report(title, rows, paper_note=""):
+    """Print a small aligned table to the benchmark log."""
+    out = ["", "=" * 72, title]
+    if paper_note:
+        out.append("paper: %s" % paper_note)
+    out.append("-" * 72)
+    widths = [max(len(str(row[i])) for row in rows)
+              for i in range(len(rows[0]))]
+    for row in rows:
+        out.append("  ".join(str(cell).ljust(width)
+                             for cell, width in zip(row, widths)))
+    out.append("=" * 72)
+    print("\n".join(out), file=sys.stderr)

@@ -1,0 +1,53 @@
+"""Profile a workload with qpt2 and report its hottest blocks and loops.
+
+Demonstrates the profiler (Ball-Larus edge placement + reconstruction)
+together with EEL's loop analysis: the hottest code should sit in the
+innermost natural loops.
+
+Run:  python examples/profile_hotspots.py [workload]
+"""
+
+import sys
+
+from repro.core import Executable
+from repro.sim import run_image
+from repro.tools.qpt import profile
+from repro.workloads import build_image, program_names
+
+
+def main(name="qsort"):
+    image = build_image(name)
+    baseline = run_image(image)
+
+    tool, simulator = profile(image, mode="edge")
+    assert simulator.output == baseline.output
+    counts = tool.block_counts(simulator)
+
+    print("workload %s: %d instructions, %.2fx instrumented" % (
+        name, baseline.instructions_executed,
+        simulator.instructions_executed
+        / baseline.instructions_executed))
+    print("instrumented %d of the CFG edges (spanning-tree complement)\n"
+          % tool.counters.used)
+
+    hottest = sorted(counts.items(), key=lambda item: -item[1])[:10]
+    print("hottest basic blocks:")
+    for (routine, start), count in hottest:
+        print("  %-14s 0x%04x  %8d executions" % (routine, start, count))
+
+    # Cross-check with loop analysis: report loops of the hottest routine.
+    hot_routine = hottest[0][0][0]
+    exe = Executable(image).read_contents()
+    routine = exe.routine(hot_routine)
+    if routine is not None:
+        cfg = routine.control_flow_graph()
+        loops = cfg.natural_loops()
+        print("\nnatural loops in %s:" % hot_routine)
+        for loop in loops:
+            header_count = counts.get((hot_routine, loop.header.start), 0)
+            print("  header 0x%04x  %2d blocks  %8d iterations" % (
+                loop.header.start, len(loop.body), header_count))
+
+
+if __name__ == "__main__":
+    main(*(sys.argv[1:2] or ["qsort"]))

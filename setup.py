@@ -1,0 +1,10 @@
+"""Packaging entry point.
+
+Metadata lives in setup.cfg; pyproject.toml carries tool configuration
+only, so that editable installs work without the `wheel` package (this
+environment is offline and cannot fetch PEP 517 build dependencies).
+"""
+
+from setuptools import setup
+
+setup()

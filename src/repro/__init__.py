@@ -1,0 +1,26 @@
+"""repro: a Python reproduction of EEL (Larus & Schnarr, PLDI 1995).
+
+EEL — the Executable Editing Library — lets tools analyze and modify
+compiled programs without knowing the instruction set, the executable
+format, or the consequences of moving code.  This package rebuilds the
+whole system plus every substrate it needs:
+
+* :mod:`repro.core` — the five EEL abstractions (executable, routine,
+  CFG, instruction, snippet) and the analyses beneath them;
+* :mod:`repro.isa` / :mod:`repro.spawn` — the machine layer, handwritten
+  and generated from concise machine descriptions;
+* :mod:`repro.binfmt`, :mod:`repro.asm`, :mod:`repro.minic` — the
+  executable format, assembler/linker, and a C-subset compiler that
+  generates realistic workload binaries;
+* :mod:`repro.sim` — a simulator that runs original and edited programs;
+* :mod:`repro.tools` — the paper's applications: profilers, cache
+  simulation, fine-grain access control, sandboxing, direct-execution
+  simulation.
+
+Start with :class:`repro.core.Executable` (see README.md) or the
+command line: ``python -m repro.cli --help``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,12 @@
+"""Assembler and disassembler for the EELF toolchain."""
+
+from repro.asm.assembler import AsmError, Assembler, assemble
+from repro.asm.disassembler import disassemble_image, disassemble_section
+
+__all__ = [
+    "Assembler",
+    "AsmError",
+    "assemble",
+    "disassemble_image",
+    "disassemble_section",
+]

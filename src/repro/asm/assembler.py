@@ -1,0 +1,323 @@
+"""A single-pass assembler producing EELF object files.
+
+All symbolic references — branch targets, %hi/%lo halves, data words —
+are emitted as relocations and resolved by the linker, so a single pass
+suffices.  Labels become symbol-table entries (kind ``label`` unless a
+``.type`` or ``.global`` directive promotes them).
+
+Comment characters: ``!`` (SPARC style), ``#`` (MIPS style), and ``;``.
+"""
+
+import re
+
+from repro.binfmt.image import (
+    BIND_GLOBAL,
+    BIND_LOCAL,
+    Image,
+    Relocation,
+    SEC_EXEC,
+    SEC_NOBITS,
+    SEC_WRITE,
+    Section,
+    Symbol,
+)
+from repro.isa import bits, get_codec
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_SYMBOL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+
+class AsmError(Exception):
+    """Syntax or semantic error in assembly source."""
+
+    def __init__(self, message, line_number=None):
+        if line_number is not None:
+            message = "line %d: %s" % (line_number, message)
+        super().__init__(message)
+
+
+class _Operand:
+    """A parsed operand: a constant, register, or symbolic expression."""
+
+    def __init__(self, kind, value=0, symbol=None, addend=0):
+        self.kind = kind  # "const" | "reg" | "sym" | "hi" | "lo"
+        self.value = value
+        self.symbol = symbol
+        self.addend = addend
+
+    @classmethod
+    def const(cls, value):
+        return cls("const", value=value)
+
+    @classmethod
+    def reg(cls, number):
+        return cls("reg", value=number)
+
+    @classmethod
+    def sym(cls, name, addend=0, kind="sym"):
+        return cls(kind, symbol=name, addend=addend)
+
+
+class Assembler:
+    """Assemble text for one architecture into an object Image."""
+
+    SECTION_FLAGS = {
+        ".text": SEC_EXEC,
+        ".rodata": 0,
+        ".data": SEC_WRITE,
+        ".bss": SEC_WRITE | SEC_NOBITS,
+    }
+
+    def __init__(self, arch):
+        self.arch = arch
+        self.codec = get_codec(arch)
+
+    # ------------------------------------------------------------------
+    def assemble(self, source, filename="<asm>"):
+        self.image = Image(self.arch, kind="obj")
+        self.symbols = {}  # name -> Symbol
+        self.globals = set()
+        self.types = {}  # name -> kind from .type
+        self.section = None
+        self._ensure_section(".text")
+        for number, raw_line in enumerate(source.splitlines(), start=1):
+            try:
+                self._assemble_line(raw_line)
+            except AsmError:
+                raise
+            except (ValueError, KeyError) as exc:
+                raise AsmError(str(exc), number) from exc
+        self._finalize_symbols()
+        return self.image
+
+    # ------------------------------------------------------------------
+    def _ensure_section(self, name):
+        if not self.image.has_section(name):
+            flags = self.SECTION_FLAGS.get(name)
+            if flags is None:
+                raise AsmError("unknown section %r" % name)
+            self.image.add_section(Section(name, vaddr=0, flags=flags))
+        self.section = self.image.get_section(name)
+
+    @property
+    def offset(self):
+        return self.section.size
+
+    def _assemble_line(self, raw_line):
+        line = self._strip_comment(raw_line).strip()
+        while True:
+            match = _LABEL_RE.match(line)
+            if not match:
+                break
+            self._define_label(match.group(1))
+            line = line[match.end():].strip()
+        if not line:
+            return
+        if line.startswith("."):
+            self._directive(line)
+        else:
+            self._instruction(line)
+
+    @staticmethod
+    def _strip_comment(line):
+        in_string = False
+        previous = ""
+        for index, char in enumerate(line):
+            if char == '"' and previous != "\\":
+                in_string = not in_string
+            elif char in "!#;" and not in_string:
+                return line[:index]
+            previous = char
+        return line
+
+    def _define_label(self, name):
+        if name in self.symbols:
+            raise AsmError("duplicate label %r" % name)
+        self.symbols[name] = Symbol(
+            name,
+            self.offset,
+            kind="label",
+            binding=BIND_LOCAL,
+            section=self.section.name,
+        )
+
+    def _finalize_symbols(self):
+        for name, symbol in self.symbols.items():
+            if name in self.globals:
+                symbol.binding = BIND_GLOBAL
+                if symbol.kind == "label":
+                    symbol.kind = "func" if symbol.section == ".text" else "object"
+            if name in self.types:
+                symbol.kind = self.types[name]
+            self.image.add_symbol(symbol)
+        for name in self.globals | set(self.types):
+            if name not in self.symbols:
+                raise AsmError("directive names undefined symbol %r" % name)
+
+    # ------------------------------------------------------------------
+    # Directives
+    # ------------------------------------------------------------------
+    def _directive(self, line):
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if name in self.SECTION_FLAGS:
+            self._ensure_section(name)
+        elif name == ".global" or name == ".globl":
+            for symbol in rest.replace(",", " ").split():
+                self.globals.add(symbol)
+        elif name == ".type":
+            sym_name, _, kind = rest.partition(",")
+            kind = kind.strip()
+            if kind not in ("func", "object", "label"):
+                raise AsmError("bad .type kind %r" % kind)
+            self.types[sym_name.strip()] = kind
+        elif name == ".word":
+            for expr in self._split_operands(rest):
+                self._emit_data_word(expr)
+        elif name == ".half":
+            for expr in self._split_operands(rest):
+                self._emit_int(self._parse_const(expr), 2)
+        elif name == ".byte":
+            for expr in self._split_operands(rest):
+                self._emit_int(self._parse_const(expr), 1)
+        elif name == ".asciz" or name == ".ascii":
+            text = self._parse_string(rest)
+            self.section.data += text.encode("utf-8")
+            if name == ".asciz":
+                self.section.data.append(0)
+        elif name == ".align":
+            alignment = self._parse_const(rest)
+            self._align(alignment)
+        elif name == ".space" or name == ".skip":
+            count = self._parse_const(rest)
+            if self.section.flags & SEC_NOBITS:
+                self.section.nobits_size += count
+            else:
+                self.section.data += bytes(count)
+        else:
+            raise AsmError("unknown directive %r" % name)
+
+    def _align(self, alignment):
+        if self.section.flags & SEC_NOBITS:
+            size = self.section.nobits_size
+            self.section.nobits_size = (size + alignment - 1) // alignment * alignment
+            return
+        while len(self.section.data) % alignment:
+            self.section.data.append(0)
+
+    def _emit_int(self, value, width):
+        self.section.data += (value & bits.mask(width * 8)).to_bytes(width, "big")
+
+    def _emit_data_word(self, expr):
+        expr = expr.strip()
+        if self._is_symbolic(expr):
+            symbol, addend = self._split_sym_addend(expr)
+            self.image.add_relocation(
+                self.section.name,
+                Relocation(self.offset, "WORD32", symbol, addend),
+            )
+            self._emit_int(0, 4)
+        else:
+            self._emit_int(self._parse_const(expr), 4)
+
+    @staticmethod
+    def _parse_string(text):
+        text = text.strip()
+        if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+            raise AsmError("expected quoted string")
+        return (
+            text[1:-1]
+            .replace("\\n", "\n")
+            .replace("\\t", "\t")
+            .replace("\\0", "\0")
+            .replace('\\"', '"')
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _is_symbolic(expr):
+        expr = expr.strip()
+        if _SYMBOL_RE.match(expr):
+            try:
+                int(expr, 0)
+                return False
+            except ValueError:
+                return True
+        if "+" in expr or "-" in expr[1:]:
+            head = re.split(r"[+-]", expr, 1)[0].strip()
+            return bool(_SYMBOL_RE.match(head)) and not head.isdigit()
+        return False
+
+    @staticmethod
+    def _split_sym_addend(expr):
+        expr = expr.strip()
+        match = re.match(r"^([A-Za-z_.$][\w.$]*)\s*([+-]\s*\d+|[+-]\s*0x[0-9a-fA-F]+)?$", expr)
+        if not match:
+            raise AsmError("bad symbolic expression %r" % expr)
+        symbol = match.group(1)
+        addend = 0
+        if match.group(2):
+            addend = int(match.group(2).replace(" ", ""), 0)
+        return symbol, addend
+
+    @staticmethod
+    def _parse_const(expr):
+        expr = expr.strip()
+        if len(expr) == 3 and expr[0] == "'" and expr[2] == "'":
+            return ord(expr[1])
+        return int(expr, 0)
+
+    @staticmethod
+    def _split_operands(text):
+        """Split on commas that are not inside brackets or parens."""
+        out, depth, current = [], 0, []
+        for char in text:
+            if char in "[(":
+                depth += 1
+            elif char in "])":
+                depth -= 1
+            if char == "," and depth == 0:
+                out.append("".join(current).strip())
+                current = []
+            else:
+                current.append(char)
+        tail = "".join(current).strip()
+        if tail:
+            out.append(tail)
+        return out
+
+    # ------------------------------------------------------------------
+    # Instructions
+    # ------------------------------------------------------------------
+    def _instruction(self, line):
+        parts = line.split(None, 1)
+        mnemonic = parts[0]
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = self._split_operands(operand_text)
+        if self.arch == "sparc":
+            from repro.asm.sparc_syntax import assemble_sparc
+
+            assemble_sparc(self, mnemonic, operands)
+        else:
+            from repro.asm.mips_syntax import assemble_mips
+
+            assemble_mips(self, mnemonic, operands)
+
+    # -- emission helpers used by the per-arch syntax modules ------------
+    def emit_word(self, word):
+        if not self.section.is_exec:
+            raise AsmError("instruction outside .text")
+        self.section.append_word(word)
+
+    def emit_reloc(self, kind, symbol, addend=0):
+        self.image.add_relocation(
+            self.section.name, Relocation(self.offset, kind, symbol, addend)
+        )
+
+
+def assemble(source, arch, filename="<asm>"):
+    """Assemble *source* text for *arch* into an object Image."""
+    return Assembler(arch).assemble(source, filename)

@@ -1,0 +1,31 @@
+"""Disassemble EELF images for inspection and debugging."""
+
+from repro.isa import get_codec
+
+
+def disassemble_section(image, section_name=".text", symbols=True):
+    """Yield formatted lines for every word in *section_name*."""
+    codec = get_codec(image.arch)
+    section = image.get_section(section_name)
+    by_addr = {}
+    if symbols:
+        for symbol in image.symbols:
+            if symbol.section == section_name:
+                by_addr.setdefault(symbol.value, []).append(symbol.name)
+    pc = section.vaddr
+    for word in section.words():
+        for name in by_addr.get(pc, ()):
+            yield "%s:" % name
+        yield "  0x%06x:  %08x  %s" % (pc, word, codec.disassemble(word, pc))
+        pc += 4
+
+
+def disassemble_image(image):
+    """Full-text disassembly of the executable sections of *image*."""
+    lines = []
+    for name, section in image.sections.items():
+        if section.is_exec:
+            lines.append("section %s @ 0x%x (%d bytes)" % (name, section.vaddr,
+                                                           section.size))
+            lines.extend(disassemble_section(image, name))
+    return "\n".join(lines)

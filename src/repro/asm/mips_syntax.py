@@ -1,0 +1,241 @@
+"""MIPS assembly syntax: operand parsing and pseudo-instructions."""
+
+import re
+
+from repro.asm.assembler import AsmError
+from repro.isa.mips.handwritten import (
+    I_TYPE,
+    MIPS_REGS,
+    REGIMM,
+    REG_RA,
+    REG_ZERO,
+    R_TYPE,
+)
+
+_MEM_RE = re.compile(r"^(.*)\(\s*(\$\w+)\s*\)$")
+_HI_RE = re.compile(r"^%hi\((.+)\)$")
+_LO_RE = re.compile(r"^%lo\((.+)\)$")
+
+_REG3 = {"addu", "subu", "and", "or", "xor", "nor", "slt", "sltu"}
+_REG3V = {"sllv", "srlv", "srav"}
+_SHIFTS = {"sll", "srl", "sra"}
+_IMM = {"addiu", "slti", "sltiu"}
+_IMMU = {"andi", "ori", "xori"}
+_LOADS = {"lb", "lh", "lw", "lbu", "lhu"}
+_STORES = {"sb", "sh", "sw"}
+_BRANCH2 = {"beq", "bne", "beql", "bnel"}
+_BRANCH1 = {"blez", "bgtz", "blezl", "bgtzl"} | set(REGIMM)
+
+
+def _parse_reg(text):
+    text = text.strip()
+    if text in MIPS_REGS:
+        number = MIPS_REGS.number(text)
+        if number < MIPS_REGS.num_int:
+            return number
+    if re.match(r"^\$\d+$", text):
+        number = int(text[1:])
+        if 0 <= number < 32:
+            return number
+    raise AsmError("bad register %r" % text)
+
+
+def assemble_mips(asm, mnemonic, operands):
+    """Assemble one MIPS instruction or pseudo-instruction."""
+    codec = asm.codec
+
+    if mnemonic == "nop":
+        asm.emit_word(codec.nop_word)
+        return
+    if mnemonic in _REG3:
+        rd, rs, rt = (_parse_reg(op) for op in operands)
+        asm.emit_word(codec.encode(mnemonic, rd=rd, rs=rs, rt=rt))
+        return
+    if mnemonic in _REG3V:
+        rd, rt, rs = (_parse_reg(op) for op in operands)
+        asm.emit_word(codec.encode(mnemonic, rd=rd, rs=rs, rt=rt))
+        return
+    if mnemonic in _SHIFTS:
+        rd = _parse_reg(operands[0])
+        rt = _parse_reg(operands[1])
+        shamt = asm._parse_const(operands[2])
+        asm.emit_word(codec.encode(mnemonic, rd=rd, rt=rt, shamt=shamt))
+        return
+    if mnemonic in _IMM:
+        rt = _parse_reg(operands[0])
+        rs = _parse_reg(operands[1])
+        _emit_imm(asm, mnemonic, rt, rs, operands[2], signed=True)
+        return
+    if mnemonic in _IMMU:
+        rt = _parse_reg(operands[0])
+        rs = _parse_reg(operands[1])
+        _emit_imm(asm, mnemonic, rt, rs, operands[2], signed=False)
+        return
+    if mnemonic == "lui":
+        rt = _parse_reg(operands[0])
+        value_text = operands[1].strip()
+        hi_match = _HI_RE.match(value_text)
+        if hi_match:
+            inner = hi_match.group(1)
+            if asm._is_symbolic(inner):
+                symbol, addend = asm._split_sym_addend(inner)
+                asm.emit_reloc("HI16", symbol, addend)
+                asm.emit_word(codec.encode("lui", rt=rt, uimm16=0))
+            else:
+                value = asm._parse_const(inner)
+                asm.emit_word(codec.encode("lui", rt=rt,
+                                           uimm16=((value + 0x8000) >> 16) & 0xFFFF))
+        else:
+            asm.emit_word(codec.encode("lui", rt=rt,
+                                       uimm16=asm._parse_const(value_text) & 0xFFFF))
+        return
+    if mnemonic in _LOADS or mnemonic in _STORES:
+        _memory(asm, mnemonic, operands)
+        return
+    if mnemonic in _BRANCH2:
+        rs = _parse_reg(operands[0])
+        rt = _parse_reg(operands[1])
+        _emit_branch(asm, mnemonic, operands[2], rs=rs, rt=rt)
+        return
+    if mnemonic in _BRANCH1:
+        rs = _parse_reg(operands[0])
+        _emit_branch(asm, mnemonic, operands[1], rs=rs)
+        return
+    if mnemonic in ("j", "jal"):
+        symbol, addend = asm._split_sym_addend(operands[0].strip())
+        asm.emit_reloc("J26", symbol, addend)
+        asm.emit_word(codec.encode(mnemonic, target26=0))
+        return
+    if mnemonic == "jr":
+        asm.emit_word(codec.encode("jr", rs=_parse_reg(operands[0])))
+        return
+    if mnemonic == "jalr":
+        if len(operands) == 1:
+            asm.emit_word(codec.encode("jalr", rd=REG_RA,
+                                       rs=_parse_reg(operands[0])))
+        else:
+            asm.emit_word(codec.encode("jalr", rd=_parse_reg(operands[0]),
+                                       rs=_parse_reg(operands[1])))
+        return
+    if mnemonic == "syscall":
+        asm.emit_word(codec.encode("syscall"))
+        return
+    if mnemonic in ("mfhi", "mflo"):
+        asm.emit_word(codec.encode(mnemonic, rd=_parse_reg(operands[0])))
+        return
+    if mnemonic in ("mult", "multu", "div", "divu"):
+        rs = _parse_reg(operands[0])
+        rt = _parse_reg(operands[1])
+        asm.emit_word(codec.encode(mnemonic, rs=rs, rt=rt))
+        return
+    # Pseudo-instructions.
+    if mnemonic == "move":
+        rd = _parse_reg(operands[0])
+        rs = _parse_reg(operands[1])
+        asm.emit_word(codec.encode("addu", rd=rd, rs=rs, rt=REG_ZERO))
+        return
+    if mnemonic == "li":
+        _li(asm, operands)
+        return
+    if mnemonic == "la":
+        _la(asm, operands)
+        return
+    if mnemonic == "b":
+        _emit_branch(asm, "beq", operands[0], rs=REG_ZERO, rt=REG_ZERO)
+        return
+    if mnemonic == "beqz":
+        _emit_branch(asm, "beq", operands[1], rs=_parse_reg(operands[0]),
+                     rt=REG_ZERO)
+        return
+    if mnemonic == "bnez":
+        _emit_branch(asm, "bne", operands[1], rs=_parse_reg(operands[0]),
+                     rt=REG_ZERO)
+        return
+    if mnemonic == "negu":
+        rd = _parse_reg(operands[0])
+        rs = _parse_reg(operands[1])
+        asm.emit_word(codec.encode("subu", rd=rd, rs=REG_ZERO, rt=rs))
+        return
+    raise AsmError("unknown mnemonic %r" % mnemonic)
+
+
+def _emit_imm(asm, mnemonic, rt, rs, text, signed):
+    codec = asm.codec
+    text = text.strip()
+    lo_match = _LO_RE.match(text)
+    if lo_match:
+        inner = lo_match.group(1)
+        if asm._is_symbolic(inner):
+            symbol, addend = asm._split_sym_addend(inner)
+            asm.emit_reloc("LO16", symbol, addend)
+            if signed:
+                asm.emit_word(codec.encode(mnemonic, rt=rt, rs=rs, imm16=0))
+            else:
+                asm.emit_word(codec.encode(mnemonic, rt=rt, rs=rs, uimm16=0))
+            return
+        text = str(asm._parse_const(inner) & 0xFFFF)
+    value = asm._parse_const(text)
+    if signed:
+        asm.emit_word(codec.encode(mnemonic, rt=rt, rs=rs, imm16=value))
+    else:
+        asm.emit_word(codec.encode(mnemonic, rt=rt, rs=rs, uimm16=value & 0xFFFF))
+
+
+def _memory(asm, mnemonic, operands):
+    codec = asm.codec
+    rt = _parse_reg(operands[0])
+    match = _MEM_RE.match(operands[1].strip())
+    if not match:
+        raise AsmError("bad memory operand %r" % operands[1])
+    offset_text = match.group(1).strip()
+    rs = _parse_reg(match.group(2))
+    lo_match = _LO_RE.match(offset_text) if offset_text else None
+    if lo_match:
+        inner = lo_match.group(1)
+        if asm._is_symbolic(inner):
+            symbol, addend = asm._split_sym_addend(inner)
+            asm.emit_reloc("LO16", symbol, addend)
+            asm.emit_word(codec.encode(mnemonic, rt=rt, rs=rs, imm16=0))
+            return
+        offset_text = str(asm._parse_const(inner) & 0xFFFF)
+    offset = asm._parse_const(offset_text) if offset_text else 0
+    asm.emit_word(codec.encode(mnemonic, rt=rt, rs=rs, imm16=offset))
+
+
+def _emit_branch(asm, mnemonic, target_text, rs, rt=None):
+    target_text = target_text.strip()
+    if not asm._is_symbolic(target_text):
+        raise AsmError("branch target must be a label")
+    symbol, addend = asm._split_sym_addend(target_text)
+    asm.emit_reloc("DISP16", symbol, addend)
+    fields = {"rs": rs, "imm16": 0}
+    if rt is not None and mnemonic in _BRANCH2:
+        fields["rt"] = rt
+    asm.emit_word(asm.codec.encode(mnemonic, **fields))
+
+
+def _li(asm, operands):
+    codec = asm.codec
+    rt = _parse_reg(operands[0])
+    value = asm._parse_const(operands[1]) & 0xFFFFFFFF
+    signed = value - 0x100000000 if value & 0x80000000 else value
+    if -0x8000 <= signed <= 0x7FFF:
+        asm.emit_word(codec.encode("addiu", rt=rt, rs=REG_ZERO, imm16=signed))
+    elif value <= 0xFFFF:
+        asm.emit_word(codec.encode("ori", rt=rt, rs=REG_ZERO, uimm16=value))
+    else:
+        asm.emit_word(codec.encode("lui", rt=rt, uimm16=(value >> 16) & 0xFFFF))
+        if value & 0xFFFF:
+            asm.emit_word(codec.encode("ori", rt=rt, rs=rt,
+                                       uimm16=value & 0xFFFF))
+
+
+def _la(asm, operands):
+    """la rt, sym: lui %hi / addiu %lo (two words, both relocated)."""
+    codec = asm.codec
+    rt = _parse_reg(operands[0])
+    symbol, addend = asm._split_sym_addend(operands[1].strip())
+    asm.emit_reloc("HI16", symbol, addend)
+    asm.emit_word(codec.encode("lui", rt=rt, uimm16=0))
+    asm.emit_reloc("LO16", symbol, addend)
+    asm.emit_word(codec.encode("addiu", rt=rt, rs=rt, imm16=0))

@@ -1,0 +1,291 @@
+"""SPARC assembly syntax: operand parsing and pseudo-instructions."""
+
+import re
+
+from repro.asm.assembler import AsmError
+from repro.isa.sparc.handwritten import (
+    ALU_OP3,
+    COND_NUMBER,
+    MEM_OPS,
+    REG_G0,
+    REG_I7,
+    REG_O7,
+    SPARC_REGS,
+)
+
+_REG_ALIASES = {"%sp": "%o6", "%fp": "%i6"}
+_HI_RE = re.compile(r"^%hi\((.+)\)$")
+_LO_RE = re.compile(r"^%lo\((.+)\)$")
+
+_ALU_MNEMONICS = frozenset(ALU_OP3) | {"save", "restore"}
+_LOADS = frozenset(name for name in MEM_OPS if not name.startswith("st"))
+_STORES = frozenset(name for name in MEM_OPS if name.startswith("st"))
+
+
+def _parse_reg(text):
+    text = text.strip()
+    text = _REG_ALIASES.get(text, text)
+    if text in SPARC_REGS:
+        number = SPARC_REGS.number(text)
+        if number < SPARC_REGS.num_int:
+            return number
+    raise AsmError("bad register %r" % text)
+
+
+def _is_reg(text):
+    text = text.strip()
+    return _REG_ALIASES.get(text, text) in SPARC_REGS
+
+
+def assemble_sparc(asm, mnemonic, operands):
+    """Assemble one SPARC instruction or pseudo-instruction."""
+    codec = asm.codec
+
+    if mnemonic == "nop":
+        asm.emit_word(codec.nop_word)
+        return
+    if mnemonic in _ALU_MNEMONICS:
+        _alu(asm, mnemonic, operands)
+        return
+    if mnemonic in _LOADS:
+        _load(asm, mnemonic, operands)
+        return
+    if mnemonic in _STORES:
+        _store(asm, mnemonic, operands)
+        return
+    if mnemonic == "sethi":
+        _sethi(asm, operands)
+        return
+    if mnemonic == "b":
+        mnemonic = "ba"
+    elif mnemonic == "b,a":
+        mnemonic = "ba,a"
+    base = mnemonic[1:]
+    if mnemonic.startswith("b") and (
+        base in COND_NUMBER or (base.endswith(",a") and base[:-2] in COND_NUMBER)
+    ):
+        _branch(asm, mnemonic, operands)
+        return
+    if mnemonic == "call":
+        _call(asm, operands)
+        return
+    if mnemonic in ("jmp", "jmpl"):
+        _jump(asm, mnemonic, operands)
+        return
+    if mnemonic == "ret":
+        asm.emit_word(codec.encode("jmpl", rd=REG_G0, rs1=REG_I7, simm13=8))
+        return
+    if mnemonic == "retl":
+        asm.emit_word(codec.encode("jmpl", rd=REG_G0, rs1=REG_O7, simm13=8))
+        return
+    if mnemonic == "ta":
+        asm.emit_word(codec.encode("ta", trap_num=asm._parse_const(operands[0])))
+        return
+    if mnemonic == "rd":
+        if operands[0].strip() != "%psr":
+            raise AsmError("only rd %psr is supported")
+        asm.emit_word(codec.encode("rdpsr", rd=_parse_reg(operands[1])))
+        return
+    if mnemonic == "wr":
+        if operands[1].strip() != "%psr":
+            raise AsmError("only wr ..., %psr is supported")
+        asm.emit_word(codec.encode("wrpsr", rs1=_parse_reg(operands[0])))
+        return
+    # Pseudo-instructions.
+    if mnemonic == "mov":
+        _emit_alu(asm, "or", REG_G0, operands[0], _parse_reg(operands[1]))
+        return
+    if mnemonic == "cmp":
+        _emit_alu(asm, "subcc", _parse_reg(operands[0]), operands[1], REG_G0)
+        return
+    if mnemonic == "tst":
+        asm.emit_word(codec.encode("orcc", rd=REG_G0, rs1=REG_G0,
+                                   rs2=_parse_reg(operands[0])))
+        return
+    if mnemonic == "clr":
+        asm.emit_word(codec.encode("or", rd=_parse_reg(operands[0]),
+                                   rs1=REG_G0, rs2=REG_G0))
+        return
+    if mnemonic == "inc":
+        reg = _parse_reg(operands[-1])
+        amount = asm._parse_const(operands[0]) if len(operands) == 2 else 1
+        asm.emit_word(codec.encode("add", rd=reg, rs1=reg, simm13=amount))
+        return
+    if mnemonic == "dec":
+        reg = _parse_reg(operands[-1])
+        amount = asm._parse_const(operands[0]) if len(operands) == 2 else 1
+        asm.emit_word(codec.encode("sub", rd=reg, rs1=reg, simm13=amount))
+        return
+    if mnemonic == "set":
+        _set(asm, operands)
+        return
+    if mnemonic == "neg":
+        reg = _parse_reg(operands[0])
+        dest = _parse_reg(operands[1]) if len(operands) == 2 else reg
+        asm.emit_word(codec.encode("sub", rd=dest, rs1=REG_G0, rs2=reg))
+        return
+    raise AsmError("unknown mnemonic %r" % mnemonic)
+
+
+def _emit_alu(asm, name, rs1, src2_text, rd):
+    """Emit a format-3 instruction whose second source is a reg or imm."""
+    codec = asm.codec
+    src2_text = src2_text.strip()
+    if _is_reg(src2_text):
+        asm.emit_word(codec.encode(name, rd=rd, rs1=rs1,
+                                   rs2=_parse_reg(src2_text)))
+        return
+    lo_match = _LO_RE.match(src2_text)
+    if lo_match:
+        inner = lo_match.group(1)
+        if asm._is_symbolic(inner):
+            symbol, addend = asm._split_sym_addend(inner)
+            asm.emit_reloc("LO10", symbol, addend)
+            asm.emit_word(codec.encode(name, rd=rd, rs1=rs1, simm13=0))
+        else:
+            asm.emit_word(codec.encode(name, rd=rd, rs1=rs1,
+                                       simm13=asm._parse_const(inner) & 0x3FF))
+        return
+    asm.emit_word(codec.encode(name, rd=rd, rs1=rs1,
+                               simm13=asm._parse_const(src2_text)))
+
+
+def _alu(asm, mnemonic, operands):
+    if mnemonic == "restore" and not operands:
+        asm.emit_word(asm.codec.encode("restore", rd=0, rs1=0, rs2=0))
+        return
+    if len(operands) != 3:
+        raise AsmError("%s expects 3 operands" % mnemonic)
+    rs1 = _parse_reg(operands[0])
+    rd = _parse_reg(operands[2])
+    _emit_alu(asm, mnemonic, rs1, operands[1], rd)
+
+
+def _sethi(asm, operands):
+    codec = asm.codec
+    value_text = operands[0].strip()
+    rd = _parse_reg(operands[1])
+    hi_match = _HI_RE.match(value_text)
+    if hi_match:
+        inner = hi_match.group(1)
+        if asm._is_symbolic(inner):
+            symbol, addend = asm._split_sym_addend(inner)
+            asm.emit_reloc("HI22", symbol, addend)
+            asm.emit_word(codec.encode("sethi", rd=rd, imm22=0))
+        else:
+            asm.emit_word(codec.encode("sethi", rd=rd,
+                                       imm22=asm._parse_const(inner) >> 10))
+        return
+    asm.emit_word(codec.encode("sethi", rd=rd, imm22=asm._parse_const(value_text)))
+
+
+def _set(asm, operands):
+    """set value, rd: sethi + or (always two words)."""
+    codec = asm.codec
+    expr = operands[0].strip()
+    rd = _parse_reg(operands[1])
+    if asm._is_symbolic(expr):
+        symbol, addend = asm._split_sym_addend(expr)
+        asm.emit_reloc("HI22", symbol, addend)
+        asm.emit_word(codec.encode("sethi", rd=rd, imm22=0))
+        asm.emit_reloc("LO10", symbol, addend)
+        asm.emit_word(codec.encode("or", rd=rd, rs1=rd, simm13=0))
+    else:
+        value = asm._parse_const(expr) & 0xFFFFFFFF
+        asm.emit_word(codec.encode("sethi", rd=rd, imm22=value >> 10))
+        asm.emit_word(codec.encode("or", rd=rd, rs1=rd, simm13=value & 0x3FF))
+
+
+def _branch(asm, mnemonic, operands):
+    target = operands[0].strip()
+    if not asm._is_symbolic(target):
+        raise AsmError("branch target must be a label")
+    symbol, addend = asm._split_sym_addend(target)
+    asm.emit_reloc("DISP22", symbol, addend)
+    asm.emit_word(asm.codec.encode(mnemonic, disp22=0))
+
+
+def _call(asm, operands):
+    target = operands[0].strip()
+    if _is_reg(target):
+        asm.emit_word(asm.codec.encode("jmpl", rd=REG_O7,
+                                       rs1=_parse_reg(target), simm13=0))
+        return
+    symbol, addend = asm._split_sym_addend(target)
+    asm.emit_reloc("DISP30", symbol, addend)
+    asm.emit_word(asm.codec.encode("call", disp30=0))
+
+
+def _parse_address(asm, text):
+    """Parse 'reg', 'reg + reg', 'reg + imm', 'reg + %lo(sym)' etc.
+
+    Returns (rs1, rs2_or_None, simm13_or_None, lo_reloc_or_None).
+    """
+    text = text.strip()
+    if text.startswith("[") and text.endswith("]"):
+        text = text[1:-1].strip()
+    negative = False
+    if "+" in text:
+        left, right = text.split("+", 1)
+    elif re.search(r"\s-\s*", text):
+        left, right = re.split(r"\s-\s*", text, 1)
+        negative = True
+    else:
+        left, right = text, None
+    rs1 = _parse_reg(left)
+    if right is None:
+        return rs1, None, 0, None
+    right = right.strip()
+    if _is_reg(right):
+        if negative:
+            raise AsmError("cannot subtract a register in an address")
+        return rs1, _parse_reg(right), None, None
+    lo_match = _LO_RE.match(right)
+    if lo_match:
+        inner = lo_match.group(1)
+        if asm._is_symbolic(inner):
+            symbol, addend = asm._split_sym_addend(inner)
+            return rs1, None, 0, (symbol, addend)
+        return rs1, None, asm._parse_const(inner) & 0x3FF, None
+    value = asm._parse_const(right)
+    return rs1, None, -value if negative else value, None
+
+
+def _load(asm, mnemonic, operands):
+    rs1, rs2, simm13, lo_reloc = _parse_address(asm, operands[0])
+    rd = _parse_reg(operands[1])
+    _emit_mem(asm, mnemonic, rd, rs1, rs2, simm13, lo_reloc)
+
+
+def _store(asm, mnemonic, operands):
+    rd = _parse_reg(operands[0])
+    rs1, rs2, simm13, lo_reloc = _parse_address(asm, operands[1])
+    _emit_mem(asm, mnemonic, rd, rs1, rs2, simm13, lo_reloc)
+
+
+def _emit_mem(asm, mnemonic, rd, rs1, rs2, simm13, lo_reloc):
+    codec = asm.codec
+    if lo_reloc is not None:
+        symbol, addend = lo_reloc
+        asm.emit_reloc("LO10", symbol, addend)
+        asm.emit_word(codec.encode(mnemonic, rd=rd, rs1=rs1, simm13=0))
+    elif rs2 is not None:
+        asm.emit_word(codec.encode(mnemonic, rd=rd, rs1=rs1, rs2=rs2))
+    else:
+        asm.emit_word(codec.encode(mnemonic, rd=rd, rs1=rs1, simm13=simm13))
+
+
+def _jump(asm, mnemonic, operands):
+    codec = asm.codec
+    rs1, rs2, simm13, lo_reloc = _parse_address(asm, operands[0])
+    rd = REG_G0
+    if mnemonic == "jmpl" and len(operands) == 2:
+        rd = _parse_reg(operands[1])
+    if lo_reloc is not None:
+        symbol, addend = lo_reloc
+        asm.emit_reloc("LO10", symbol, addend)
+        asm.emit_word(codec.encode("jmpl", rd=rd, rs1=rs1, simm13=0))
+    elif rs2 is not None:
+        asm.emit_word(codec.encode("jmpl", rd=rd, rs1=rs1, rs2=rs2))
+    else:
+        asm.emit_word(codec.encode("jmpl", rd=rd, rs1=rs1, simm13=simm13))

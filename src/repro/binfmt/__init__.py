@@ -1,0 +1,35 @@
+"""EELF: the executable/object file format and linker.
+
+This package plays the role GNU bfd played for EEL (paper section 4): it
+hides file-format detail behind an :class:`~repro.binfmt.image.Image`
+abstraction that both the EEL core and the toolchain (assembler, linker,
+simulator) share.
+"""
+
+from repro.binfmt.image import Image, Relocation, Section, Symbol
+from repro.binfmt.layout import (
+    DATA_ALIGN,
+    HEAP_GAP,
+    STACK_BASE,
+    STACK_SIZE,
+    TEXT_BASE,
+)
+from repro.binfmt.linker import LinkError, link
+from repro.binfmt.serialize import FormatError, read_image, write_image
+
+__all__ = [
+    "Image",
+    "Section",
+    "Symbol",
+    "Relocation",
+    "read_image",
+    "write_image",
+    "FormatError",
+    "link",
+    "LinkError",
+    "TEXT_BASE",
+    "DATA_ALIGN",
+    "STACK_BASE",
+    "STACK_SIZE",
+    "HEAP_GAP",
+]

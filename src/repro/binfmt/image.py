@@ -1,0 +1,170 @@
+"""In-memory model of EELF object files and executables."""
+
+from dataclasses import dataclass, field
+
+from repro.isa import bits
+
+# Section flags.
+SEC_EXEC = 1  # contains instructions
+SEC_WRITE = 2  # writable at run time
+SEC_NOBITS = 4  # occupies address space but no file bytes (.bss)
+
+# Symbol kinds.
+SYM_FUNC = "func"
+SYM_OBJECT = "object"
+SYM_LABEL = "label"  # internal/temporary label (candidates for pruning)
+
+# Symbol bindings.
+BIND_GLOBAL = "global"
+BIND_LOCAL = "local"
+
+# Relocation kinds.  HI22/LO10/DISP30/DISP22 are SPARC flavored;
+# HI16/LO16/J26 are MIPS flavored; WORD32 is a data word on both.
+RELOC_KINDS = ("HI22", "LO10", "DISP30", "DISP22", "WORD32", "HI16", "LO16", "J26")
+
+
+@dataclass
+class Section:
+    """A named, contiguous region of the address space."""
+
+    name: str
+    vaddr: int = 0
+    flags: int = 0
+    data: bytearray = field(default_factory=bytearray)
+    nobits_size: int = 0  # size when SEC_NOBITS
+
+    @property
+    def size(self):
+        return self.nobits_size if self.flags & SEC_NOBITS else len(self.data)
+
+    @property
+    def end(self):
+        return self.vaddr + self.size
+
+    @property
+    def is_exec(self):
+        return bool(self.flags & SEC_EXEC)
+
+    def contains(self, addr):
+        return self.vaddr <= addr < self.end
+
+    def word_at(self, addr):
+        """Big-endian 32-bit word at virtual address *addr*."""
+        offset = addr - self.vaddr
+        return int.from_bytes(self.data[offset : offset + 4], "big")
+
+    def set_word(self, addr, word):
+        offset = addr - self.vaddr
+        self.data[offset : offset + 4] = bits.to_u32(word).to_bytes(4, "big")
+
+    def append_word(self, word):
+        self.data += bits.to_u32(word).to_bytes(4, "big")
+
+    def words(self):
+        """All words in the section, starting at vaddr."""
+        return bits.bytes_to_words(bytes(self.data))
+
+
+@dataclass
+class Symbol:
+    """One symbol-table entry."""
+
+    name: str
+    value: int
+    kind: str = SYM_FUNC
+    binding: str = BIND_GLOBAL
+    size: int = 0
+    section: str = ".text"
+
+    def __repr__(self):
+        return "Symbol(%s=0x%x %s/%s)" % (self.name, self.value, self.kind, self.binding)
+
+
+@dataclass
+class Relocation:
+    """A fixup applied by the linker: patch *section* at *offset*.
+
+    The patched value is the address of *symbol* plus *addend* (for DISP
+    kinds, relative to the patch site's own address).
+    """
+
+    offset: int
+    kind: str
+    symbol: str
+    addend: int = 0
+
+
+class Image:
+    """An object file or executable: sections, symbols, relocations."""
+
+    def __init__(self, arch, kind="exec", entry=0):
+        if kind not in ("exec", "obj"):
+            raise ValueError("image kind must be 'exec' or 'obj'")
+        self.arch = arch
+        self.kind = kind
+        self.entry = entry
+        self.sections = {}  # name -> Section
+        self.symbols = []  # list of Symbol
+        self.relocations = {}  # section name -> [Relocation]
+
+    # -- sections ---------------------------------------------------------
+    def add_section(self, section):
+        if section.name in self.sections:
+            raise ValueError("duplicate section %r" % section.name)
+        self.sections[section.name] = section
+        return section
+
+    def get_section(self, name):
+        return self.sections[name]
+
+    def has_section(self, name):
+        return name in self.sections
+
+    def section_at(self, addr):
+        """The section containing virtual address *addr*, or None."""
+        for section in self.sections.values():
+            if section.contains(addr):
+                return section
+        return None
+
+    def word_at(self, addr):
+        section = self.section_at(addr)
+        if section is None or section.flags & SEC_NOBITS:
+            raise KeyError("address 0x%x not mapped to file bytes" % addr)
+        return section.word_at(addr)
+
+    def text_section(self):
+        return self.sections[".text"]
+
+    # -- symbols ----------------------------------------------------------
+    def add_symbol(self, symbol):
+        self.symbols.append(symbol)
+        return symbol
+
+    def find_symbol(self, name):
+        for symbol in self.symbols:
+            if symbol.name == name:
+                return symbol
+        return None
+
+    def symbols_by_kind(self, kind):
+        return [s for s in self.symbols if s.kind == kind]
+
+    def strip(self):
+        """Remove all symbols (a stripped executable)."""
+        self.symbols = []
+
+    def hide_symbols(self, names):
+        """Drop the named symbols, making their routines 'hidden'."""
+        names = set(names)
+        self.symbols = [s for s in self.symbols if s.name not in names]
+
+    # -- relocations --------------------------------------------------------
+    def add_relocation(self, section_name, reloc):
+        self.relocations.setdefault(section_name, []).append(reloc)
+        return reloc
+
+    # -- convenience -------------------------------------------------------
+    def address_limit(self):
+        """One past the highest mapped address."""
+        return max((s.end for s in self.sections.values()), default=0)

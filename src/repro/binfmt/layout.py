@@ -1,0 +1,24 @@
+"""Address-space layout conventions for EELF executables.
+
+All executables produced by the linker (and by EEL's editor) follow this
+layout; the simulator assumes only what is recorded in section headers,
+so edited executables may extend or add sections freely.
+"""
+
+# Base virtual address of the text segment.
+TEXT_BASE = 0x0000_1000
+
+# Sections are placed on this alignment.
+DATA_ALIGN = 0x1000
+
+# The stack grows down from STACK_BASE.
+STACK_BASE = 0x7FFF_0000
+STACK_SIZE = 0x10_0000
+
+# Gap between the end of .bss and the initial program break (heap).
+HEAP_GAP = 0x1000
+
+
+def align_up(value, alignment=DATA_ALIGN):
+    """Round *value* up to a multiple of *alignment*."""
+    return (value + alignment - 1) & ~(alignment - 1)

@@ -1,0 +1,160 @@
+"""Link EELF object files into an executable.
+
+A deliberately conventional two-pass linker: lay out sections, build the
+global symbol table, then apply relocations.  Exists so the workload
+corpus can be built from separately assembled/compiled object files the
+way the paper's SPEC92 binaries were.
+"""
+
+from repro.binfmt import layout
+from repro.binfmt.image import (
+    BIND_GLOBAL,
+    Image,
+    SEC_NOBITS,
+    Section,
+    Symbol,
+)
+from repro.isa import bits
+
+# Output sections, in address order.
+SECTION_ORDER = (".text", ".rodata", ".data", ".bss")
+
+ENTRY_SYMBOL = "_start"
+
+
+class LinkError(Exception):
+    """Undefined or duplicate symbols, bad relocations, etc."""
+
+
+def link(objects, entry_symbol=ENTRY_SYMBOL):
+    """Link *objects* (a list of object Images) into an executable Image."""
+    if not objects:
+        raise LinkError("no input objects")
+    arch = objects[0].arch
+    for obj in objects:
+        if obj.arch != arch:
+            raise LinkError("mixed architectures: %s vs %s" % (arch, obj.arch))
+        if obj.kind != "obj":
+            raise LinkError("linker input must be object files")
+
+    output = Image(arch, kind="exec")
+    # (object index, section name) -> base address in the output.
+    bases = {}
+    next_addr = layout.TEXT_BASE
+    for section_name in SECTION_ORDER:
+        merged = Section(section_name, vaddr=next_addr)
+        present = False
+        for index, obj in enumerate(objects):
+            if not obj.has_section(section_name):
+                continue
+            present = True
+            source = obj.get_section(section_name)
+            merged.flags |= source.flags
+            # Word-align each input chunk.
+            if section_name == ".bss":
+                merged.nobits_size = _align4(merged.nobits_size)
+                bases[(index, section_name)] = merged.vaddr + merged.nobits_size
+                merged.nobits_size += source.size
+            else:
+                while len(merged.data) % 4:
+                    merged.data.append(0)
+                bases[(index, section_name)] = merged.vaddr + len(merged.data)
+                merged.data += source.data
+        if present:
+            output.add_section(merged)
+            next_addr = layout.align_up(merged.end)
+
+    # Global symbol table.
+    globals_seen = {}
+    for index, obj in enumerate(objects):
+        for symbol in obj.symbols:
+            base = bases.get((index, symbol.section))
+            if base is None:
+                raise LinkError(
+                    "symbol %s refers to missing section %s"
+                    % (symbol.name, symbol.section)
+                )
+            final = Symbol(
+                symbol.name,
+                base + symbol.value,
+                kind=symbol.kind,
+                binding=symbol.binding,
+                size=symbol.size,
+                section=symbol.section,
+            )
+            if symbol.binding == BIND_GLOBAL:
+                if symbol.name in globals_seen:
+                    raise LinkError("duplicate global symbol %r" % symbol.name)
+                globals_seen[symbol.name] = final
+            output.add_symbol(final)
+
+    # Apply relocations.
+    for index, obj in enumerate(objects):
+        local_syms = {
+            s.name: bases[(index, s.section)] + s.value for s in obj.symbols
+        }
+        for section_name, relocs in obj.relocations.items():
+            base = bases.get((index, section_name))
+            if base is None:
+                raise LinkError("relocation in missing section %s" % section_name)
+            out_section = output.get_section(section_name)
+            for reloc in relocs:
+                target = _resolve(reloc.symbol, local_syms, globals_seen)
+                if target is None:
+                    raise LinkError("undefined symbol %r" % reloc.symbol)
+                site = base + reloc.offset
+                _apply(out_section, site, reloc.kind, target + reloc.addend)
+
+    entry = globals_seen.get(entry_symbol)
+    if entry is None:
+        raise LinkError("entry symbol %r undefined" % entry_symbol)
+    output.entry = entry.value
+    return output
+
+
+def _align4(value):
+    return (value + 3) & ~3
+
+
+def _resolve(name, local_syms, globals_seen):
+    # A local definition in the same object wins; otherwise use the global.
+    if name in local_syms:
+        return local_syms[name]
+    symbol = globals_seen.get(name)
+    return symbol.value if symbol else None
+
+
+def _apply(section, site, kind, target):
+    """Patch the relocation at address *site* so it refers to *target*."""
+    if section.flags & SEC_NOBITS:
+        raise LinkError("relocation in .bss")
+    word = section.word_at(site)
+    if kind == "WORD32":
+        section.set_word(site, target)
+        return
+    if kind == "HI22":
+        word = bits.insert(word, 0, 21, target >> 10)
+    elif kind == "LO10":
+        word = bits.insert(word, 0, 12, target & 0x3FF)
+    elif kind == "DISP30":
+        word = bits.insert(word, 0, 29, bits.to_s32(target - site) >> 2)
+    elif kind == "DISP22":
+        delta = bits.to_s32(target - site) >> 2
+        if not bits.fits_signed(delta, 22):
+            raise LinkError("branch displacement overflow at 0x%x" % site)
+        word = bits.insert(word, 0, 21, delta)
+    elif kind == "DISP16":
+        # MIPS branch: displacement relative to the delay slot.
+        delta = bits.to_s32(target - site - 4) >> 2
+        if not bits.fits_signed(delta, 16):
+            raise LinkError("branch displacement overflow at 0x%x" % site)
+        word = bits.insert(word, 0, 15, delta)
+    elif kind == "HI16":
+        word = bits.insert(word, 0, 15, ((target + 0x8000) >> 16) & 0xFFFF)
+    elif kind == "LO16":
+        word = bits.insert(word, 0, 15, target & 0xFFFF)
+    elif kind == "J26":
+        word = bits.insert(word, 0, 25, (target & 0x0FFFFFFF) >> 2)
+    else:
+        raise LinkError("unknown relocation kind %r" % kind)
+    section.set_word(site, word)

@@ -1,0 +1,146 @@
+"""Command-line interface: inspect, run, and instrument EELF executables.
+
+    python -m repro.cli build  <workload> <out.eelf> [--sunpro]
+    python -m repro.cli run    <exe.eelf> [--stdin TEXT]
+    python -m repro.cli disasm <exe.eelf>
+    python -m repro.cli routines <exe.eelf>
+    python -m repro.cli profile <exe.eelf> <out.eelf> [--mode block|edge]
+    python -m repro.cli cachesim <exe.eelf>
+"""
+
+import argparse
+import sys
+
+from repro.asm.disassembler import disassemble_section
+from repro.binfmt import read_image, write_image
+from repro.core import Executable
+from repro.sim import run_image
+
+
+def _cmd_build(args):
+    from repro.minic import GCC_LIKE, SUNPRO_LIKE
+    from repro.workloads import build_image
+    from repro.workloads.builder import program_names
+
+    if args.workload not in program_names():
+        print("unknown workload; available: %s"
+              % ", ".join(program_names()), file=sys.stderr)
+        return 1
+    options = SUNPRO_LIKE if args.sunpro else GCC_LIKE
+    write_image(build_image(args.workload, options), args.output)
+    print("wrote", args.output)
+    return 0
+
+
+def _cmd_run(args):
+    simulator = run_image(read_image(args.executable),
+                          stdin_text=args.stdin or "")
+    sys.stdout.write(simulator.output)
+    print("\n[exit %d after %d instructions]"
+          % (simulator.exit_code, simulator.instructions_executed),
+          file=sys.stderr)
+    return simulator.exit_code
+
+
+def _cmd_disasm(args):
+    image = read_image(args.executable)
+    for name, section in image.sections.items():
+        if section.is_exec:
+            print("section %s @ 0x%x" % (name, section.vaddr))
+            for line in disassemble_section(image, name):
+                print(line)
+    return 0
+
+
+def _cmd_routines(args):
+    exe = Executable(read_image(args.executable)).read_contents()
+    for routine in sorted(exe.all_routines(), key=lambda r: r.start):
+        cfg = routine.control_flow_graph()
+        flags = []
+        if routine.hidden:
+            flags.append("hidden")
+        if cfg.incomplete:
+            flags.append("incomplete")
+        print("0x%06x-0x%06x %-20s %3d blocks %3d edges %s" % (
+            routine.start, routine.end, routine.name, len(cfg.blocks),
+            len(cfg.all_edges()), " ".join(flags)))
+    return 0
+
+
+def _cmd_profile(args):
+    from repro.tools.qpt import QptProfiler
+
+    image = read_image(args.executable)
+    tool = QptProfiler(image, mode=args.mode).run()
+    edited = tool.edited_image()
+    write_image(edited, args.output)
+    simulator = run_image(edited, stdin_text=args.stdin or "")
+    sys.stdout.write(simulator.output)
+    print("\nhottest blocks:", file=sys.stderr)
+    counts = tool.block_counts(simulator)
+    for (routine, start), count in sorted(counts.items(),
+                                          key=lambda kv: -kv[1])[:10]:
+        print("  %-20s 0x%06x %10d" % (routine, start, count),
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_cachesim(args):
+    from repro.tools.active_memory import ActiveMemory
+
+    image = read_image(args.executable)
+    tool = ActiveMemory(image, cache_size=args.cache_size).instrument()
+    simulator, cache = tool.run(stdin_text=args.stdin or "")
+    sys.stdout.write(simulator.output)
+    print("\n%d misses / %d handled accesses (cache %dB, %d sites)"
+          % (cache.misses, cache.accesses, args.cache_size, tool.sites),
+          file=sys.stderr)
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="build a workload executable")
+    build.add_argument("workload")
+    build.add_argument("output")
+    build.add_argument("--sunpro", action="store_true")
+    build.set_defaults(func=_cmd_build)
+
+    run = sub.add_parser("run", help="run an executable in the simulator")
+    run.add_argument("executable")
+    run.add_argument("--stdin", default="")
+    run.set_defaults(func=_cmd_run)
+
+    disasm = sub.add_parser("disasm", help="disassemble text sections")
+    disasm.add_argument("executable")
+    disasm.set_defaults(func=_cmd_disasm)
+
+    routines = sub.add_parser("routines",
+                              help="list routines found by refinement")
+    routines.add_argument("executable")
+    routines.set_defaults(func=_cmd_routines)
+
+    profile = sub.add_parser("profile", help="instrument with qpt2")
+    profile.add_argument("executable")
+    profile.add_argument("output")
+    profile.add_argument("--mode", choices=("block", "edge"),
+                         default="edge")
+    profile.add_argument("--stdin", default="")
+    profile.set_defaults(func=_cmd_profile)
+
+    cachesim = sub.add_parser("cachesim",
+                              help="cache simulation via Active Memory")
+    cachesim.add_argument("executable")
+    cachesim.add_argument("--cache-size", type=int, default=8192)
+    cachesim.add_argument("--stdin", default="")
+    cachesim.set_defaults(func=_cmd_cachesim)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""EEL core: the five machine-independent abstractions.
+
+``executable`` / ``routine`` / CFG / ``instruction`` / ``snippet``
+(paper section 3), plus the analyses beneath them: symbol-table
+refinement, delay-slot CFG normalization, dominators, natural loops,
+liveness, backward slicing, dispatch-table discovery, snippet register
+scavenging, and edited-routine layout.
+"""
+
+from repro.core.executable import Executable
+from repro.core.instruction import Instruction, instruction_for
+from repro.core.snippet import CodeSnippet
+from repro.core.cfg import CFG, BasicBlock, Edge
+
+__all__ = [
+    "Executable",
+    "Instruction",
+    "instruction_for",
+    "CodeSnippet",
+    "CFG",
+    "BasicBlock",
+    "Edge",
+]

@@ -1,0 +1,2 @@
+"""Standard CFG analyses: dominators, loops, liveness, slicing, and
+indirect-jump (dispatch table) resolution (paper section 3.3)."""

@@ -1,0 +1,125 @@
+"""Interprocedural call graph (paper section 3, footnote 1).
+
+EEL "also supports interprocedural analysis and call graphs".  The call
+graph connects routines by their direct calls, tail-call jumps (resolved
+literal targets), and — when analyzable — dispatch-table-free indirect
+calls.  Tools use it to process callees before callers, to find leaf
+routines (candidates for cheap instrumentation), and to compute
+reachability from the entry point.
+"""
+
+from repro.isa.base import Category
+
+
+class CallSite:
+    """One call site: where it is and what it reaches."""
+
+    def __init__(self, caller, addr, target, kind):
+        self.caller = caller  # Routine
+        self.addr = addr
+        self.target = target  # Routine or None (unresolved indirect)
+        self.kind = kind  # "call" | "tailcall" | "indirect"
+
+    def __repr__(self):
+        target = self.target.name if self.target else "?"
+        return "CallSite(0x%x %s -> %s)" % (self.addr, self.kind, target)
+
+
+class CallGraph:
+    """Routines as nodes; call sites as edges."""
+
+    def __init__(self, executable):
+        self.executable = executable
+        self.sites = []  # all CallSite records
+        self.calls = {}  # routine name -> [CallSite]
+        self.callers = {}  # routine name -> set of caller names
+        self._build()
+
+    def _build(self):
+        executable = self.executable
+        for routine in executable.all_routines():
+            cfg = routine.control_flow_graph()
+            sites = []
+            for block in cfg.normal_blocks():
+                last = block.last_instruction
+                if last is None:
+                    continue
+                addr = block.instructions[-1][0]
+                if last.category is Category.CALL:
+                    target_addr = last.target(addr)
+                    sites.append(self._site(routine, addr, target_addr,
+                                            "call"))
+                elif last.category is Category.CALL_INDIRECT:
+                    sites.append(CallSite(routine, addr, None, "indirect"))
+            for info in cfg.indirect_jumps:
+                if info.status == "tailcall":
+                    jump_addr = info.block.instructions[-1][0]
+                    sites.append(self._site(routine, jump_addr,
+                                            info.literal, "tailcall"))
+            self.calls[routine.name] = sites
+            self.sites.extend(sites)
+        for site in self.sites:
+            if site.target is not None:
+                self.callers.setdefault(site.target.name, set()).add(
+                    site.caller.name)
+
+    def _site(self, routine, addr, target_addr, kind):
+        target = None
+        if target_addr is not None:
+            target = self.executable.routine_at(target_addr)
+        return CallSite(routine, addr, target, kind)
+
+    # ------------------------------------------------------------------
+    def callees(self, routine_name):
+        """Distinct routines called from *routine_name*."""
+        out = []
+        seen = set()
+        for site in self.calls.get(routine_name, ()):
+            if site.target is not None and site.target.name not in seen:
+                seen.add(site.target.name)
+                out.append(site.target)
+        return out
+
+    def callers_of(self, routine_name):
+        return sorted(self.callers.get(routine_name, ()))
+
+    def leaf_routines(self):
+        """Routines that make no calls at all."""
+        return [self.executable.routine(name) or name
+                for name, sites in sorted(self.calls.items())
+                if not sites]
+
+    def reachable_from(self, routine_name):
+        """Names of routines transitively callable from *routine_name*."""
+        seen = set()
+        work = [routine_name]
+        while work:
+            name = work.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for callee in self.callees(name):
+                work.append(callee.name)
+        return seen
+
+    def bottom_up_order(self):
+        """Routine names, callees before callers (cycles broken by
+        discovery order) — the order link-time optimizers process
+        routines."""
+        order = []
+        visited = set()
+
+        def visit(name):
+            if name in visited:
+                return
+            visited.add(name)
+            for callee in self.callees(name):
+                visit(callee.name)
+            order.append(name)
+
+        for name in sorted(self.calls):
+            visit(name)
+        return order
+
+    def has_indirect_calls(self):
+        return any(site.kind == "indirect" for site in self.sites)

@@ -1,0 +1,67 @@
+"""Dominator computation (Cooper-Harvey-Kennedy iterative algorithm)."""
+
+
+def _reverse_postorder(cfg):
+    order = []
+    seen = set()
+    stack = [(cfg.entry, iter(cfg.entry.successors()))]
+    seen.add(cfg.entry.id)
+    while stack:
+        block, successors = stack[-1]
+        advanced = False
+        for successor in successors:
+            if successor.id not in seen:
+                seen.add(successor.id)
+                stack.append((successor, iter(successor.successors())))
+                advanced = True
+                break
+        if not advanced:
+            order.append(block)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def dominators(cfg):
+    """Immediate dominators: {block: idom block}; entry maps to itself."""
+    order = _reverse_postorder(cfg)
+    index_of = {block.id: index for index, block in enumerate(order)}
+    idom = {cfg.entry.id: cfg.entry}
+
+    def intersect(a, b):
+        while a.id != b.id:
+            while index_of[a.id] > index_of[b.id]:
+                a = idom[a.id]
+            while index_of[b.id] > index_of[a.id]:
+                b = idom[b.id]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            if block is cfg.entry:
+                continue
+            candidates = [p for p in block.predecessors() if p.id in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(block.id) is not new_idom:
+                idom[block.id] = new_idom
+                changed = True
+    return {block: idom[block.id] for block in order if block.id in idom}
+
+
+def dominates(idom_map, a, b):
+    """True if block *a* dominates block *b* under *idom_map*."""
+    by_id = {block.id: dom for block, dom in idom_map.items()}
+    current = b
+    while True:
+        if current.id == a.id:
+            return True
+        parent = by_id.get(current.id)
+        if parent is None or parent.id == current.id:
+            return False
+        current = parent

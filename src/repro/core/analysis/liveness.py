@@ -1,0 +1,180 @@
+"""Live-register analysis over the normalized CFG.
+
+Backward dataflow on registers (including condition-code pseudo
+registers).  Call surrogate blocks use the calling convention: they are
+assumed to read the argument registers and stack pointer and to clobber
+every caller-saved register.  The result answers "which registers are
+dead here?" — the basis of snippet register scavenging (paper 3.5).
+"""
+
+from repro.core.cfg import BK_SURROGATE
+from repro.isa import get_conventions
+
+
+def _conventions(cfg):
+    return get_conventions(cfg.codec.arch)
+
+
+def _call_effects(cfg):
+    """(uses, defs) register sets for a call surrogate block."""
+    conventions = _conventions(cfg)
+    regs = cfg.codec.regs
+    uses = set(conventions.arg_regs) | {conventions.sp_reg}
+    if cfg.codec.arch == "sparc":
+        # Callee may clobber %g1-%g7, all %o registers, and the condition
+        # codes; register windows preserve %l and %i.
+        defs = set(range(1, 8)) | set(range(8, 16)) | {
+            regs.number("%icc"), regs.number("%y")
+        }
+    else:
+        # MIPS: $at, $v0/$v1, $a0-$a3, $t0-$t9, $ra, hi/lo are clobberable.
+        defs = {1, 2, 3} | set(range(4, 16)) | {24, 25, 31,
+                                                regs.number("$hi"),
+                                                regs.number("$lo")}
+    return uses, defs
+
+
+def _exit_live(cfg):
+    """Registers assumed live when control leaves the routine."""
+    conventions = _conventions(cfg)
+    regs = cfg.codec.regs
+    live = {conventions.sp_reg, conventions.retaddr_reg}
+    if cfg.codec.arch == "sparc":
+        live |= {24, 30, 31, 8}  # %i0 (retval), %fp, %i7, %o0
+    else:
+        live |= {2, 29, 30, 31, 16, 17, 18, 19, 20, 21, 22, 23}  # $v0, $sp,
+        # $fp, $ra and callee-saved $s registers.
+    return frozenset(r for r in live if r < regs.num_total)
+
+
+# SPARC windowed registers (%o, %l, %i): before a routine's `save`
+# executes, these belong to the *caller's* window and must be treated as
+# live, or a snippet inserted ahead of the save would clobber caller
+# state.  (Spilling below %sp remains safe — it targets the caller's
+# scratch area, which is unused by convention.)
+_SPARC_WINDOW_REGS = frozenset(range(8, 32))
+
+
+class LivenessAnalysis:
+    """Per-block live-in/live-out, with point queries inside blocks."""
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.live_in = {}
+        self.live_out = {}
+        self._block_effects = {}
+        self._solve()
+        self._pre_window_in = self._solve_pre_window() \
+            if cfg.codec.arch == "sparc" else {}
+
+    def _solve_pre_window(self):
+        """Forward dataflow: can this point execute before any `save`?"""
+        cfg = self.cfg
+        state = {block.id: False for block in cfg.blocks}
+        state[cfg.entry.id] = True
+        changed = True
+        while changed:
+            changed = False
+            for block in cfg.blocks:
+                incoming = state[block.id] if block is cfg.entry else any(
+                    self._pre_window_out(edge.src, state)
+                    for edge in block.pred
+                )
+                if incoming and not state[block.id]:
+                    state[block.id] = True
+                    changed = True
+        return state
+
+    def _pre_window_out(self, block, state):
+        if not state.get(block.id, False):
+            return False
+        return not any(inst.name == "save"
+                       for _, inst in block.instructions)
+
+    def _pre_window_at(self, block, index):
+        """True when position *index* may run in the caller's window."""
+        if not self._pre_window_in.get(block.id, False):
+            return False
+        for position in range(index):
+            if block.instructions[position][1].name == "save":
+                return False
+        return True
+
+    def _effects(self, block):
+        cached = self._block_effects.get(block.id)
+        if cached is not None:
+            return cached
+        if block.kind == BK_SURROGATE:
+            uses, defs = _call_effects(self.cfg)
+            result = (frozenset(uses), frozenset(defs))
+        else:
+            uses = set()
+            defs = set()
+            for _, instruction in block.instructions:
+                uses |= instruction.reads() - defs
+                defs |= instruction.writes()
+            result = (frozenset(uses), frozenset(defs))
+        self._block_effects[block.id] = result
+        return result
+
+    def _solve(self):
+        cfg = self.cfg
+        exit_live = _exit_live(cfg)
+        live_in = {block.id: frozenset() for block in cfg.blocks}
+        live_out = {block.id: frozenset() for block in cfg.blocks}
+        live_in[cfg.exit.id] = exit_live
+
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(cfg.blocks):
+                if block is cfg.exit:
+                    continue
+                out = frozenset()
+                for edge in block.succ:
+                    out |= live_in[edge.dst.id]
+                uses, defs = self._effects(block)
+                new_in = uses | (out - defs)
+                if out != live_out[block.id] or new_in != live_in[block.id]:
+                    live_out[block.id] = out
+                    live_in[block.id] = new_in
+                    changed = True
+        self.live_in = {b.id: live_in[b.id] for b in cfg.blocks}
+        self.live_out = {b.id: live_out[b.id] for b in cfg.blocks}
+
+    # ------------------------------------------------------------------
+    def live_before(self, block, index):
+        """Registers live immediately before instruction *index*."""
+        live = set(self.live_out[block.id])
+        for position in range(len(block.instructions) - 1, index - 1, -1):
+            _, instruction = block.instructions[position]
+            live -= instruction.writes()
+            live |= instruction.reads()
+        if self._pre_window_in and self._pre_window_at(block, index):
+            live |= _SPARC_WINDOW_REGS
+        return frozenset(live)
+
+    def live_after(self, block, index):
+        """Registers live immediately after instruction *index*."""
+        if index + 1 < len(block.instructions):
+            return self.live_before(block, index + 1)
+        live = frozenset(self.live_out[block.id])
+        if self._pre_window_in and self._pre_window_at(
+            block, len(block.instructions)
+        ):
+            live |= _SPARC_WINDOW_REGS
+        return live
+
+    def live_on_edge(self, edge):
+        """Registers live while traversing *edge*."""
+        live = frozenset(self.live_in[edge.dst.id])
+        if self._pre_window_in and (
+            self._pre_window_in.get(edge.dst.id, False)
+            or self._pre_window_out(edge.src, self._pre_window_in)
+        ):
+            live |= _SPARC_WINDOW_REGS
+        return live
+
+    def dead_registers(self, live, candidates):
+        """Candidates from *candidates* not in *live*, in order."""
+        return [reg for reg in candidates if reg not in live]

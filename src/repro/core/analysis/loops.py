@@ -1,0 +1,61 @@
+"""Natural-loop detection from back edges."""
+
+from repro.core.analysis.dominators import dominates, dominators
+
+
+class NaturalLoop:
+    """A natural loop: its header block and body (blocks, incl. header)."""
+
+    def __init__(self, header, body):
+        self.header = header
+        self.body = body  # set of block ids
+        self.blocks = []
+
+    def contains(self, block):
+        return block.id in self.body
+
+    @property
+    def depth_key(self):
+        return len(self.body)
+
+
+def natural_loops(cfg):
+    """All natural loops, innermost (smallest) first."""
+    idom = dominators(cfg)
+    loops = []
+    for block in cfg.blocks:
+        for edge in block.succ:
+            header = edge.dst
+            if header in idom and block in idom and dominates(idom, header,
+                                                              block):
+                loops.append(_collect(header, block))
+    loops.sort(key=lambda loop: loop.depth_key)
+    # Merge loops sharing a header (multiple back edges).
+    merged = {}
+    for loop in loops:
+        existing = merged.get(loop.header.id)
+        if existing is None:
+            merged[loop.header.id] = loop
+        else:
+            existing.body |= loop.body
+            existing.blocks = sorted(
+                set(existing.blocks) | set(loop.blocks), key=lambda b: b.id
+            )
+    return sorted(merged.values(), key=lambda loop: loop.depth_key)
+
+
+def _collect(header, tail):
+    body = {header.id}
+    blocks = [header]
+    work = [tail]
+    while work:
+        block = work.pop()
+        if block.id in body:
+            continue
+        body.add(block.id)
+        blocks.append(block)
+        for edge in block.pred:
+            work.append(edge.src)
+    loop = NaturalLoop(header, body)
+    loop.blocks = sorted(blocks, key=lambda b: b.id)
+    return loop

@@ -1,0 +1,235 @@
+"""The executable abstraction: open, analyze, edit, write (section 3.1).
+
+The paper's Figure 1 drives this API:
+
+    exec = Executable(path)
+    exec.read_contents()
+    for routine in exec.routines(): ...
+    while not exec.hidden_routines().is_empty(): ...
+    x = exec.edited_addr(exec.start_address())
+    exec.write_edited_executable(out_path, x)
+"""
+
+from repro.binfmt import layout as binlayout
+from repro.binfmt.image import Image
+from repro.binfmt.serialize import read_image, write_image
+from repro.isa import get_codec, get_conventions
+
+# Fresh address space for tool data (counter arrays, state tables).
+TOOL_DATA_BASE = 0x0100_0000
+
+
+class ExecutableError(Exception):
+    pass
+
+
+class RoutineList:
+    """Routine collection with the paper's worklist interface."""
+
+    def __init__(self, routines=()):
+        self._routines = list(routines)
+
+    def is_empty(self):
+        return not self._routines
+
+    def first(self):
+        return self._routines[0]
+
+    def remove(self, routine):
+        self._routines.remove(routine)
+
+    def add(self, routine):
+        self._routines.append(routine)
+
+    def __iter__(self):
+        return iter(list(self._routines))
+
+    def __len__(self):
+        return len(self._routines)
+
+    def __getitem__(self, index):
+        return self._routines[index]
+
+
+class Executable:
+    """An open executable: code, data, routines, and an edit session."""
+
+    def __init__(self, source):
+        if isinstance(source, Image):
+            self.image = source
+            self.path = None
+        else:
+            self.path = source
+            self.image = read_image(source)
+        if self.image.kind != "exec":
+            raise ExecutableError("not an executable image")
+        self.arch = self.image.arch
+        self.codec = get_codec(self.arch)
+        self.conventions = get_conventions(self.arch)
+        self._routines = RoutineList()
+        self._hidden = RoutineList()
+        self._read = False
+        self._claimed = set()  # data addresses claimed inside text
+        self._edited_routines = {}  # name -> Routine (with .edited set)
+        self._added_routines = []  # (name, base_addr, words)
+        self._added_symbols = {}
+        self._data_sections = []  # (name, base, size, initial_bytes)
+        self._data_cursor = max(
+            TOOL_DATA_BASE, binlayout.align_up(self.image.address_limit())
+        )
+        # Leave 2MB of headroom above the original image so the edited
+        # program's heap (sbrk region) can stay at its original address.
+        self._new_text_base = binlayout.align_up(
+            self.image.address_limit() + 0x1000
+        ) + 0x20_0000
+        self._added_cursor = self._new_text_base
+        self._translation_base = None
+        self._finalized = None
+
+    # ------------------------------------------------------------------
+    # Reading and analysis
+    # ------------------------------------------------------------------
+    def read_contents(self):
+        """Analyze the symbol table and program to find all routines."""
+        from repro.core.symtab_refine import refine_symbol_table
+
+        routines, hidden = refine_symbol_table(self)
+        self._routines = RoutineList(routines)
+        self._hidden = RoutineList(hidden)
+        self._read = True
+        return self
+
+    def routines(self):
+        if not self._read:
+            self.read_contents()
+        return self._routines
+
+    def hidden_routines(self):
+        if not self._read:
+            self.read_contents()
+        return self._hidden
+
+    def all_routines(self):
+        return list(self.routines()) + list(self.hidden_routines())
+
+    def routine(self, name):
+        for routine in self.all_routines():
+            if routine.name == name:
+                return routine
+        return None
+
+    def routine_at(self, addr):
+        for routine in self.all_routines():
+            if routine.contains(addr):
+                return routine
+        return None
+
+    def start_address(self):
+        return self.image.entry
+
+    # ------------------------------------------------------------------
+    # Raw access
+    # ------------------------------------------------------------------
+    def word_at(self, addr):
+        return self.image.word_at(addr)
+
+    def is_text_address(self, addr):
+        text = self.image.sections.get(".text")
+        return text is not None and text.contains(addr) and addr % 4 == 0
+
+    def claim_data(self, addr, size):
+        """Record that [addr, addr+size) in text is data (a jump table)."""
+        for offset in range(0, size, 4):
+            self._claimed.add(addr + offset)
+
+    def claimed_data(self, routine):
+        return {a for a in self._claimed if routine.contains(a)}
+
+    # ------------------------------------------------------------------
+    # Additions: foreign routines and data
+    # ------------------------------------------------------------------
+    def add_data(self, name, size, initial=None):
+        """Reserve *size* bytes of fresh data space; returns its address.
+
+        Bases are 1KB-aligned so a single ``sethi``/``lui`` can form them.
+        """
+        base = binlayout.align_up(self._data_cursor, 1024)
+        self._data_cursor = binlayout.align_up(base + size, 1024)
+        self._data_sections.append((name, base, size, initial))
+        return base
+
+    def ensure_translation_table(self):
+        """Reserve the run-time address-translation table (section 3.3).
+
+        One word per original text word, filled at finalize time with the
+        edited address of each original instruction.
+        """
+        if self._translation_base is None:
+            text = self.image.sections[".text"]
+            self._translation_base = self.add_data("__eel_translation",
+                                                   text.size)
+        return self._translation_base
+
+    def add_routine(self, name, asm_text):
+        """Assemble *asm_text* and add it as a new routine; returns its
+        address.  The code may reference the executable's global symbols
+        and previously added routines."""
+        from repro.asm.assembler import Assembler
+        from repro.binfmt.linker import _apply
+
+        base = self._added_cursor
+        obj = Assembler(self.arch).assemble(asm_text)
+        text = obj.get_section(".text")
+        if [s for s in obj.sections.values() if s.size and s.name != ".text"]:
+            raise ExecutableError("added routines may only contain .text")
+        symbols = dict(self._added_symbols)
+        for symbol in self.image.symbols:
+            symbols.setdefault(symbol.name, symbol.value)
+        for symbol in obj.symbols:
+            symbols[symbol.name] = base + symbol.value
+        text.vaddr = base
+        for reloc in obj.relocations.get(".text", ()):
+            target = symbols.get(reloc.symbol)
+            if target is None:
+                raise ExecutableError("undefined symbol %r in added routine"
+                                      % reloc.symbol)
+            _apply(text, base + reloc.offset, reloc.kind,
+                   target + reloc.addend)
+        words = text.words()
+        self._added_routines.append((name, base, words))
+        self._added_symbols[name] = base
+        self._added_cursor = base + 4 * len(words)
+        return base
+
+    # ------------------------------------------------------------------
+    # Editing session
+    # ------------------------------------------------------------------
+    def register_edited(self, routine):
+        if self._finalized is not None:
+            raise ExecutableError(
+                "cannot edit after querying edited addresses"
+            )
+        self._edited_routines[routine.name] = routine
+
+    def _finalize(self):
+        if self._finalized is None:
+            from repro.core.layout import finalize_image
+
+            self._finalized = finalize_image(self)
+        return self._finalized
+
+    def edited_addr(self, addr):
+        """Address of the edited copy of original instruction *addr*."""
+        finalized = self._finalize()
+        return finalized.addr_map.get(addr, addr)
+
+    def edited_image(self):
+        return self._finalize().image
+
+    def write_edited_executable(self, path, entry=None):
+        """Write the edited program; standard tools keep working on it."""
+        finalized = self._finalize()
+        if entry is not None:
+            finalized.image.entry = entry
+        write_image(finalized.image, path)
+        return finalized.image

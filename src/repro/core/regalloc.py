@@ -1,0 +1,90 @@
+"""Snippet register allocation: scavenging and spilling (paper 3.5).
+
+EEL finds the registers live at the insertion point and assigns dead
+ones to the snippet's placeholders.  When not enough registers are dead,
+the snippet is wrapped with code that spills victims to scratch slots
+below the stack pointer.  If the snippet clobbers condition codes while
+they are live, a save/restore pair is wrapped around it as well.
+"""
+
+
+class RegallocError(Exception):
+    pass
+
+
+class AllocatedSnippet:
+    """A snippet after register allocation, ready for placement."""
+
+    def __init__(self, snippet, words, mapping, spilled):
+        self.snippet = snippet
+        self.words = words
+        self.mapping = mapping
+        self.spilled = spilled  # [(reg, slot)]
+
+    def run_callback(self, address):
+        if self.snippet.callback is not None:
+            replacement = self.snippet.callback(list(self.words), address,
+                                                dict(self.mapping))
+            if replacement is not None:
+                if len(replacement) != len(self.words):
+                    raise RegallocError(
+                        "snippet call-back changed the instruction count"
+                    )
+                self.words = list(replacement)
+        return self.words
+
+
+def allocate_snippet(snippet, live, conventions):
+    """Bind *snippet*'s placeholder registers given the *live* set."""
+    needed = list(snippet.alloc_regs)
+    cc_live = bool(conventions.cc_regs & set(live))
+    want_cc_save = snippet.clobbers_cc and cc_live
+    if want_cc_save:
+        needed = needed + ["__cc__"]
+
+    forbidden = set(snippet.forbidden_regs)
+    dead = [
+        reg
+        for reg in conventions.scavenge_candidates
+        if reg not in live and reg not in forbidden
+    ]
+    # Victims for spilling, preferred in scavenge order.
+    victims = [
+        reg
+        for reg in conventions.scavenge_candidates
+        if reg in live and reg not in forbidden
+    ]
+
+    mapping = {}
+    spilled = []
+    assigned = []
+    slot = 0
+    for placeholder in needed:
+        if dead:
+            reg = dead.pop(0)
+        elif victims:
+            reg = victims.pop(0)
+            spilled.append((reg, slot))
+            slot += 1
+        else:
+            raise RegallocError("no registers available for snippet")
+        assigned.append((placeholder, reg))
+
+    cc_reg = None
+    for placeholder, reg in assigned:
+        if placeholder == "__cc__":
+            cc_reg = reg
+        else:
+            mapping[placeholder] = reg
+
+    body = conventions.rebind_registers(snippet.words, mapping)
+    prologue = []
+    epilogue = []
+    for reg, spill_slot in spilled:
+        prologue.extend(conventions.spill(reg, spill_slot))
+        epilogue.extend(conventions.unspill(reg, spill_slot))
+    if cc_reg is not None:
+        prologue.extend(conventions.save_cc(cc_reg))
+        epilogue = list(conventions.restore_cc(cc_reg)) + epilogue
+    words = prologue + body + epilogue
+    return AllocatedSnippet(snippet, words, mapping, spilled)

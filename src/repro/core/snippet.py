@@ -1,0 +1,63 @@
+"""Code snippets: foreign code added to an executable (paper section 3.5).
+
+A snippet holds machine words written with *placeholder* registers, a
+set of registers that must be allocated (mapped onto dead registers at
+the insertion point), a set of forbidden registers, and an optional
+call-back invoked after register allocation but before final placement.
+"""
+
+
+class CodeSnippet:
+    """Foreign code to insert, with context-dependent register allocation.
+
+    Parameters
+    ----------
+    words:
+        Machine words forming the snippet body.
+    alloc_regs:
+        Placeholder register numbers appearing in *words* that EEL must
+        rebind to registers that are dead at the insertion point.
+    forbidden_regs:
+        Registers EEL must not assign (even if dead), e.g. because the
+        snippet needs their current value.
+    callback:
+        ``callback(words, address, mapping) -> words or None`` — invoked
+        after register allocation with the final address; may modify the
+        instructions but not their number (paper: used for displacement
+        adjustment and backpatching).
+    clobbers_cc:
+        True when the snippet changes condition codes; EEL preserves
+        them when live.
+    """
+
+    def __init__(self, words, alloc_regs=(), forbidden_regs=(),
+                 callback=None, clobbers_cc=False, tag=None):
+        self.words = list(words)
+        self.alloc_regs = tuple(alloc_regs)
+        self.forbidden_regs = frozenset(forbidden_regs)
+        self.callback = callback
+        self.clobbers_cc = clobbers_cc
+        self.tag = tag
+
+    def __len__(self):
+        return len(self.words)
+
+    def __repr__(self):
+        return "CodeSnippet(%d words%s)" % (
+            len(self.words), ", tag=%r" % self.tag if self.tag else ""
+        )
+
+
+class TaggedCodeSnippet(CodeSnippet):
+    """A snippet whose instructions can be addressed by index and patched.
+
+    The analog of the paper's Figure 2 ``tagged_code_snippet``: tools use
+    ``find_inst``/``set_inst`` to customize individual instructions (for
+    example, inserting a counter's address into a sethi/or pair).
+    """
+
+    def find_inst(self, index):
+        return self.words[index]
+
+    def set_inst(self, index, word):
+        self.words[index] = word

@@ -1,0 +1,292 @@
+"""Symbol-table refinement (paper section 3.1).
+
+Symbol tables are incomplete or misleading: compilers hide routines,
+put data tables in the text segment, and record only primary entry
+points.  Refinement proceeds in the paper's four stages:
+
+1. prune duplicate/temporary/internal labels from the symbol table to
+   form the initial routine set;
+2. for stripped executables, seed with the program entry point, the
+   first text address, and the targets of direct calls;
+3. find calls and jumps that leave their routine: their destinations
+   become entry points (or new hidden routines);
+4. build CFGs: reachable-but-invalid instructions mark data; dispatch
+   tables claimed by indirect-jump analysis are excluded; valid
+   unreachable suffixes become hidden-routine candidates.
+"""
+
+import re
+
+from repro.core.instruction import instruction_for
+from repro.isa.base import Category
+
+# Compiler-temporary label pattern (".L12", "L5", ".Lcase3", ...).
+_TEMP_LABEL = re.compile(r"^\.?L")
+
+
+def refine_symbol_table(executable):
+    """Run all refinement stages; returns (routines, hidden_routines)."""
+    named = _stage1_initial_set(executable)
+    if not named:
+        named = _stage2_stripped_seed(executable)
+    routines = _make_routines(executable, named)
+    hidden = _stage3_interprocedural(executable, routines)
+    _stage4_cfg_feedback(executable, routines, hidden)
+    return routines, hidden
+
+
+# ----------------------------------------------------------------------
+def _stage1_initial_set(executable):
+    """Initial routine set from the (pruned) symbol table."""
+    image = executable.image
+    text = image.sections.get(".text")
+    if text is None:
+        return {}
+    named = {}
+    seen_addrs = set()
+    for symbol in image.symbols:
+        if symbol.section != ".text":
+            continue
+        addr = symbol.value
+        if addr % 4 or not text.contains(addr):
+            continue  # not on an instruction boundary
+        if symbol.kind == "label" or _TEMP_LABEL.match(symbol.name):
+            continue  # temporary/internal label
+        if symbol.kind == "object":
+            continue  # data-in-text marker, not a routine
+        if addr in seen_addrs:
+            continue  # duplicate label
+        seen_addrs.add(addr)
+        named[addr] = symbol.name
+    return named
+
+
+def _stage2_stripped_seed(executable):
+    """Stripped executable: entry point, first text address, call targets."""
+    image = executable.image
+    text = image.sections.get(".text")
+    named = {}
+    if text is None:
+        return named
+    named[text.vaddr] = "text_start"
+    if text.contains(image.entry):
+        named.setdefault(image.entry, "entry")
+    for addr, instruction in _scan_text(executable):
+        if instruction.category is Category.CALL:
+            target = instruction.target(addr)
+            if target is not None and text.contains(target):
+                named.setdefault(target, "hidden_0x%x" % target)
+    return named
+
+
+def _make_routines(executable, named):
+    from repro.core.routine import Routine
+
+    text = executable.image.sections[".text"]
+    starts = sorted(named)
+    routines = []
+    for index, start in enumerate(starts):
+        end = starts[index + 1] if index + 1 < len(starts) else text.end
+        routines.append(Routine(executable, named[start], start, end))
+    return routines
+
+
+def _scan_text(executable):
+    text = executable.image.sections[".text"]
+    codec = executable.codec
+    addr = text.vaddr
+    for word in text.words():
+        yield addr, instruction_for(codec, word)
+        addr += 4
+
+
+# ----------------------------------------------------------------------
+def _stage3_interprocedural(executable, routines):
+    """Direct calls/jumps leaving a routine.
+
+    A target inside another routine is resolved in stage 4: it becomes a
+    new hidden routine when the containing routine's own code never
+    reaches it, or an additional entry point (the Fortran ENTRY case)
+    when it does.  Here we only materialize targets that fall outside
+    every known routine.
+    """
+    from repro.core.routine import Routine
+
+    hidden = []
+    for _ in range(8):  # until no new routine appears
+        new_targets = set()
+        for addr, instruction in _scan_text(executable):
+            category = instruction.category
+            if category not in (Category.CALL, Category.JUMP,
+                                Category.BRANCH):
+                continue
+            target = instruction.target(addr)
+            if target is None:
+                continue
+            source = _containing(routines + hidden, addr)
+            if source is None or source.contains(target):
+                continue
+            if _containing(routines + hidden, target) is None \
+                    and executable.is_text_address(target):
+                new_targets.add(target)
+        if not new_targets:
+            break
+        for target in sorted(new_targets):
+            if _containing(routines + hidden, target) is not None:
+                continue
+            hidden.append(
+                Routine(executable, "hidden_0x%x" % target, target,
+                        _next_boundary(routines + hidden, executable,
+                                       target),
+                        hidden=True)
+            )
+        _fix_extents(routines, hidden, executable)
+    return hidden
+
+
+def _routine_map(routines):
+    return {routine.start: routine for routine in routines}
+
+
+def _containing(routines, addr):
+    for routine in routines:
+        if routine.contains(addr):
+            return routine
+    return None
+
+
+def _adjacent(a, b):
+    return a.end == b.start or b.end == a.start
+
+
+def _next_boundary(routines, executable, addr):
+    text = executable.image.sections[".text"]
+    candidates = [r.start for r in routines if r.start > addr]
+    return min(candidates) if candidates else text.end
+
+
+def _fix_extents(routines, hidden, executable):
+    """Recompute extents so routines end at the next routine start."""
+    text = executable.image.sections[".text"]
+    everyone = sorted(routines + hidden, key=lambda r: r.start)
+    for index, routine in enumerate(everyone):
+        end = everyone[index + 1].start if index + 1 < len(everyone) \
+            else text.end
+        if routine.end != end:
+            routine.end = end
+            routine.delete_control_flow_graph()
+
+
+# ----------------------------------------------------------------------
+def _stage4_cfg_feedback(executable, routines, hidden):
+    """Build CFGs; their analysis refines the routine set.
+
+    Dispatch tables found by slicing are claimed as data; escaping
+    direct transfers add entry points; a routine whose very first
+    instruction is invalid is a data table masquerading as a routine.
+    """
+    from repro.core.routine import Routine
+
+    # Interprocedural targets landing inside other routines, from the
+    # text scan: call targets and direct-jump targets.
+    inbound = {}  # target addr -> True (call-like)
+    for addr, instruction in _scan_text(executable):
+        if instruction.category in (Category.CALL, Category.JUMP):
+            target = instruction.target(addr)
+            if target is not None:
+                inbound.setdefault(target, True)
+
+    for _ in range(256):  # each split makes progress; generous cap
+        changed = False
+        everyone = sorted(routines + hidden, key=lambda r: r.start)
+        for routine in everyone:
+            first = instruction_for(executable.codec,
+                                    executable.word_at(routine.start))
+            if not first.is_valid:
+                routine.is_data = True
+                continue
+            cfg = routine.control_flow_graph()
+            # Escaping direct transfers (incl. tail-call literal jumps)
+            # land in other routines: record as inbound targets.
+            for block in cfg.blocks:
+                for edge in block.succ:
+                    if edge.kind != "escape" or edge.escape_target is None:
+                        continue
+                    target = edge.escape_target
+                    container = _containing(everyone, target)
+                    if container is not None and container is not routine \
+                            and target != container.start \
+                            and target not in inbound:
+                        inbound[target] = True
+                        changed = True
+            if _split_or_enter(executable, routine, cfg, inbound, hidden):
+                changed = True
+                break  # re-sort and restart the scan
+            # Unreachable instructions at the END of a routine comprise
+            # another (hidden) routine — the paper's stage 4 rule.
+            suffix = _unreached_suffix(routine, cfg)
+            if suffix is not None:
+                first_split = instruction_for(
+                    executable.codec, executable.word_at(suffix))
+                if first_split.is_valid:
+                    hidden.append(Routine(executable,
+                                          "hidden_0x%x" % suffix,
+                                          suffix, routine.end, hidden=True))
+                    routine.end = suffix
+                    routine.delete_control_flow_graph()
+                    changed = True
+                    break
+        if not changed:
+            break
+    # Drop pseudo-routines that turned out to be data.
+    for collection in (routines, hidden):
+        collection[:] = [r for r in collection
+                         if not getattr(r, "is_data", False)]
+
+
+def _split_or_enter(executable, routine, cfg, inbound, hidden):
+    """Resolve interprocedural targets landing inside *routine*.
+
+    Unreached target -> new hidden routine split off at the target;
+    reached target -> additional entry point (Fortran ENTRY style).
+    Returns True when the routine set changed.
+    """
+    from repro.core.routine import Routine
+
+    covered = set()
+    for block in cfg.blocks:
+        for addr, _ in block.instructions:
+            covered.add(addr)
+    for target in sorted(inbound):
+        if not routine.contains(target) or target == routine.start:
+            continue
+        if target in routine.entries:
+            continue
+        if target in covered:
+            routine.add_entry(target)
+            return True
+        instruction = instruction_for(executable.codec,
+                                      executable.word_at(target))
+        if not instruction.is_valid:
+            continue
+        hidden.append(Routine(executable, "hidden_0x%x" % target,
+                              target, routine.end, hidden=True))
+        routine.end = target
+        routine.delete_control_flow_graph()
+        return True
+    return False
+
+
+def _unreached_suffix(routine, cfg):
+    """Start of the maximal unreached run ending at the routine's end,
+    or None.  Claimed data (dispatch tables) does not count."""
+    if not cfg.unreached:
+        return None
+    addr = routine.end - 4
+    start = None
+    while addr >= routine.start and addr in cfg.unreached:
+        start = addr
+        addr -= 4
+    if start is None or start == routine.start:
+        return None
+    return start

@@ -1,0 +1,80 @@
+"""Bit-manipulation helpers shared by codecs, assemblers, and the simulator.
+
+All machine words in this project are 32 bits wide.  Values are kept as
+non-negative Python ints in [0, 2**32) except where a function explicitly
+returns a signed interpretation.
+"""
+
+WORD_BITS = 32
+WORD_MASK = 0xFFFFFFFF
+
+
+def mask(width):
+    """Return a mask of *width* low bits."""
+    return (1 << width) - 1
+
+
+def extract(word, lo, hi):
+    """Extract bits lo..hi (inclusive, lo <= hi, bit 0 = LSB) as unsigned."""
+    if lo > hi:
+        raise ValueError("bad bit range %d:%d" % (lo, hi))
+    return (word >> lo) & mask(hi - lo + 1)
+
+
+def extract_signed(word, lo, hi):
+    """Extract bits lo..hi as a two's-complement signed value."""
+    value = extract(word, lo, hi)
+    return sign_extend(value, hi - lo + 1)
+
+
+def insert(word, lo, hi, value):
+    """Return *word* with bits lo..hi replaced by *value* (truncated)."""
+    if lo > hi:
+        raise ValueError("bad bit range %d:%d" % (lo, hi))
+    field_mask = mask(hi - lo + 1)
+    word &= ~(field_mask << lo) & WORD_MASK
+    return word | ((value & field_mask) << lo)
+
+
+def sign_extend(value, width):
+    """Sign-extend a *width*-bit value to a Python int."""
+    sign_bit = 1 << (width - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)
+
+
+def to_u32(value):
+    """Truncate a Python int to an unsigned 32-bit value."""
+    return value & WORD_MASK
+
+
+def to_s32(value):
+    """Truncate a Python int to 32 bits and interpret as signed."""
+    value &= WORD_MASK
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def fits_signed(value, width):
+    """True if *value* is representable as a signed *width*-bit field."""
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    return lo <= value <= hi
+
+
+def fits_unsigned(value, width):
+    """True if *value* is representable as an unsigned *width*-bit field."""
+    return 0 <= value < (1 << width)
+
+
+def words_to_bytes(words):
+    """Pack a sequence of 32-bit words into big-endian bytes."""
+    out = bytearray()
+    for word in words:
+        out += to_u32(word).to_bytes(4, "big")
+    return bytes(out)
+
+
+def bytes_to_words(data):
+    """Unpack big-endian bytes (multiple of 4 long) into 32-bit words."""
+    if len(data) % 4:
+        raise ValueError("byte string length %d is not word aligned" % len(data))
+    return [int.from_bytes(data[i : i + 4], "big") for i in range(0, len(data), 4)]

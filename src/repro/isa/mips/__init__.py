@@ -1,0 +1,1 @@
+"""MIPS-I-like subset: handwritten codec and machine conventions."""

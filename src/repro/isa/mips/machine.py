@@ -1,0 +1,118 @@
+"""MIPS machine conventions (system-dependent fragments)."""
+
+from repro.isa import bits
+from repro.isa.base import MachineConventions, SpanError
+from repro.isa.mips.handwritten import (
+    MipsCodec,
+    REG_AT,
+    REG_RA,
+    REG_SP,
+    REG_V0,
+    REG_ZERO,
+)
+
+SPILL_BASE_OFFSET = -64
+
+
+def hi16(value):
+    """Upper half for lui, adjusted for the signed low half."""
+    return ((value + 0x8000) >> 16) & 0xFFFF
+
+
+def lo16(value):
+    """Signed low half matching :func:`hi16`."""
+    return bits.sign_extend(value & 0xFFFF, 16)
+
+
+class MipsConventions(MachineConventions):
+    arch = "mips"
+
+    sp_reg = REG_SP
+    retaddr_reg = REG_RA
+    retval_reg = REG_V0
+    syscall_num_reg = REG_V0
+    arg_regs = (4, 5, 6, 7)  # $a0-$a3
+    cc_regs = frozenset()  # MIPS has no condition codes
+
+    # Caller-saved temporaries, then $at.
+    scavenge_candidates = tuple(range(8, 16)) + (24, 25, REG_AT)
+    placeholder_regs = (8, 9, 10, 11)  # $t0-$t3
+
+    @property
+    def codec(self):
+        return MipsCodec.instance()
+
+    # ------------------------------------------------------------------
+    def load_const(self, reg, value):
+        value = bits.to_u32(value)
+        codec = self.codec
+        signed = bits.to_s32(value)
+        if bits.fits_signed(signed, 16):
+            return [codec.encode("addiu", rt=reg, rs=REG_ZERO, imm16=signed)]
+        if value <= 0xFFFF:
+            return [codec.encode("ori", rt=reg, rs=REG_ZERO, uimm16=value)]
+        words = [codec.encode("lui", rt=reg, uimm16=(value >> 16) & 0xFFFF)]
+        if value & 0xFFFF:
+            words.append(codec.encode("ori", rt=reg, rs=reg,
+                                      uimm16=value & 0xFFFF))
+        return words
+
+    def counter_increment(self, counter_addr, tmp_addr_reg, tmp_val_reg):
+        codec = self.codec
+        return [
+            codec.encode("lui", rt=tmp_addr_reg, uimm16=hi16(counter_addr)),
+            codec.encode("lw", rt=tmp_val_reg, rs=tmp_addr_reg,
+                         imm16=lo16(counter_addr)),
+            codec.encode("addiu", rt=tmp_val_reg, rs=tmp_val_reg, imm16=1),
+            codec.encode("sw", rt=tmp_val_reg, rs=tmp_addr_reg,
+                         imm16=lo16(counter_addr)),
+        ]
+
+    def spill(self, reg, slot):
+        offset = SPILL_BASE_OFFSET - 4 * slot
+        return [self.codec.encode("sw", rt=reg, rs=REG_SP, imm16=offset)]
+
+    def unspill(self, reg, slot):
+        offset = SPILL_BASE_OFFSET - 4 * slot
+        return [self.codec.encode("lw", rt=reg, rs=REG_SP, imm16=offset)]
+
+    def long_jump(self, scratch_reg, target):
+        codec = self.codec
+        words = self.load_const(scratch_reg, target)
+        words.append(codec.encode("jr", rs=scratch_reg))
+        words.append(codec.nop_word)
+        return words
+
+    def direct_jump(self, pc, target):
+        # j is pseudo-absolute within a 256MB region of the delay slot.
+        if (target & 0xF0000000) != ((pc + 4) & 0xF0000000):
+            raise SpanError("j target outside 256MB region")
+        return self.codec.encode("j", target26=(target & 0x0FFFFFFF) >> 2)
+
+    def direct_jump_annulled(self, pc, target):
+        # MIPS has no annulled unconditional jump; callers must lay out a
+        # real delay slot after direct_jump instead.
+        raise SpanError("mips has no annulled unconditional jump")
+
+    def call_word(self, pc, target):
+        if (target & 0xF0000000) != ((pc + 4) & 0xF0000000):
+            raise SpanError("jal target outside 256MB region")
+        return self.codec.encode("jal", target26=(target & 0x0FFFFFFF) >> 2)
+
+    # ------------------------------------------------------------------
+    def rebind_registers(self, words, mapping):
+        if not mapping:
+            return list(words)
+        out = []
+        for word in words:
+            inst = self.codec.decode(word)
+            fields = dict(inst.fields)
+            changed = False
+            for field_name in ("rs", "rt", "rd"):
+                if field_name in fields and fields[field_name] in mapping:
+                    fields[field_name] = mapping[fields[field_name]]
+                    changed = True
+            if changed:
+                word = self.codec.encode(inst.name, **fields)
+            out.append(word)
+        return out

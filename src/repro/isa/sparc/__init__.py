@@ -1,0 +1,1 @@
+"""SPARC V8 subset: handwritten codec and machine conventions."""

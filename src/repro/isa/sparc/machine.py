@@ -1,0 +1,171 @@
+"""SPARC machine conventions: the system-dependent fragments EEL needs.
+
+Register roles, constant synthesis (sethi/or), the Figure-5 counter
+snippet, spill code, and long-span jumps all live here so that the
+machine-independent core and the portable tools never encode SPARC
+knowledge themselves.
+"""
+
+from repro.isa import bits
+from repro.isa.base import MachineConventions, SpanError
+from repro.isa.sparc.handwritten import (
+    REG_FP,
+    REG_G0,
+    REG_ICC,
+    REG_O7,
+    REG_SP,
+    SparcCodec,
+)
+
+# Scratch-spill slots live below the stack pointer; the simulator has no
+# asynchronous traps, so the area below %sp is never clobbered.
+SPILL_BASE_OFFSET = -64
+
+
+def hi22(value):
+    """Upper 22 bits of a 32-bit constant, as sethi's imm22 field."""
+    return (value >> 10) & bits.mask(22)
+
+
+def lo10(value):
+    """Low 10 bits of a 32-bit constant, for the or/ld/st immediate."""
+    return value & bits.mask(10)
+
+
+class SparcConventions(MachineConventions):
+    arch = "sparc"
+
+    sp_reg = REG_SP
+    fp_reg = REG_FP
+    retaddr_reg = REG_O7
+    retval_reg = 8  # %o0
+    syscall_num_reg = 1  # %g1
+    arg_regs = (8, 9, 10, 11, 12, 13)  # %o0-%o5
+    cc_regs = frozenset({REG_ICC})
+
+    # Registers a snippet may scavenge when liveness proves them dead.
+    # Locals first (they are most often dead), then outs, then the
+    # application globals %g2-%g4 (reserved for applications by the
+    # SPARC ABI and untouched by our compiler and runtime), then %g1.
+    scavenge_candidates = (tuple(range(16, 24)) + tuple(range(8, 14))
+                           + (2, 3, 4, 1))
+
+    # Placeholder registers used when writing snippet bodies; the snippet
+    # register allocator rebinds them (paper section 3.5).
+    placeholder_regs = (16, 17, 18, 19)  # %l0-%l3
+
+    @property
+    def codec(self):
+        return SparcCodec.instance()
+
+    # ------------------------------------------------------------------
+    def load_const(self, reg, value):
+        value = bits.to_u32(value)
+        codec = self.codec
+        if bits.fits_signed(bits.to_s32(value), 13):
+            return [codec.encode("or", rd=reg, rs1=REG_G0, simm13=bits.to_s32(value))]
+        words = [codec.encode("sethi", rd=reg, imm22=hi22(value))]
+        if lo10(value):
+            words.append(codec.encode("or", rd=reg, rs1=reg, simm13=lo10(value)))
+        return words
+
+    def counter_increment(self, counter_addr, tmp_addr_reg, tmp_val_reg):
+        """The Figure 5 snippet: load, increment, and store a counter."""
+        codec = self.codec
+        return [
+            codec.encode("sethi", rd=tmp_addr_reg, imm22=hi22(counter_addr)),
+            codec.encode("ld", rd=tmp_val_reg, rs1=tmp_addr_reg,
+                         simm13=lo10(counter_addr)),
+            codec.encode("add", rd=tmp_val_reg, rs1=tmp_val_reg, simm13=1),
+            codec.encode("st", rd=tmp_val_reg, rs1=tmp_addr_reg,
+                         simm13=lo10(counter_addr)),
+        ]
+
+    def spill(self, reg, slot):
+        offset = SPILL_BASE_OFFSET - 4 * slot
+        return [self.codec.encode("st", rd=reg, rs1=REG_SP, simm13=offset)]
+
+    def unspill(self, reg, slot):
+        offset = SPILL_BASE_OFFSET - 4 * slot
+        return [self.codec.encode("ld", rd=reg, rs1=REG_SP, simm13=offset)]
+
+    def save_cc(self, reg):
+        """Words that copy the condition codes into *reg*."""
+        return [self.codec.encode("rdpsr", rd=reg)]
+
+    def restore_cc(self, reg):
+        """Words that restore the condition codes from *reg*."""
+        return [self.codec.encode("wrpsr", rs1=reg)]
+
+    def long_jump(self, scratch_reg, target):
+        """sethi/jmpl pair reaching any 32-bit target; delay slot is a nop."""
+        codec = self.codec
+        return [
+            codec.encode("sethi", rd=scratch_reg, imm22=hi22(target)),
+            codec.encode("jmpl", rd=REG_G0, rs1=scratch_reg, simm13=lo10(target)),
+            codec.nop_word,
+        ]
+
+    def direct_jump(self, pc, target):
+        """An unconditional one-word branch (plus its delay slot is the
+        caller's concern); raises SpanError beyond +-8MB."""
+        offset = bits.to_s32(target - pc)
+        if offset & 3 or not bits.fits_signed(offset >> 2, 22):
+            raise SpanError("ba target out of span")
+        return self.codec.encode("ba", disp22=offset >> 2)
+
+    def direct_jump_annulled(self, pc, target):
+        """ba,a: jump whose (absent) delay slot never executes."""
+        offset = bits.to_s32(target - pc)
+        if offset & 3 or not bits.fits_signed(offset >> 2, 22):
+            raise SpanError("ba,a target out of span")
+        return self.codec.encode("ba,a", disp22=offset >> 2)
+
+    def call_word(self, pc, target):
+        offset = bits.to_s32(target - pc)
+        if offset & 3:
+            raise SpanError("misaligned call target")
+        return self.codec.encode("call", disp30=offset >> 2)
+
+    # ------------------------------------------------------------------
+    def rebind_registers(self, words, mapping):
+        """Rewrite register fields of snippet *words* per *mapping*."""
+        if not mapping:
+            return list(words)
+        out = []
+        for word in words:
+            op = bits.extract(word, 30, 31)
+            if op in (2, 3):
+                word = self._rebind_format3(word, mapping)
+            elif op == 0 and bits.extract(word, 22, 24) == 0b100:  # sethi
+                rd = bits.extract(word, 25, 29)
+                if rd in mapping:
+                    word = bits.insert(word, 25, 29, mapping[rd])
+            out.append(word)
+        return out
+
+    def _rebind_format3(self, word, mapping):
+        from repro.isa.sparc.handwritten import OP3_RDPSR, OP3_TRAP, OP3_WRPSR
+
+        op3 = bits.extract(word, 19, 24)
+        if bits.extract(word, 30, 31) == 2 and op3 == OP3_TRAP:
+            return word
+        rd = bits.extract(word, 25, 29)
+        rs1 = bits.extract(word, 14, 18)
+        if bits.extract(word, 30, 31) == 2 and op3 == OP3_WRPSR:
+            if rs1 in mapping:
+                word = bits.insert(word, 14, 18, mapping[rs1])
+            return word
+        if rd in mapping and not (
+            bits.extract(word, 30, 31) == 2 and op3 == OP3_WRPSR
+        ):
+            word = bits.insert(word, 25, 29, mapping[rd])
+        if rs1 in mapping and not (
+            bits.extract(word, 30, 31) == 2 and op3 == OP3_RDPSR
+        ):
+            word = bits.insert(word, 14, 18, mapping[rs1])
+        if not bits.extract(word, 13, 13):  # register form: rewrite rs2
+            rs2 = bits.extract(word, 0, 4)
+            if rs2 in mapping:
+                word = bits.insert(word, 0, 4, mapping[rs2])
+        return word

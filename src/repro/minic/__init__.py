@@ -1,0 +1,35 @@
+"""minic: a small C-like compiler targeting the SPARC subset.
+
+The workload generator for the reproduction: it stands in for the gcc and
+SunPro compilers that produced the paper's SPEC92 binaries.  Compiler
+options control exactly the idioms the paper's measurements depend on:
+
+* ``dispatch_tables`` — lower dense switches through an indirect jump and
+  an address table (the case-statement idiom EEL's slicer analyzes);
+* ``tail_calls`` — optimize ``return f(...)`` by popping the frame and
+  jumping (the SunPro idiom behind the paper's 138 unanalyzable jumps);
+* ``annul_branches``/``fill_delay_slots`` — delay-slot scheduling that
+  produces annulled branches (paper Figure 3);
+* ``tables_in_text`` — place dispatch tables in .text, exercising EEL's
+  data-in-text detection;
+* ``hide_statics`` — omit symbols for static functions, exercising EEL's
+  hidden-routine discovery.
+"""
+
+from repro.minic.driver import (
+    CompileError,
+    CompilerOptions,
+    GCC_LIKE,
+    SUNPRO_LIKE,
+    compile_to_assembly,
+    compile_to_image,
+)
+
+__all__ = [
+    "CompileError",
+    "CompilerOptions",
+    "GCC_LIKE",
+    "SUNPRO_LIKE",
+    "compile_to_assembly",
+    "compile_to_image",
+]

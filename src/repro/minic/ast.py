@@ -1,0 +1,233 @@
+"""AST node definitions for minic.
+
+Types are represented as ('int' | 'char', pointer_level).  Arrays decay
+to pointers except in declarations, which carry an element count.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Type:
+    base: str  # "int" | "char" | "void"
+    ptr: int = 0  # pointer indirection level
+
+    @property
+    def is_pointer(self):
+        return self.ptr > 0
+
+    def deref(self):
+        if self.ptr == 0:
+            raise ValueError("dereferencing non-pointer")
+        return Type(self.base, self.ptr - 1)
+
+    def pointer_to(self):
+        return Type(self.base, self.ptr + 1)
+
+    @property
+    def width(self):
+        """Bytes occupied by a value of this type."""
+        if self.ptr:
+            return 4
+        return 1 if self.base == "char" else 4
+
+    def __str__(self):
+        return self.base + "*" * self.ptr
+
+
+INT = Type("int")
+CHAR = Type("char")
+VOID = Type("void")
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr:
+    pass
+
+
+@dataclass
+class NumLit(Expr):
+    value: int
+
+
+@dataclass
+class StrLit(Expr):
+    value: str
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # "-", "!", "~", "*", "&"
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Assign(Expr):
+    target: Expr  # VarRef, Unary("*"), or Index
+    value: Expr
+    op: str = "="  # "=", "+=", ...
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Call(Expr):
+    name: str
+    args: list
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass
+class IncDec(Expr):
+    target: Expr
+    op: str  # "++" or "--"
+    prefix: bool
+
+
+@dataclass
+class Cast(Expr):
+    type: Type
+    operand: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class Block(Stmt):
+    statements: list
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class Switch(Stmt):
+    value: Expr
+    cases: list  # list of (int value, [Stmt])
+    default: Optional[list] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class LocalDecl(Stmt):
+    name: str
+    type: Type
+    array: int = 0  # element count when an array
+    init: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param:
+    name: str
+    type: Type
+
+
+@dataclass
+class Function:
+    name: str
+    return_type: Type
+    params: list
+    body: Block
+    static: bool = False
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    type: Type
+    array: int = 0
+    init: object = None  # int, str, or list of ints
+    static: bool = False
+
+
+@dataclass
+class Program:
+    functions: list = field(default_factory=list)
+    globals: list = field(default_factory=list)
+
+    def function(self, name):
+        for function in self.functions:
+            if function.name == name:
+                return function
+        return None

@@ -1,0 +1,871 @@
+"""SPARC code generator for minic.
+
+Produces assembly text for :mod:`repro.asm`.  The expression evaluator
+uses a virtual value stack mapped onto %l0-%l7 (window-local registers
+survive calls), overflowing into frame temporaries.  A post-pass
+peephole performs delay-slot scheduling: call delay slots are filled
+from the preceding instruction, and conditional-branch delay slots are
+filled from the branch target using the annul bit (the idiom behind the
+paper's Figure 3).
+"""
+
+import re
+
+from repro.minic import ast
+
+WORD = 4
+# %l0-%l7 hold the expression stack.
+EVAL_REGS = ["%l" + str(n) for n in range(8)]
+SCRATCH_A = "%g6"
+SCRATCH_B = "%g7"
+ARG_REGS = ["%o" + str(n) for n in range(6)]
+MIN_FRAME = 96  # register save area + hidden + outgoing args
+
+# Condition-code mnemonics for signed comparisons.
+_CMP_BRANCH = {"==": "be", "!=": "bne", "<": "bl", "<=": "ble",
+               ">": "bg", ">=": "bge"}
+_NEGATE = {"be": "bne", "bne": "be", "bl": "bge", "ble": "bg",
+           "bg": "ble", "bge": "bl", "bgu": "bleu", "bleu": "bgu",
+           "bcc": "bcs", "bcs": "bcc"}
+
+_BINARY_INST = {"+": "add", "-": "sub", "&": "and", "|": "or", "^": "xor",
+                "<<": "sll", ">>": "sra", "*": "smul"}
+
+
+class CompileError(Exception):
+    pass
+
+
+class _Scope:
+    """Nested local-variable scopes."""
+
+    def __init__(self):
+        self.frames = [{}]
+
+    def push(self):
+        self.frames.append({})
+
+    def pop(self):
+        self.frames.pop()
+
+    def define(self, name, entry):
+        if name in self.frames[-1]:
+            raise CompileError("duplicate local %r" % name)
+        self.frames[-1][name] = entry
+
+    def lookup(self, name):
+        for frame in reversed(self.frames):
+            if name in frame:
+                return frame[name]
+        return None
+
+
+class _Value:
+    """A value on the virtual evaluation stack."""
+
+    def __init__(self, place, where, type_):
+        self.place = place  # "reg" | "slot"
+        self.where = where  # register name or frame offset
+        self.type = type_
+
+
+class ModuleCodegen:
+    """Compile a minic Program into SPARC assembly text."""
+
+    def __init__(self, program, options):
+        self.program = program
+        self.options = options
+        self.lines = []
+        self.rodata = []
+        self.data = []
+        self.bss = []
+        self.label_counter = 0
+        self.string_labels = {}
+        self.global_types = {}  # name -> (Type, is_array)
+        self.function_names = {f.name for f in program.functions}
+        self.static_functions = [f.name for f in program.functions if f.static]
+        for declaration in program.globals:
+            self.global_types[declaration.name] = (
+                declaration.type,
+                declaration.array > 0,
+            )
+
+    # ------------------------------------------------------------------
+    def new_label(self, hint="L"):
+        self.label_counter += 1
+        return ".%s%d" % (hint, self.label_counter)
+
+    def emit(self, text):
+        self.lines.append("\t" + text)
+
+    def emit_label(self, label):
+        self.lines.append(label + ":")
+
+    def string_label(self, text):
+        label = self.string_labels.get(text)
+        if label is None:
+            label = self.new_label("Lstr")
+            self.string_labels[text] = label
+            escaped = (
+                text.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+                .replace("\t", "\\t")
+                .replace("\0", "\\0")
+            )
+            self.rodata.append('%s: .asciz "%s"' % (label, escaped))
+        return label
+
+    # ------------------------------------------------------------------
+    def generate(self):
+        for function in self.program.functions:
+            FunctionCodegen(function, self).generate()
+        for declaration in self.program.globals:
+            self._emit_global(declaration)
+        parts = [".text"]
+        parts.extend(self.lines)
+        if self.rodata:
+            parts.append(".rodata")
+            parts.extend(self.rodata)
+        if self.data:
+            parts.append(".data")
+            parts.extend(self.data)
+        if self.bss:
+            parts.append(".bss")
+            parts.extend(self.bss)
+        return "\n".join(parts) + "\n"
+
+    def _emit_global(self, declaration):
+        name = declaration.name
+        visibility = [] if declaration.static else [".global %s" % name]
+        element_width = declaration.type.width if declaration.array else WORD
+        if declaration.init is None:
+            size = element_width * max(declaration.array, 1)
+            self.bss.extend(visibility)
+            self.bss.append(".align 4")
+            self.bss.append("%s: .space %d" % (name, size))
+            return
+        self.data.extend(visibility)
+        self.data.append(".align 4")
+        if isinstance(declaration.init, str):
+            escaped = declaration.init.replace("\\", "\\\\").replace('"', '\\"') \
+                .replace("\n", "\\n").replace("\0", "\\0")
+            self.data.append('%s: .asciz "%s"' % (name, escaped))
+        elif isinstance(declaration.init, list):
+            values = list(declaration.init)
+            values += [0] * (declaration.array - len(values))
+            if element_width == 1:
+                items = ", ".join(str(v & 0xFF) for v in values)
+                self.data.append("%s: .byte %s" % (name, items))
+            else:
+                items = ", ".join(str(v) for v in values)
+                self.data.append("%s: .word %s" % (name, items))
+        else:
+            self.data.append("%s: .word %d" % (name, declaration.init))
+
+
+class FunctionCodegen:
+    def __init__(self, function, module):
+        self.function = function
+        self.module = module
+        self.options = module.options
+        self.scope = _Scope()
+        self.local_offset = 0  # bytes of locals below %fp
+        self.max_offset = 0
+        self.stack = []  # virtual evaluation stack of _Value
+        self.regs_in_use = [False] * len(EVAL_REGS)
+        self.break_labels = []
+        self.continue_labels = []
+        self.body_lines = []
+        self.tables = []  # (label, [case labels]) switch dispatch tables
+        self.return_label = module.new_label("Lret")
+
+    # -- emission --------------------------------------------------------
+    def emit(self, text):
+        self.body_lines.append("\t" + text)
+
+    def emit_label(self, label):
+        self.body_lines.append(label + ":")
+
+    def new_label(self, hint="L"):
+        return self.module.new_label(hint)
+
+    # -- frame -----------------------------------------------------------
+    def _alloc_slot(self, size=WORD, align=WORD):
+        self.local_offset = (self.local_offset + size + align - 1) // align * align
+        self.max_offset = max(self.max_offset, self.local_offset)
+        return -self.local_offset
+
+    # -- value stack -------------------------------------------------------
+    def push(self, type_):
+        """Allocate a destination for a new value; returns a _Value."""
+        for index, used in enumerate(self.regs_in_use):
+            if not used:
+                self.regs_in_use[index] = True
+                value = _Value("reg", EVAL_REGS[index], type_)
+                self.stack.append(value)
+                return value
+        offset = self._alloc_slot()
+        value = _Value("slot", offset, type_)
+        self.stack.append(value)
+        return value
+
+    def pop(self):
+        return self.stack.pop()
+
+    def release(self, value):
+        if value.place == "reg":
+            self.regs_in_use[EVAL_REGS.index(value.where)] = False
+
+    def reg_of(self, value, scratch=SCRATCH_A):
+        """Materialize *value* in a register, loading spilled slots."""
+        if value.place == "reg":
+            return value.where
+        self.emit("ld [%%fp %+d], %s" % (value.where, scratch))
+        return scratch
+
+    def store_result(self, value, source_reg):
+        """Move *source_reg* into the location of *value* (if different)."""
+        if value.place == "reg":
+            if value.where != source_reg:
+                self.emit("mov %s, %s" % (source_reg, value.where))
+        else:
+            self.emit("st %s, [%%fp %+d]" % (source_reg, value.where))
+
+    def result_reg(self, value):
+        """Register a new result may be computed into directly."""
+        return value.where if value.place == "reg" else SCRATCH_A
+
+    def finish_result(self, value):
+        if value.place == "slot":
+            self.emit("st %s, [%%fp %+d]" % (SCRATCH_A, value.where))
+
+    # ------------------------------------------------------------------
+    def generate(self):
+        module = self.module
+        function = self.function
+        if not function.static:
+            module.lines.append("\t.global %s" % function.name)
+        module.lines.append("\t.type %s, func" % function.name)
+
+        # Parameters become stack locals.
+        param_stores = []
+        if len(function.params) > len(ARG_REGS):
+            raise CompileError("more than 6 parameters in %s" % function.name)
+        for index, param in enumerate(function.params):
+            offset = self._alloc_slot()
+            self.scope.define(param.name, ("local", offset, param.type, 0))
+            param_stores.append("st %%i%d, [%%fp %+d]" % (index, offset))
+
+        for statement in function.body.statements:
+            self.gen_statement(statement)
+
+        frame = (MIN_FRAME + self.max_offset + 7) // 8 * 8
+        module.lines.append(function.name + ":")
+        module.lines.append("\tsave %%sp, -%d, %%sp" % frame)
+        for store in param_stores:
+            module.lines.append("\t" + store)
+        module.lines.extend(self.body_lines)
+        module.lines.append(self.return_label + ":")
+        module.lines.append("\tret")
+        module.lines.append("\trestore")
+        # Dispatch tables: in .text right after the routine (data-in-text,
+        # the idiom EEL's CFG analysis must detect) or in .rodata.
+        for table_label, case_labels in self.tables:
+            rows = ["\t.align 4", "%s:" % table_label] + [
+                "\t.word %s" % label for label in case_labels
+            ]
+            if self.options.tables_in_text:
+                module.lines.extend(rows)
+            else:
+                module.rodata.extend(rows)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def gen_statement(self, statement):
+        if isinstance(statement, ast.Block):
+            self.scope.push()
+            for child in statement.statements:
+                self.gen_statement(child)
+            self.scope.pop()
+        elif isinstance(statement, ast.LocalDecl):
+            self._gen_local_decl(statement)
+        elif isinstance(statement, ast.ExprStmt):
+            value = self.gen_expr(statement.expr)
+            self.release(value)
+            self.stack.pop()
+        elif isinstance(statement, ast.If):
+            self._gen_if(statement)
+        elif isinstance(statement, ast.While):
+            self._gen_while(statement)
+        elif isinstance(statement, ast.DoWhile):
+            self._gen_do_while(statement)
+        elif isinstance(statement, ast.For):
+            self._gen_for(statement)
+        elif isinstance(statement, ast.Switch):
+            self._gen_switch(statement)
+        elif isinstance(statement, ast.Break):
+            if not self.break_labels:
+                raise CompileError("break outside loop/switch")
+            self.emit("b %s" % self.break_labels[-1])
+            self.emit("nop")
+        elif isinstance(statement, ast.Continue):
+            if not self.continue_labels:
+                raise CompileError("continue outside loop")
+            self.emit("b %s" % self.continue_labels[-1])
+            self.emit("nop")
+        elif isinstance(statement, ast.Return):
+            self._gen_return(statement)
+        else:
+            raise CompileError("unknown statement %r" % statement)
+
+    def _gen_local_decl(self, declaration):
+        if declaration.array:
+            size = declaration.type.width * declaration.array
+            offset = self._alloc_slot(size)
+            self.scope.define(
+                declaration.name,
+                ("local", offset, declaration.type, declaration.array),
+            )
+            if declaration.init is not None:
+                raise CompileError("local array initializers unsupported")
+            return
+        offset = self._alloc_slot()
+        self.scope.define(declaration.name, ("local", offset, declaration.type, 0))
+        if declaration.init is not None:
+            value = self.gen_expr(declaration.init)
+            reg = self.reg_of(value)
+            self.emit("st %s, [%%fp %+d]" % (reg, offset))
+            self.release(value)
+            self.stack.pop()
+
+    def _gen_if(self, statement):
+        else_label = self.new_label()
+        self.gen_branch_false(statement.cond, else_label)
+        self.gen_statement(statement.then)
+        if statement.other is not None:
+            end_label = self.new_label()
+            self.emit("b %s" % end_label)
+            self.emit("nop")
+            self.emit_label(else_label)
+            self.gen_statement(statement.other)
+            self.emit_label(end_label)
+        else:
+            self.emit_label(else_label)
+
+    def _gen_while(self, statement):
+        head = self.new_label("Lloop")
+        end = self.new_label()
+        self.emit_label(head)
+        self.gen_branch_false(statement.cond, end)
+        self.break_labels.append(end)
+        self.continue_labels.append(head)
+        self.gen_statement(statement.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit("b %s" % head)
+        self.emit("nop")
+        self.emit_label(end)
+
+    def _gen_do_while(self, statement):
+        head = self.new_label("Lloop")
+        end = self.new_label()
+        cond_label = self.new_label()
+        self.emit_label(head)
+        self.break_labels.append(end)
+        self.continue_labels.append(cond_label)
+        self.gen_statement(statement.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit_label(cond_label)
+        self.gen_branch_true(statement.cond, head)
+        self.emit_label(end)
+
+    def _gen_for(self, statement):
+        head = self.new_label("Lloop")
+        step_label = self.new_label()
+        end = self.new_label()
+        self.scope.push()
+        if statement.init is not None:
+            self.gen_statement(statement.init)
+        self.emit_label(head)
+        if statement.cond is not None:
+            self.gen_branch_false(statement.cond, end)
+        self.break_labels.append(end)
+        self.continue_labels.append(step_label)
+        self.gen_statement(statement.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit_label(step_label)
+        if statement.step is not None:
+            value = self.gen_expr(statement.step)
+            self.release(value)
+            self.stack.pop()
+        self.emit("b %s" % head)
+        self.emit("nop")
+        self.emit_label(end)
+        self.scope.pop()
+
+    def _gen_return(self, statement):
+        if statement.value is not None:
+            if (
+                self.options.tail_calls
+                and isinstance(statement.value, ast.Call)
+                and statement.value.name in self.module.function_names
+                and len(statement.value.args) <= 6
+            ):
+                self._gen_tail_call(statement.value)
+                return
+            value = self.gen_expr(statement.value)
+            reg = self.reg_of(value)
+            self.emit("mov %s, %%i0" % reg)
+            self.release(value)
+            self.stack.pop()
+        self.emit("b %s" % self.return_label)
+        self.emit("nop")
+
+    def _gen_tail_call(self, call):
+        """Pop the frame and jump: the SunPro return-call idiom.
+
+        Arguments go into the current window's %i registers; the
+        ``restore`` in the jump's delay slot shifts them into the
+        caller's %o registers, where the callee expects them.
+        """
+        values = [self.gen_expr(argument) for argument in call.args]
+        for index, value in enumerate(values):
+            reg = self.reg_of(value, SCRATCH_B)
+            self.emit("mov %s, %%i%d" % (reg, index))
+        for value in reversed(values):
+            self.release(value)
+            self.stack.pop()
+        self.emit("set %s, %%g1" % call.name)
+        self.emit("jmp %g1")
+        self.emit("restore")
+
+    def _gen_switch(self, statement):
+        value = self.gen_expr(statement.value)
+        reg = self.reg_of(value)
+        end = self.new_label("Lswend")
+        default_label = self.new_label("Lswdef")
+        case_labels = [(case_value, self.new_label("Lcase"))
+                       for case_value, _ in statement.cases]
+
+        use_table = False
+        if self.options.dispatch_tables and len(case_labels) >= 4:
+            values = [case_value for case_value, _ in case_labels]
+            span = max(values) - min(values) + 1
+            use_table = span <= 2 * len(values) and span <= 512
+
+        if use_table:
+            low = min(case_value for case_value, _ in case_labels)
+            span = max(case_value for case_value, _ in case_labels) - low + 1
+            table_label = self.new_label("Ltab")
+            scratch = SCRATCH_B
+            if low:
+                self.emit("sub %s, %d, %s" % (reg, low, scratch))
+            else:
+                self.emit("mov %s, %s" % (reg, scratch))
+            self.emit("cmp %s, %d" % (scratch, span - 1))
+            self.emit("bgu %s" % default_label)
+            self.emit("nop")
+            self.emit("sll %s, 2, %s" % (scratch, scratch))
+            self.emit("set %s, %%g5" % table_label)
+            self.emit("ld [%%g5 + %s], %s" % (scratch, scratch))
+            self.emit("jmp %s" % scratch)
+            self.emit("nop")
+            label_of = dict()
+            for case_value, label in case_labels:
+                label_of[case_value] = label
+            rows = [label_of.get(low + i, default_label) for i in range(span)]
+            self.tables.append((table_label, rows))
+        else:
+            for case_value, label in case_labels:
+                self.emit("cmp %s, %d" % (reg, case_value))
+                self.emit("be %s" % label)
+                self.emit("nop")
+            self.emit("b %s" % default_label)
+            self.emit("nop")
+
+        self.release(value)
+        self.stack.pop()
+        self.break_labels.append(end)
+        for (case_value, body), (_, label) in zip(statement.cases, case_labels):
+            self.emit_label(label)
+            for child in body:
+                self.gen_statement(child)
+        self.emit_label(default_label)
+        if statement.default is not None:
+            for child in statement.default:
+                self.gen_statement(child)
+        self.break_labels.pop()
+        self.emit_label(end)
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def gen_branch_false(self, condition, label):
+        self._gen_condition(condition, label, jump_if=False)
+
+    def gen_branch_true(self, condition, label):
+        self._gen_condition(condition, label, jump_if=True)
+
+    def _gen_condition(self, condition, label, jump_if):
+        if isinstance(condition, ast.Unary) and condition.op == "!":
+            self._gen_condition(condition.operand, label, not jump_if)
+            return
+        if isinstance(condition, ast.Binary) and condition.op in _CMP_BRANCH:
+            left = self.gen_expr(condition.left)
+            right = self.gen_expr(condition.right)
+            right_reg = self.reg_of(right, SCRATCH_B)
+            left_reg = self.reg_of(left, SCRATCH_A)
+            self.emit("cmp %s, %s" % (left_reg, right_reg))
+            branch = _CMP_BRANCH[condition.op]
+            if not jump_if:
+                branch = _NEGATE[branch]
+            self.emit("%s %s" % (branch, label))
+            self.emit("nop")
+            for value in (right, left):
+                self.release(value)
+                self.stack.pop()
+            return
+        if isinstance(condition, ast.Binary) and condition.op == "&&":
+            if jump_if:
+                skip = self.new_label()
+                self._gen_condition(condition.left, skip, jump_if=False)
+                self._gen_condition(condition.right, label, jump_if=True)
+                self.emit_label(skip)
+            else:
+                self._gen_condition(condition.left, label, jump_if=False)
+                self._gen_condition(condition.right, label, jump_if=False)
+            return
+        if isinstance(condition, ast.Binary) and condition.op == "||":
+            if jump_if:
+                self._gen_condition(condition.left, label, jump_if=True)
+                self._gen_condition(condition.right, label, jump_if=True)
+            else:
+                skip = self.new_label()
+                self._gen_condition(condition.left, skip, jump_if=True)
+                self._gen_condition(condition.right, label, jump_if=False)
+                self.emit_label(skip)
+            return
+        value = self.gen_expr(condition)
+        reg = self.reg_of(value)
+        self.emit("cmp %s, 0" % reg)
+        self.emit("%s %s" % ("bne" if jump_if else "be", label))
+        self.emit("nop")
+        self.release(value)
+        self.stack.pop()
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def gen_expr(self, expression):
+        """Generate code; returns the _Value pushed on the virtual stack."""
+        if isinstance(expression, ast.NumLit):
+            value = self.push(ast.INT)
+            reg = self.result_reg(value)
+            if -4096 <= expression.value < 4096:
+                self.emit("mov %d, %s" % (expression.value, reg))
+            else:
+                self.emit("set %d, %s" % (expression.value, reg))
+            self.finish_result(value)
+            return value
+        if isinstance(expression, ast.StrLit):
+            label = self.module.string_label(expression.value)
+            value = self.push(ast.Type("char", 1))
+            reg = self.result_reg(value)
+            self.emit("set %s, %s" % (label, reg))
+            self.finish_result(value)
+            return value
+        if isinstance(expression, ast.VarRef):
+            return self._gen_var_ref(expression)
+        if isinstance(expression, ast.Unary):
+            return self._gen_unary(expression)
+        if isinstance(expression, ast.Binary):
+            return self._gen_binary(expression)
+        if isinstance(expression, ast.Assign):
+            return self._gen_assign(expression)
+        if isinstance(expression, ast.Index):
+            address, elem_type = self._gen_address(expression)
+            return self._load_from(address, elem_type)
+        if isinstance(expression, ast.Call):
+            return self._gen_call(expression)
+        if isinstance(expression, ast.Ternary):
+            return self._gen_ternary(expression)
+        if isinstance(expression, ast.IncDec):
+            return self._gen_incdec(expression)
+        if isinstance(expression, ast.Cast):
+            value = self.gen_expr(expression.operand)
+            value.type = expression.type  # casts only retype
+            return value
+        raise CompileError("unknown expression %r" % expression)
+
+    def _lookup(self, name):
+        entry = self.scope.lookup(name)
+        if entry is not None:
+            return entry
+        global_entry = self.module.global_types.get(name)
+        if global_entry is not None:
+            type_, is_array = global_entry
+            return ("global", name, type_, 1 if is_array else 0)
+        raise CompileError("undefined variable %r" % name)
+
+    def _gen_var_ref(self, expression):
+        kind, where, type_, array = self._lookup(expression.name)
+        if array:
+            # Arrays decay to a pointer to their first element.
+            value = self.push(type_.pointer_to())
+            reg = self.result_reg(value)
+            if kind == "local":
+                self.emit("add %%fp, %d, %s" % (where, reg))
+            else:
+                self.emit("set %s, %s" % (where, reg))
+            self.finish_result(value)
+            return value
+        value = self.push(type_)
+        reg = self.result_reg(value)
+        if kind == "local":
+            self.emit("ld [%%fp %+d], %s" % (where, reg))
+        else:
+            self.emit("set %s, %s" % (where, SCRATCH_B))
+            self.emit("ld [%s], %s" % (SCRATCH_B, reg))
+        self.finish_result(value)
+        return value
+
+    def _gen_address(self, expression):
+        """Compute an lvalue address; returns (_Value address, value Type)."""
+        if isinstance(expression, ast.VarRef):
+            kind, where, type_, array = self._lookup(expression.name)
+            if array:
+                raise CompileError("cannot assign to array %r" % expression.name)
+            value = self.push(type_.pointer_to())
+            reg = self.result_reg(value)
+            if kind == "local":
+                self.emit("add %%fp, %d, %s" % (where, reg))
+            else:
+                self.emit("set %s, %s" % (where, reg))
+            self.finish_result(value)
+            return value, type_
+        if isinstance(expression, ast.Unary) and expression.op == "*":
+            pointer = self.gen_expr(expression.operand)
+            if not pointer.type.is_pointer:
+                raise CompileError("dereferencing non-pointer")
+            return pointer, pointer.type.deref()
+        if isinstance(expression, ast.Index):
+            base = self.gen_expr(expression.base)
+            if not base.type.is_pointer:
+                raise CompileError("indexing non-pointer")
+            elem_type = base.type.deref()
+            index = self.gen_expr(expression.index)
+            index_reg = self.reg_of(index, SCRATCH_B)
+            width = elem_type.width
+            if width != 1:
+                shift = {4: 2, 2: 1}[width]
+                self.emit("sll %s, %d, %s" % (index_reg, shift, SCRATCH_B))
+                index_reg = SCRATCH_B
+            self.release(index)
+            self.stack.pop()
+            base_reg = self.reg_of(base, SCRATCH_A)
+            self.stack.pop()
+            self.release(base)
+            address = self.push(elem_type.pointer_to())
+            reg = self.result_reg(address)
+            self.emit("add %s, %s, %s" % (base_reg, index_reg, reg))
+            self.finish_result(address)
+            return address, elem_type
+        raise CompileError("expression is not an lvalue")
+
+    def _load_from(self, address, elem_type):
+        address_reg = self.reg_of(address, SCRATCH_B)
+        self.release(address)
+        self.stack.pop()
+        value = self.push(elem_type)
+        reg = self.result_reg(value)
+        load = "ldsb" if elem_type.width == 1 else "ld"
+        self.emit("%s [%s], %s" % (load, address_reg, reg))
+        self.finish_result(value)
+        return value
+
+    def _gen_unary(self, expression):
+        if expression.op == "*":
+            pointer = self.gen_expr(expression.operand)
+            if not pointer.type.is_pointer:
+                raise CompileError("dereferencing non-pointer")
+            return self._load_from(pointer, pointer.type.deref())
+        if expression.op == "&":
+            address, _ = self._gen_address(expression.operand)
+            return address
+        if expression.op == "!":
+            # !x: compare against zero, producing 0/1.
+            operand = self.gen_expr(expression.operand)
+            reg = self.reg_of(operand)
+            self.release(operand)
+            self.stack.pop()
+            value = self.push(ast.INT)
+            result = self.result_reg(value)
+            done = self.new_label()
+            self.emit("cmp %s, 0" % reg)
+            self.emit("mov 1, %s" % result)
+            self.emit("be %s" % done)
+            self.emit("nop")
+            self.emit("mov 0, %s" % result)
+            self.emit_label(done)
+            self.finish_result(value)
+            return value
+        operand = self.gen_expr(expression.operand)
+        reg = self.reg_of(operand)
+        self.release(operand)
+        self.stack.pop()
+        value = self.push(operand.type)
+        result = self.result_reg(value)
+        if expression.op == "-":
+            self.emit("sub %%g0, %s, %s" % (reg, result))
+        elif expression.op == "~":
+            self.emit("xnor %s, %%g0, %s" % (reg, result))
+        else:
+            raise CompileError("unknown unary %r" % expression.op)
+        self.finish_result(value)
+        return value
+
+    def _gen_binary(self, expression):
+        op = expression.op
+        if op in _CMP_BRANCH or op in ("&&", "||"):
+            # Comparison / logical as a value: materialize 0 or 1.
+            value = self.push(ast.INT)
+            result = self.result_reg(value)
+            true_label = self.new_label()
+            done = self.new_label()
+            # Temporarily pop our result to keep stack discipline simple.
+            self.stack.pop()
+            self.gen_branch_true(expression, true_label)
+            self.stack.append(value)
+            self.emit("mov 0, %s" % result)
+            self.emit("b %s" % done)
+            self.emit("nop")
+            self.emit_label(true_label)
+            self.emit("mov 1, %s" % result)
+            self.emit_label(done)
+            self.finish_result(value)
+            return value
+
+        left = self.gen_expr(expression.left)
+        right = self.gen_expr(expression.right)
+        result_type = left.type if left.type.is_pointer else right.type
+        if op in ("-",) and left.type.is_pointer and right.type.is_pointer:
+            result_type = ast.INT
+        right_reg = self.reg_of(right, SCRATCH_B)
+        # Pointer arithmetic: scale the integer operand.
+        if op in ("+", "-") and left.type.is_pointer and not right.type.is_pointer:
+            width = left.type.deref().width
+            if width != 1:
+                self.emit("sll %s, %d, %s" % (right_reg, {4: 2, 2: 1}[width],
+                                              SCRATCH_B))
+                right_reg = SCRATCH_B
+        left_reg = self.reg_of(left, SCRATCH_A)
+        self.release(right)
+        self.stack.pop()
+        self.release(left)
+        self.stack.pop()
+        value = self.push(result_type)
+        result = self.result_reg(value)
+        if op in _BINARY_INST:
+            self.emit("%s %s, %s, %s" % (_BINARY_INST[op], left_reg,
+                                         right_reg, result))
+        elif op == "/":
+            self.emit("sdiv %s, %s, %s" % (left_reg, right_reg, result))
+        elif op == "%":
+            # a % b = a - (a / b) * b
+            self.emit("sdiv %s, %s, %s" % (left_reg, right_reg, SCRATCH_B))
+            self.emit("smul %s, %s, %s" % (SCRATCH_B, right_reg, SCRATCH_B))
+            self.emit("sub %s, %s, %s" % (left_reg, SCRATCH_B, result))
+        else:
+            raise CompileError("unknown binary %r" % op)
+        self.finish_result(value)
+        return value
+
+    def _gen_assign(self, expression):
+        if expression.op != "=":
+            # Desugar `a OP= b` into `a = a OP b`.  The target expression
+            # is evaluated twice; minic documents that compound-assignment
+            # targets must not have side effects.
+            binary = ast.Binary(expression.op[:-1], expression.target,
+                                expression.value)
+            return self._gen_assign(ast.Assign(expression.target, binary))
+
+        address, elem_type = self._gen_address(expression.target)
+        right = self.gen_expr(expression.value)
+        right_reg = self.reg_of(right, SCRATCH_A)
+        address_reg = self.reg_of(address, SCRATCH_B)
+        store = "stb" if elem_type.width == 1 else "st"
+        self.emit("%s %s, [%s]" % (store, right_reg, address_reg))
+        self.release(right)
+        self.stack.pop()
+        self.release(address)
+        self.stack.pop()
+        value = self.push(elem_type)
+        self.store_result(value, right_reg)
+        return value
+
+    def _gen_incdec(self, expression):
+        address, elem_type = self._gen_address(expression.target)
+        address_reg = self.reg_of(address, SCRATCH_B)
+        load = "ldsb" if elem_type.width == 1 else "ld"
+        store = "stb" if elem_type.width == 1 else "st"
+        step = elem_type.deref().width if elem_type.is_pointer else 1
+        operation = "add" if expression.op == "++" else "sub"
+        # Read-modify-write entirely while the address register is live;
+        # only then release it and claim a slot for the result (in %g5,
+        # which nothing here clobbers).
+        self.emit("%s [%s], %s" % (load, address_reg, SCRATCH_A))
+        if expression.prefix:
+            self.emit("%s %s, %d, %s" % (operation, SCRATCH_A, step,
+                                         SCRATCH_A))
+            self.emit("%s %s, [%s]" % (store, SCRATCH_A, address_reg))
+        else:
+            self.emit("%s %s, %d, %s" % (operation, SCRATCH_A, step, "%g5"))
+            self.emit("%s %s, [%s]" % (store, "%g5", address_reg))
+        self.release(address)
+        self.stack.pop()
+        value = self.push(elem_type)
+        self.store_result(value, SCRATCH_A)
+        return value
+
+    def _gen_ternary(self, expression):
+        value = self.push(ast.INT)
+        result = self.result_reg(value)
+        self.stack.pop()
+        false_label = self.new_label()
+        done = self.new_label()
+        self.gen_branch_false(expression.cond, false_label)
+        then_value = self.gen_expr(expression.then)
+        self.emit("mov %s, %s" % (self.reg_of(then_value), result))
+        self.release(then_value)
+        self.stack.pop()
+        self.emit("b %s" % done)
+        self.emit("nop")
+        self.emit_label(false_label)
+        other_value = self.gen_expr(expression.other)
+        self.emit("mov %s, %s" % (self.reg_of(other_value), result))
+        self.release(other_value)
+        self.stack.pop()
+        self.emit_label(done)
+        self.stack.append(value)
+        self.finish_result(value)
+        return value
+
+    def _gen_call(self, expression):
+        if len(expression.args) > len(ARG_REGS):
+            raise CompileError("more than 6 call arguments")
+        values = [self.gen_expr(argument) for argument in expression.args]
+        for index, value in enumerate(values):
+            reg = self.reg_of(value, SCRATCH_B)
+            self.emit("mov %s, %s" % (reg, ARG_REGS[index]))
+        for value in reversed(values):
+            self.release(value)
+            self.stack.pop()
+        self.emit("call %s" % expression.name)
+        self.emit("nop")
+        result = self.push(ast.INT)
+        self.store_result(result, "%o0")
+        return result

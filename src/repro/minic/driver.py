@@ -1,0 +1,81 @@
+"""minic compiler driver: source text to assembly or a linked executable."""
+
+from dataclasses import dataclass, replace
+
+from repro.asm import assemble
+from repro.binfmt import link
+from repro.minic import runtime
+from repro.minic.codegen_sparc import CompileError, ModuleCodegen
+from repro.minic.parser import parse
+from repro.minic.schedule import ScheduleStats, schedule_delay_slots
+
+__all__ = [
+    "CompileError",
+    "CompilerOptions",
+    "GCC_LIKE",
+    "SUNPRO_LIKE",
+    "compile_to_assembly",
+    "compile_to_image",
+]
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Code-generation idioms, mirroring the compilers the paper measured."""
+
+    dispatch_tables: bool = True  # dense switch -> indirect jump via table
+    tables_in_text: bool = False  # dispatch tables placed in .text
+    tail_calls: bool = False  # return f(x) -> pop frame and jump
+    fill_delay_slots: bool = True  # call delay-slot filling
+    annul_branches: bool = True  # branch delay fill with annul bit
+    hide_statics: bool = False  # omit symbols for static functions
+    strip: bool = False  # strip the executable entirely
+
+    def named(self, **changes):
+        return replace(self, **changes)
+
+
+# The two compiler personalities from the paper's section 3.3 measurement.
+GCC_LIKE = CompilerOptions()
+SUNPRO_LIKE = CompilerOptions(tail_calls=True, tables_in_text=True)
+
+
+def compile_to_assembly(source, options=GCC_LIKE, stats=None):
+    """Compile minic *source* to SPARC assembly text."""
+    program = parse(source)
+    module = ModuleCodegen(program, options)
+    text = module.generate()
+    if options.fill_delay_slots or options.annul_branches:
+        lines = schedule_delay_slots(
+            text.splitlines(),
+            fill_calls=options.fill_delay_slots,
+            annul_branches=options.annul_branches,
+            stats=stats if stats is not None else ScheduleStats(),
+        )
+        text = "\n".join(lines) + "\n"
+    return text, module.static_functions
+
+
+def compile_to_image(sources, options=GCC_LIKE, with_libc=True):
+    """Compile and link minic *sources* (a str or list) into an executable.
+
+    The runtime (crt0 + I/O routines) and, unless disabled, the minic
+    string library are linked in, so every binary contains library code.
+    """
+    if isinstance(sources, str):
+        sources = [sources]
+    hidden = []
+    objects = [assemble(runtime.SPARC_CRT0, "sparc")]
+    all_sources = list(sources)
+    if with_libc:
+        all_sources.append(runtime.LIBC_MINIC)
+    for source in all_sources:
+        text, statics = compile_to_assembly(source, options)
+        objects.append(assemble(text, "sparc"))
+        hidden.extend(statics)
+    image = link(objects)
+    if options.strip:
+        image.strip()
+    elif options.hide_statics and hidden:
+        image.hide_symbols(hidden)
+    return image

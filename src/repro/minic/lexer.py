@@ -1,0 +1,91 @@
+"""Tokenizer for minic."""
+
+import re
+
+KEYWORDS = {
+    "int", "char", "void", "if", "else", "while", "for", "do", "switch",
+    "case", "default", "break", "continue", "return", "static",
+}
+
+# Longest first so multi-character operators win.
+OPERATORS = (
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*|/\*.*?\*/)
+  | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<char>'(\\.|[^\\'])')
+  | (?P<str>"(\\.|[^"\\])*")
+  | (?P<id>[A-Za-z_]\w*)
+  | (?P<op>%s)
+    """
+    % "|".join(re.escape(op) for op in OPERATORS),
+    re.VERBOSE | re.DOTALL,
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", "'": "'", '"': '"', "r": "\r"}
+
+
+class Token:
+    __slots__ = ("kind", "text", "value", "line")
+
+    def __init__(self, kind, text, value, line):
+        self.kind = kind  # "num" | "id" | "kw" | "op" | "str" | "eof"
+        self.text = text
+        self.value = value
+        self.line = line
+
+    def __repr__(self):
+        return "Token(%s, %r)" % (self.kind, self.text)
+
+
+class LexError(Exception):
+    pass
+
+
+def _unescape(body):
+    out = []
+    index = 0
+    while index < len(body):
+        char = body[index]
+        if char == "\\" and index + 1 < len(body):
+            out.append(_ESCAPES.get(body[index + 1], body[index + 1]))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def tokenize(source):
+    """Tokenize *source*, returning a list ending with an EOF token."""
+    tokens = []
+    position = 0
+    line = 1
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if not match:
+            raise LexError("line %d: bad character %r" % (line, source[position]))
+        text = match.group(0)
+        line += text.count("\n")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        if match.lastgroup == "num":
+            tokens.append(Token("num", text, int(text, 0), line))
+        elif match.lastgroup == "char":
+            tokens.append(Token("num", text, ord(_unescape(text[1:-1])), line))
+        elif match.lastgroup == "str":
+            tokens.append(Token("str", text, _unescape(text[1:-1]), line))
+        elif match.lastgroup == "id":
+            kind = "kw" if text in KEYWORDS else "id"
+            tokens.append(Token(kind, text, text, line))
+        else:
+            tokens.append(Token("op", text, text, line))
+    tokens.append(Token("eof", "", None, line))
+    return tokens

@@ -1,0 +1,371 @@
+"""Recursive-descent parser for minic."""
+
+from repro.minic import ast
+from repro.minic.lexer import tokenize
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+# Binary operators by precedence, loosest first.
+_BINARY_LEVELS = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+
+class ParseError(Exception):
+    pass
+
+
+class Parser:
+    def __init__(self, source):
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    # -- token helpers -----------------------------------------------------
+    @property
+    def current(self):
+        return self.tokens[self.position]
+
+    def advance(self):
+        token = self.current
+        self.position += 1
+        return token
+
+    def check(self, text):
+        token = self.current
+        return (token.kind in ("op", "kw")) and token.text == text
+
+    def accept(self, text):
+        if self.check(text):
+            return self.advance()
+        return None
+
+    def expect(self, text):
+        if not self.check(text):
+            raise ParseError(
+                "line %d: expected %r, found %r"
+                % (self.current.line, text, self.current.text)
+            )
+        return self.advance()
+
+    def expect_identifier(self):
+        token = self.current
+        if token.kind != "id":
+            raise ParseError(
+                "line %d: expected identifier, found %r" % (token.line, token.text)
+            )
+        return self.advance().text
+
+    # -- top level -----------------------------------------------------------
+    def parse_program(self):
+        program = ast.Program()
+        while self.current.kind != "eof":
+            self._parse_top_level(program)
+        return program
+
+    def _parse_type(self):
+        static = bool(self.accept("static"))
+        token = self.current
+        if token.kind != "kw" or token.text not in ("int", "char", "void"):
+            raise ParseError("line %d: expected type, found %r"
+                             % (token.line, token.text))
+        self.advance()
+        ptr = 0
+        while self.accept("*"):
+            ptr += 1
+        return ast.Type(token.text, ptr), static
+
+    def _parse_top_level(self, program):
+        base_type, static = self._parse_type()
+        name = self.expect_identifier()
+        if self.check("("):
+            function = self._parse_function(base_type, name, static)
+            if function is not None:
+                program.functions.append(function)
+            return
+        # Global variable(s).
+        while True:
+            program.globals.append(self._parse_global(base_type, name, static))
+            if self.accept(","):
+                name = self.expect_identifier()
+                continue
+            self.expect(";")
+            return
+
+    def _parse_global(self, base_type, name, static):
+        array = 0
+        is_array = False
+        init = None
+        if self.accept("["):
+            is_array = True
+            if not self.check("]"):
+                array = self._parse_const_value()
+            self.expect("]")
+        if self.accept("="):
+            if self.current.kind == "str":
+                init = self.advance().value
+                if array == 0:
+                    array = len(init) + 1
+            elif self.accept("{"):
+                init = []
+                while not self.check("}"):
+                    init.append(self._parse_const_value())
+                    if not self.accept(","):
+                        break
+                self.expect("}")
+                if array == 0:
+                    array = len(init)
+            else:
+                init = self._parse_const_value()
+        if is_array and array == 0:
+            raise ParseError("global array %r needs a size or initializer"
+                             % name)
+        return ast.GlobalDecl(name, base_type, array=array, init=init, static=static)
+
+    def _parse_const_value(self):
+        negative = bool(self.accept("-"))
+        token = self.current
+        if token.kind != "num":
+            raise ParseError("line %d: expected constant" % token.line)
+        self.advance()
+        return -token.value if negative else token.value
+
+    def _parse_function(self, return_type, name, static):
+        self.expect("(")
+        params = []
+        if not self.check(")"):
+            if self.check("void") and self.tokens[self.position + 1].text == ")":
+                self.advance()
+            else:
+                while True:
+                    param_type, _ = self._parse_type()
+                    param_name = self.expect_identifier()
+                    params.append(ast.Param(param_name, param_type))
+                    if not self.accept(","):
+                        break
+        self.expect(")")
+        if self.accept(";"):
+            return None  # forward declaration
+        body = self._parse_block()
+        return ast.Function(name, return_type, params, body, static=static)
+
+    # -- statements ----------------------------------------------------------
+    def _parse_block(self):
+        self.expect("{")
+        statements = []
+        while not self.check("}"):
+            statements.append(self._parse_statement())
+        self.expect("}")
+        return ast.Block(statements)
+
+    def _is_type_start(self):
+        token = self.current
+        return token.kind == "kw" and token.text in ("int", "char", "static")
+
+    def _parse_statement(self):
+        if self.check("{"):
+            return self._parse_block()
+        if self._is_type_start():
+            return self._parse_local_decl()
+        if self.accept(";"):
+            return ast.Block([])
+        if self.accept("if"):
+            self.expect("(")
+            cond = self._parse_expression()
+            self.expect(")")
+            then = self._parse_statement()
+            other = self._parse_statement() if self.accept("else") else None
+            return ast.If(cond, then, other)
+        if self.accept("while"):
+            self.expect("(")
+            cond = self._parse_expression()
+            self.expect(")")
+            return ast.While(cond, self._parse_statement())
+        if self.accept("do"):
+            body = self._parse_statement()
+            self.expect("while")
+            self.expect("(")
+            cond = self._parse_expression()
+            self.expect(")")
+            self.expect(";")
+            return ast.DoWhile(body, cond)
+        if self.accept("for"):
+            return self._parse_for()
+        if self.accept("switch"):
+            return self._parse_switch()
+        if self.accept("break"):
+            self.expect(";")
+            return ast.Break()
+        if self.accept("continue"):
+            self.expect(";")
+            return ast.Continue()
+        if self.accept("return"):
+            value = None if self.check(";") else self._parse_expression()
+            self.expect(";")
+            return ast.Return(value)
+        expr = self._parse_expression()
+        self.expect(";")
+        return ast.ExprStmt(expr)
+
+    def _parse_local_decl(self):
+        base_type, _ = self._parse_type()
+        declarations = []
+        while True:
+            name = self.expect_identifier()
+            array = 0
+            if self.accept("["):
+                array = self._parse_const_value()
+                self.expect("]")
+            init = None
+            if self.accept("="):
+                init = self._parse_expression()
+            declarations.append(ast.LocalDecl(name, base_type, array=array,
+                                              init=init))
+            if not self.accept(","):
+                break
+        self.expect(";")
+        if len(declarations) == 1:
+            return declarations[0]
+        return ast.Block(declarations)
+
+    def _parse_for(self):
+        self.expect("(")
+        init = None
+        if not self.check(";"):
+            if self._is_type_start():
+                init = self._parse_local_decl()
+            else:
+                init = ast.ExprStmt(self._parse_expression())
+                self.expect(";")
+        else:
+            self.expect(";")
+        cond = None if self.check(";") else self._parse_expression()
+        self.expect(";")
+        step = None if self.check(")") else self._parse_expression()
+        self.expect(")")
+        return ast.For(init, cond, step, self._parse_statement())
+
+    def _parse_switch(self):
+        self.expect("(")
+        value = self._parse_expression()
+        self.expect(")")
+        self.expect("{")
+        cases = []
+        default = None
+        current = None
+        while not self.check("}"):
+            if self.accept("case"):
+                case_value = self._parse_const_value()
+                self.expect(":")
+                current = []
+                cases.append((case_value, current))
+            elif self.accept("default"):
+                self.expect(":")
+                current = []
+                default = current
+            else:
+                if current is None:
+                    raise ParseError("line %d: statement before first case"
+                                     % self.current.line)
+                current.append(self._parse_statement())
+        self.expect("}")
+        return ast.Switch(value, cases, default)
+
+    # -- expressions -----------------------------------------------------------
+    def _parse_expression(self):
+        return self._parse_assignment()
+
+    def _parse_assignment(self):
+        left = self._parse_ternary()
+        token = self.current
+        if token.kind == "op" and token.text in _ASSIGN_OPS:
+            self.advance()
+            value = self._parse_assignment()
+            return ast.Assign(left, value, op=token.text)
+        return left
+
+    def _parse_ternary(self):
+        cond = self._parse_binary(0)
+        if self.accept("?"):
+            then = self._parse_expression()
+            self.expect(":")
+            other = self._parse_ternary()
+            return ast.Ternary(cond, then, other)
+        return cond
+
+    def _parse_binary(self, level):
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        ops = _BINARY_LEVELS[level]
+        left = self._parse_binary(level + 1)
+        while self.current.kind == "op" and self.current.text in ops:
+            op = self.advance().text
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(op, left, right)
+        return left
+
+    def _parse_unary(self):
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "!", "~", "*", "&"):
+            self.advance()
+            return ast.Unary(token.text, self._parse_unary())
+        if token.kind == "op" and token.text in ("++", "--"):
+            self.advance()
+            return ast.IncDec(self._parse_unary(), token.text, prefix=True)
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            if self.accept("["):
+                index = self._parse_expression()
+                self.expect("]")
+                expr = ast.Index(expr, index)
+            elif self.check("++") or self.check("--"):
+                op = self.advance().text
+                expr = ast.IncDec(expr, op, prefix=False)
+            else:
+                return expr
+
+    def _parse_primary(self):
+        token = self.current
+        if token.kind == "num":
+            self.advance()
+            return ast.NumLit(token.value)
+        if token.kind == "str":
+            self.advance()
+            return ast.StrLit(token.value)
+        if self.accept("("):
+            if self.current.kind == "kw" and self.current.text in ("int", "char", "void"):
+                cast_type, _ = self._parse_type()
+                self.expect(")")
+                return ast.Cast(cast_type, self._parse_unary())
+            expr = self._parse_expression()
+            self.expect(")")
+            return expr
+        if token.kind == "id":
+            name = self.advance().text
+            if self.accept("("):
+                args = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return ast.Call(name, args)
+            return ast.VarRef(name)
+        raise ParseError("line %d: unexpected token %r" % (token.line, token.text))
+
+
+def parse(source):
+    """Parse minic *source* into a :class:`~repro.minic.ast.Program`."""
+    return Parser(source).parse_program()

@@ -1,0 +1,165 @@
+"""Runtime library (crt0 + I/O routines) for minic programs.
+
+These play the role of libc: real routines linked into every program, so
+executables contain library code the way the paper's SPEC92 binaries did.
+The I/O routines are leaf routines built on the ``ta 0`` software trap.
+"""
+
+SPARC_CRT0 = """
+    .text
+    .global _start
+_start:
+    call main
+    nop
+    mov 1, %g1          ! exit(main())
+    ta 0
+
+    .global exit
+exit:
+    mov 1, %g1
+    ta 0
+
+    .global print_int
+print_int:
+    mov 2, %g1
+    retl
+    ta 0
+
+    .global print_char
+print_char:
+    mov 3, %g1
+    retl
+    ta 0
+
+    .global print_str
+print_str:
+    mov 4, %g1
+    retl
+    ta 0
+
+    .global read_int
+read_int:
+    mov 5, %g1
+    retl
+    ta 0
+
+    .global sbrk
+sbrk:
+    mov 6, %g1
+    retl
+    ta 0
+
+    .global read_char
+read_char:
+    mov 7, %g1
+    retl
+    ta 0
+
+    .global cycles
+cycles:
+    mov 8, %g1
+    retl
+    ta 0
+"""
+
+# A small string/utility library written in minic itself: gives every
+# workload binary shared library routines (strlen, memset, abs_int, ...).
+LIBC_MINIC = """
+int strlen(char *s) {
+    int n;
+    n = 0;
+    while (s[n] != 0) {
+        n = n + 1;
+    }
+    return n;
+}
+
+int strcmp(char *a, char *b) {
+    int i;
+    i = 0;
+    while (a[i] != 0 && a[i] == b[i]) {
+        i = i + 1;
+    }
+    return a[i] - b[i];
+}
+
+int memset_words(int *p, int value, int count) {
+    int i;
+    for (i = 0; i < count; i = i + 1) {
+        p[i] = value;
+    }
+    return count;
+}
+
+int abs_int(int x) {
+    if (x < 0) {
+        return -x;
+    }
+    return x;
+}
+
+int min_int(int a, int b) {
+    return a < b ? a : b;
+}
+
+int max_int(int a, int b) {
+    return a > b ? a : b;
+}
+
+int print_nl(void) {
+    print_char('\\n');
+    return 0;
+}
+"""
+
+MIPS_CRT0 = """
+    .text
+    .global _start
+_start:
+    jal main
+    nop
+    move $a0, $v0      # exit(main())
+    li $v0, 1
+    syscall
+
+    .global exit
+exit:
+    li $v0, 1
+    syscall
+
+    .global print_int
+print_int:
+    li $v0, 2
+    syscall
+    jr $ra
+    nop
+
+    .global print_char
+print_char:
+    li $v0, 3
+    syscall
+    jr $ra
+    nop
+
+    .global print_str
+print_str:
+    li $v0, 4
+    syscall
+    jr $ra
+    nop
+
+    .global read_int
+read_int:
+    li $v0, 5
+    syscall
+    move $v0, $v0
+    jr $ra
+    nop
+
+    .global cycles
+cycles:
+    li $v0, 8
+    syscall
+    jr $ra
+    nop
+"""

@@ -1,0 +1,170 @@
+"""Delay-slot scheduling peephole for generated SPARC assembly.
+
+Two transformations, both classic SPARC compiler idioms:
+
+* **call fill** — the instruction before a ``call``/``jmp`` moves into its
+  delay slot (it executes before control reaches the callee);
+* **annulled-branch fill** — a conditional branch whose delay slot is a
+  ``nop`` copies the first instruction of its target into the slot with
+  the annul bit set, retargeting the branch past the copied instruction.
+  This produces exactly the annulled-delay-slot shapes of paper Figure 3.
+
+Operates on assembly text lines (labels end with ':', instructions start
+with a tab).
+"""
+
+# One-word instructions safe to copy into a delay slot.
+_MOVABLE = {
+    "add", "sub", "and", "or", "xor", "andn", "orn", "xnor",
+    "sll", "srl", "sra", "smul", "mov", "clr", "inc", "dec",
+    "ld", "ldsb", "ldub", "lduh", "ldsh", "st", "stb", "sth",
+    "sethi", "cmp", "tst", "neg",
+}
+
+_UNCONDITIONAL = {"b", "ba"}
+_CONDITIONAL = {
+    "bne", "be", "bg", "bge", "bl", "ble", "bgu", "bleu",
+    "bcc", "bcs", "bpos", "bneg", "bvc", "bvs",
+}
+
+
+def _is_label(line):
+    return not line.startswith("\t") and line.rstrip().endswith(":")
+
+
+def _label_name(line):
+    return line.rstrip()[:-1]
+
+
+def _mnemonic(line):
+    return line.strip().split(None, 1)[0] if line.strip() else ""
+
+
+def _writes_o7(line):
+    return line.rstrip().endswith("%o7")
+
+
+class ScheduleStats:
+    def __init__(self):
+        self.call_slots_filled = 0
+        self.branch_slots_annulled = 0
+        self.jump_slots_filled = 0
+
+
+def schedule_delay_slots(lines, fill_calls=True, annul_branches=True,
+                         stats=None):
+    """Return a rescheduled copy of assembly *lines*."""
+    if stats is None:
+        stats = ScheduleStats()
+    lines = list(lines)
+    if fill_calls:
+        lines = _fill_call_slots(lines, stats)
+    if annul_branches:
+        lines = _fill_branch_slots(lines, stats)
+    return lines
+
+
+def _fill_call_slots(lines, stats):
+    """[X, call f, nop] -> [call f, X] when X is movable."""
+    out = []
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        if (
+            index + 2 < len(lines)
+            and not _is_label(line)
+            and _mnemonic(line) in _MOVABLE
+            and not _writes_o7(line)
+            and _mnemonic(lines[index + 1]) == "call"
+            and _mnemonic(lines[index + 2]) == "nop"
+        ):
+            out.append(lines[index + 1])
+            out.append(line)
+            stats.call_slots_filled += 1
+            index += 3
+            continue
+        out.append(line)
+        index += 1
+    return out
+
+
+def _first_instruction_after(lines, label_index):
+    """Index of the first instruction line at/after a label line."""
+    index = label_index + 1
+    while index < len(lines) and _is_label(lines[index]):
+        index += 1
+    if index < len(lines) and lines[index].startswith("\t"):
+        return index
+    return None
+
+
+def _fill_branch_slots(lines, stats):
+    label_index = {}
+    for index, line in enumerate(lines):
+        if _is_label(line):
+            label_index[_label_name(line)] = index
+
+    # Sites to rewrite: (branch line index, target label, conditional?).
+    sites = []
+    for index in range(len(lines) - 1):
+        mnemonic = _mnemonic(lines[index])
+        base = mnemonic[:-2] if mnemonic.endswith(",a") else mnemonic
+        if mnemonic.endswith(",a"):
+            continue  # already annulled
+        if base not in _UNCONDITIONAL and base not in _CONDITIONAL:
+            continue
+        if _mnemonic(lines[index + 1]) != "nop":
+            continue
+        target = lines[index].split()[-1]
+        target_at = label_index.get(target)
+        if target_at is None:
+            continue
+        inst_at = _first_instruction_after(lines, target_at)
+        if inst_at is None:
+            continue
+        inst = lines[inst_at]
+        if _mnemonic(inst) not in _MOVABLE:
+            continue
+        sites.append((index, target, inst_at, base in _CONDITIONAL))
+
+    if not sites:
+        return lines
+
+    # Each rewritten target needs a label just past its first instruction.
+    # Adjacent labels can share a first instruction, so key by instruction
+    # index, not by target name.
+    insertions = {}  # inst line index -> label name
+    past_label_at = {}
+    counter = 0
+    for _, target, inst_at, _ in sites:
+        if inst_at not in past_label_at:
+            counter += 1
+            name = target + ".ds%d" % counter
+            past_label_at[inst_at] = name
+            insertions[inst_at] = name
+    past_labels = {target: past_label_at[inst_at]
+                   for _, target, inst_at, _ in sites}
+
+    rewrite = {index: (target, inst_at, conditional)
+               for index, target, inst_at, conditional in sites}
+    out = []
+    index = 0
+    while index < len(lines):
+        if index in rewrite:
+            target, inst_at, conditional = rewrite[index]
+            mnemonic = _mnemonic(lines[index])
+            new_target = past_labels[target]
+            if conditional:
+                out.append("\t%s,a %s" % (mnemonic, new_target))
+                stats.branch_slots_annulled += 1
+            else:
+                out.append("\t%s %s" % (mnemonic, new_target))
+                stats.jump_slots_filled += 1
+            out.append(lines[inst_at])  # the copied delay instruction
+            index += 2  # skip the original nop
+            continue
+        out.append(lines[index])
+        if index in insertions:
+            out.append(insertions[index] + ":")
+        index += 1
+    return out

@@ -1,0 +1,22 @@
+"""Direct-execution simulator for EELF executables.
+
+The simulator is the stand-in for the paper's SPARCstation: it runs
+original and edited binaries, provides ground-truth execution counts for
+validating instrumentation, and reports instruction counts that serve as
+the time metric in the benchmark harness.
+"""
+
+from repro.sim.machine import (
+    SimulationError,
+    Simulator,
+    run_image,
+)
+from repro.sim.memory import Memory, MemoryFault
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "run_image",
+    "Memory",
+    "MemoryFault",
+]

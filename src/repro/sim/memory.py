@@ -1,0 +1,88 @@
+"""Sparse paged memory for the simulator."""
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class MemoryFault(Exception):
+    """An access outside mapped pages (when strict) or a misaligned access."""
+
+
+class Memory:
+    """Byte-addressable sparse memory; pages materialize on demand."""
+
+    def __init__(self):
+        self._pages = {}
+
+    def _page(self, addr):
+        number = addr >> PAGE_SHIFT
+        page = self._pages.get(number)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[number] = page
+        return page
+
+    # -- bulk -------------------------------------------------------------
+    def write_bytes(self, addr, data):
+        offset = 0
+        remaining = len(data)
+        while remaining:
+            page = self._page(addr + offset)
+            start = (addr + offset) & PAGE_MASK
+            chunk = min(PAGE_SIZE - start, remaining)
+            page[start : start + chunk] = data[offset : offset + chunk]
+            offset += chunk
+            remaining -= chunk
+
+    def read_bytes(self, addr, count):
+        out = bytearray()
+        offset = 0
+        while count:
+            page = self._page(addr + offset)
+            start = (addr + offset) & PAGE_MASK
+            chunk = min(PAGE_SIZE - start, count)
+            out += page[start : start + chunk]
+            offset += chunk
+            count -= chunk
+        return bytes(out)
+
+    # -- scalar (big-endian) -----------------------------------------------
+    def load(self, addr, width, signed=False):
+        if addr & (width - 1):
+            raise MemoryFault("misaligned %d-byte load at 0x%x" % (width, addr))
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        if page is None:
+            value = 0
+        else:
+            start = addr & PAGE_MASK
+            value = int.from_bytes(page[start : start + width], "big")
+        if signed:
+            sign_bit = 1 << (width * 8 - 1)
+            value = (value & (sign_bit - 1)) - (value & sign_bit)
+        return value
+
+    def store(self, addr, width, value):
+        if addr & (width - 1):
+            raise MemoryFault("misaligned %d-byte store at 0x%x" % (width, addr))
+        page = self._page(addr)
+        start = addr & PAGE_MASK
+        page[start : start + width] = (value & ((1 << (width * 8)) - 1)).to_bytes(
+            width, "big"
+        )
+
+    def load_word(self, addr):
+        return self.load(addr, 4)
+
+    def store_word(self, addr, value):
+        self.store(addr, 4, value)
+
+    def read_cstring(self, addr, limit=4096):
+        """NUL-terminated string starting at *addr*."""
+        out = bytearray()
+        while len(out) < limit:
+            byte = self.load(addr + len(out), 1)
+            if byte == 0:
+                break
+            out.append(byte)
+        return out.decode("utf-8", "replace")

@@ -1,0 +1,92 @@
+"""System-call layer shared by both simulated architectures.
+
+The convention mimics SunOS-style software traps: the syscall number is
+in a designated register (%g1 on SPARC, $v0 on MIPS), arguments in the
+argument registers, and the result in the first argument/result register.
+"""
+
+SYS_EXIT = 1
+SYS_PUTINT = 2
+SYS_PUTCHAR = 3
+SYS_PUTSTR = 4
+SYS_GETINT = 5
+SYS_SBRK = 6
+SYS_GETCHAR = 7
+SYS_CYCLES = 8
+SYS_CACHE_HANDLER = 9  # host-side cache-miss handler (Active Memory tool)
+SYS_FAULT = 10  # protection fault (Blizzard / SFI tools)
+
+
+class ExitProgram(Exception):
+    """Raised by SYS_EXIT to unwind the execution loop."""
+
+    def __init__(self, code):
+        super().__init__("exit(%d)" % code)
+        self.code = code
+
+
+class ProtectionFault(Exception):
+    """Raised by SYS_FAULT: an access-control or sandbox violation."""
+
+    def __init__(self, addr):
+        super().__init__("protection fault at 0x%x" % addr)
+        self.addr = addr
+
+
+class SyscallHandler:
+    """Dispatches syscalls against a simulator instance."""
+
+    def __init__(self, simulator, stdin_text=""):
+        self.simulator = simulator
+        self.stdout = []
+        self._stdin_tokens = stdin_text.split()
+        self._stdin_chars = list(stdin_text)
+        self.exit_code = None
+        self.cache_hook = None  # set by the Active Memory tool harness
+        self.fault_hook = None  # set by the Blizzard/SFI harnesses
+        self.tool_hooks = {}  # extra syscall numbers -> callable(args)
+
+    @property
+    def output(self):
+        return "".join(self.stdout)
+
+    def dispatch(self, number, args):
+        """Handle syscall *number* with *args*; return the result value."""
+        if number == SYS_EXIT:
+            raise ExitProgram(args[0] & 0xFFFFFFFF)
+        if number == SYS_PUTINT:
+            value = args[0] & 0xFFFFFFFF
+            if value & 0x80000000:
+                value -= 0x100000000
+            self.stdout.append(str(value))
+            return 0
+        if number == SYS_PUTCHAR:
+            self.stdout.append(chr(args[0] & 0xFF))
+            return 0
+        if number == SYS_PUTSTR:
+            self.stdout.append(self.simulator.memory.read_cstring(args[0]))
+            return 0
+        if number == SYS_GETINT:
+            if not self._stdin_tokens:
+                return 0
+            return int(self._stdin_tokens.pop(0)) & 0xFFFFFFFF
+        if number == SYS_SBRK:
+            return self.simulator.sbrk(args[0])
+        if number == SYS_GETCHAR:
+            if not self._stdin_chars:
+                return 0xFFFFFFFF  # -1
+            return ord(self._stdin_chars.pop(0))
+        if number == SYS_CYCLES:
+            return self.simulator.instructions_executed & 0xFFFFFFFF
+        if number == SYS_CACHE_HANDLER:
+            if self.cache_hook is None:
+                return 0
+            return self.cache_hook(args[0], args[1])
+        if number == SYS_FAULT:
+            if self.fault_hook is not None:
+                return self.fault_hook(args[0])
+            raise ProtectionFault(args[0])
+        hook = self.tool_hooks.get(number)
+        if hook is not None:
+            return hook(args)
+        raise ValueError("unknown syscall %d" % number)

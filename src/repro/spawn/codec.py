@@ -1,0 +1,276 @@
+"""A MachineCodec generated from a spawn description.
+
+Drop-in equivalent of the handwritten codecs: decode, encode, control
+targets, and displacement re-encoding all derive from the description.
+Conventions (jmpl overloads, syscall register effects, branch-name
+suffixes) come from :mod:`repro.spawn.refine` — the analog of the
+paper's annotated template file (Figure 6).
+"""
+
+from repro.isa import bits
+from repro.isa.base import (
+    Category,
+    DecodedInst,
+    MachineCodec,
+    RegisterSet,
+    SpanError,
+)
+from repro.spawn.analyze import Analyzer
+from repro.spawn.refine import refine_decoded
+
+
+def _pattern_mask_value(description, inst_def):
+    mask = 0
+    value = 0
+    for field_name, field_value in inst_def.constraints.items():
+        field = description.fields[field_name]
+        mask |= bits.mask(field.width) << field.lo
+        value |= (field_value & bits.mask(field.width)) << field.lo
+    return mask, value
+
+
+def _register_set(description):
+    int_names = []
+    special_names = []
+    zero_regs = set()
+    base = 0
+    for bank in description.banks.values():
+        if bank.count > 1:
+            prefix = "%r" if description.arch == "sparc" else "$r"
+            int_names.extend("%s%d" % (prefix, n) for n in range(bank.count))
+            if bank.zero is not None:
+                zero_regs.add(base + bank.zero)
+        else:
+            special_names.append("%" + bank.name.lower())
+        base += bank.count
+    return RegisterSet(description.arch, int_names, special_names,
+                       zero_regs=zero_regs)
+
+
+class SpawnCodec(MachineCodec):
+    """Codec synthesized from a machine description."""
+
+    def __init__(self, description):
+        super().__init__()
+        self.description = description
+        self.arch = description.arch
+        self.analyzer = Analyzer(description)
+        self.regs = _register_set(description)
+        self._patterns = []
+        for name in description.order:
+            inst_def = description.instructions[name]
+            mask, value = _pattern_mask_value(description, inst_def)
+            self._patterns.append((mask, value, inst_def))
+
+    # ------------------------------------------------------------------
+    @property
+    def nop_word(self):
+        if self.arch == "sparc":
+            return self.encode("sethi", rd=0, imm22=0)
+        return 0
+
+    def match(self, word):
+        for mask, value, inst_def in self._patterns:
+            if word & mask == value:
+                return inst_def
+        return None
+
+    def _decode_uncached(self, word):
+        inst_def = self.match(word)
+        if inst_def is None:
+            return DecodedInst(
+                word=word, name=".word", category=Category.INVALID,
+                fields=(("value", word),),
+                reads=frozenset(), writes=frozenset(),
+            )
+        info = self.analyzer.analyze(inst_def, word)
+
+        if info.trap:
+            category = Category.SYSTEM
+        elif info.npc_exprs:
+            conditional = any(flag for _, flag in info.npc_exprs)
+            if conditional:
+                category = Category.BRANCH
+            elif info.indirect:
+                category = (Category.CALL_INDIRECT if info.link_write
+                            else Category.JUMP_INDIRECT)
+            elif info.link_write:
+                category = Category.CALL
+            else:
+                category = Category.JUMP
+        elif info.mem_store:
+            category = Category.STORE
+        elif info.mem_load:
+            category = Category.LOAD
+        else:
+            category = Category.COMPUTE
+
+        decoded = DecodedInst(
+            word=word,
+            name=inst_def.name,
+            category=category,
+            fields=tuple(sorted(info.fields_used.items())),
+            reads=frozenset(info.reads),
+            writes=frozenset(info.writes),
+            is_delayed=bool(info.npc_exprs),
+            annul_untaken=info.annul_untaken,
+            mem_width=info.mem_width,
+            mem_signed=info.mem_signed,
+            cond=info.cond,
+        )
+        return refine_decoded(self.arch, decoded, word, self)
+
+    # ------------------------------------------------------------------
+    def encode(self, name, **field_args):
+        description = self.description
+        inst_def = description.instructions.get(name)
+        if inst_def is None:
+            # Convention aliases like "bne,a" resolve through refine's
+            # inverse: strip the suffix and set the annul field.
+            if self.arch == "sparc" and name.endswith(",a"):
+                field_args = dict(field_args)
+                field_args["aflag"] = 1
+                return self.encode(name[:-2], **field_args)
+            raise ValueError("unknown instruction %r" % name)
+        mask, value = _pattern_mask_value(description, inst_def)
+        word = value
+        field_args = dict(field_args)
+        for trigger, (other, implied_value) in description.implies.items():
+            if trigger in field_args and other not in field_args \
+                    and other in description.fields:
+                field_args[other] = implied_value
+        for field_name, field_value in field_args.items():
+            field = description.fields.get(field_name)
+            if field is None:
+                raise ValueError("unknown field %r" % field_name)
+            if field.signed:
+                if not bits.fits_signed(field_value, field.width):
+                    raise SpanError("field %s value %d out of range"
+                                    % (field_name, field_value))
+            word = bits.insert(word, field.lo, field.hi, field_value)
+        return bits.to_u32(word)
+
+    # ------------------------------------------------------------------
+    def _npc_expr(self, word):
+        inst_def = self.match(word)
+        if inst_def is None:
+            return None
+        info = self.analyzer.analyze(inst_def, word)
+        if not info.npc_exprs or info.indirect:
+            return None
+        return info.npc_exprs[0][0]
+
+    def _eval_target(self, expr, word, pc):
+        """Numeric evaluation of a direct-target expression."""
+        from repro.spawn import rtl
+
+        def evaluate(node):
+            if isinstance(node, rtl.Const):
+                return node.value
+            if isinstance(node, rtl.FieldRef):
+                return self.analyzer.field_value(node.name, word)
+            if isinstance(node, rtl.SpecialRead) and node.name == "pc":
+                return pc
+            if isinstance(node, rtl.RegRead):
+                index = self.analyzer.const_eval(node.index, word)
+                reg = self.analyzer.bank_base[node.bank] + index
+                if reg in self.analyzer.zero_regs:
+                    return 0
+                raise ValueError("register in direct target")
+            if isinstance(node, rtl.BinOp):
+                from repro.spawn.analyze import _binop
+
+                return _binop(node.op, evaluate(node.left),
+                              evaluate(node.right))
+            if isinstance(node, rtl.UnOp):
+                value = evaluate(node.operand)
+                return -value if node.op == "-" else ~value
+            raise ValueError("unsupported target expression %r" % node)
+
+        return bits.to_u32(evaluate(expr))
+
+    def control_target(self, inst, pc):
+        if inst.category not in (Category.BRANCH, Category.JUMP,
+                                 Category.CALL):
+            return None
+        expr = self._npc_expr(inst.word)
+        if expr is None:
+            return None
+        try:
+            return self._eval_target(expr, inst.word, pc)
+        except ValueError:
+            return None
+
+    def with_control_target(self, word, pc, target):
+        """Re-encode the displacement field to reach *target*.
+
+        Solved generically: evaluating the target expression at two
+        displacement values yields the (affine) scale, inverting the
+        encoding without architecture-specific code.
+        """
+        inst_def = self.match(word)
+        if inst_def is None:
+            raise ValueError("cannot retarget undecodable word")
+        expr = self._npc_expr(word)
+        if expr is None:
+            raise ValueError("instruction %s has no direct target"
+                             % inst_def.name)
+        # Which field feeds the target?  Try every signed/unsigned field
+        # the expression mentions.
+        from repro.spawn import rtl
+
+        fields = []
+
+        def collect(node):
+            if isinstance(node, rtl.FieldRef):
+                fields.append(node.name)
+            elif isinstance(node, rtl.BinOp):
+                collect(node.left)
+                collect(node.right)
+            elif isinstance(node, rtl.UnOp):
+                collect(node.operand)
+
+        collect(expr)
+        for field_name in fields:
+            field = self.description.fields[field_name]
+            base_word = bits.insert(word, field.lo, field.hi, 0)
+            t0 = self._eval_target(self._npc_expr(base_word) or expr,
+                                   base_word, pc)
+            one_word = bits.insert(word, field.lo, field.hi, 1)
+            t1 = self._eval_target(self._npc_expr(one_word) or expr,
+                                   one_word, pc)
+            scale = bits.to_s32(t1 - t0)
+            if scale == 0:
+                continue
+            delta = bits.to_s32(target - t0)
+            if delta % scale:
+                raise SpanError("misaligned target")
+            field_value = delta // scale
+            if field.signed:
+                if not bits.fits_signed(field_value, field.width):
+                    raise SpanError("displacement out of span")
+            elif not bits.fits_unsigned(field_value, field.width):
+                raise SpanError("displacement out of span")
+            result = bits.insert(word, field.lo, field.hi, field_value)
+            check = self._eval_target(self._npc_expr(result), result, pc)
+            if check == bits.to_u32(target):
+                return result
+        raise SpanError("no displacement field reaches target")
+
+    # ------------------------------------------------------------------
+    def invert_branch(self, word):
+        from repro.isa import get_codec
+
+        return get_codec(self.arch).invert_branch(word)
+
+    def clear_annul(self, word):
+        from repro.isa import get_codec
+
+        return get_codec(self.arch).clear_annul(word)
+
+    def disassemble(self, word, pc=None):
+        inst = self.decode(word)
+        if inst.category is Category.INVALID:
+            return ".word 0x%08x" % word
+        parts = ["%s=%d" % (k, v) for k, v in inst.fields]
+        return "%s %s" % (inst.name, " ".join(parts))

@@ -1,0 +1,500 @@
+"""Parser for spawn machine descriptions.
+
+The description format follows the paper's Figure 7: field definitions,
+register declarations, encoding patterns (including name-vector
+patterns), and register-transfer semantics bound to instructions with
+``sem``, optionally vector-applied with ``@``.
+
+    arch sparc
+    wordsize 32
+    fields op 30:31, rd 25:29, simm13 0:12 signed, ...
+    register R[32] zero 0
+    register ICC
+    implies simm13 iflag 1
+    pat [ bn be ... ] is op=0 && op2=2 && cond=[0..15]
+    val src2 is iflag = 1 ? simm13 : R[rs2]
+    sem add is R[rd] := R[rs1] + src2
+    sem [ bne be ... ] is cctest($1) ? npc := pc + (disp22 << 2)
+                          : (aflag = 1 ? annul)  @ [ ne e ... ]
+"""
+
+import re
+
+from repro.spawn import rtl
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<name>[A-Za-z_][\w]*)
+  | (?P<op>:=|&&|\.\.|<<|>>|!=|<=|>=|[][()=?:;,@$+\-*&|^~<>{}])
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = {"arch", "wordsize", "fields", "register", "pat", "val", "sem",
+            "is", "zero", "signed", "implies", "mem", "annul", "trap",
+            "cctest", "pc", "npc"}
+
+SPECIALS = {"pc", "npc", "icc", "y", "hi", "lo"}
+
+BUILTINS = {
+    "cc_add", "cc_sub", "cc_logic", "sdiv", "udiv", "smul_lo", "smul_hi",
+    "umul_lo", "umul_hi", "window_save", "window_restore", "icc_pack",
+    "icc_unpack", "sext8", "sext16", "mult_hi", "mult_lo", "multu_hi",
+    "multu_lo", "div_lo", "div_hi", "divu_lo", "divu_hi", "sltu", "slt",
+    "sra",
+}
+
+
+class SpawnParseError(Exception):
+    pass
+
+
+class FieldDef:
+    def __init__(self, name, lo, hi, signed=False):
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+        self.signed = signed
+
+    @property
+    def width(self):
+        return self.hi - self.lo + 1
+
+
+class RegisterBank:
+    def __init__(self, name, count, zero=None):
+        self.name = name
+        self.count = count
+        self.zero = zero
+
+
+class InstructionDef:
+    """One instruction: encoding constraints + semantics."""
+
+    def __init__(self, name, constraints):
+        self.name = name
+        self.constraints = constraints  # {field: value}
+        self.semantics = None  # rtl.Stmt
+
+    def __repr__(self):
+        return "InstructionDef(%s)" % self.name
+
+
+class Description:
+    def __init__(self, name):
+        self.name = name
+        self.arch = None
+        self.wordsize = 32
+        self.fields = {}
+        self.banks = {}
+        self.implies = {}  # field -> (other field, value)
+        self.instructions = {}  # name -> InstructionDef
+        self.order = []  # declaration order of instruction names
+        self.vals = {}
+        self.source_lines = 0  # non-comment, non-blank line count
+
+    def instruction(self, name):
+        return self.instructions[name]
+
+
+def _tokenize(text):
+    tokens = []
+    position = 0
+    line = 1
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            raise SpawnParseError("line %d: bad character %r"
+                                  % (line, text[position]))
+        value = match.group(0)
+        line += value.count("\n")
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        tokens.append((match.lastgroup, value, line))
+    tokens.append(("eof", "", line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text, name):
+        self.tokens = _tokenize(text)
+        self.position = 0
+        self.desc = Description(name)
+        self.desc.source_lines = sum(
+            1 for raw in text.splitlines()
+            if raw.strip() and not raw.strip().startswith("#")
+        )
+
+    # -- token helpers ----------------------------------------------------
+    @property
+    def current(self):
+        return self.tokens[self.position]
+
+    def peek(self, offset=0):
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self):
+        token = self.current
+        self.position += 1
+        return token
+
+    def check(self, text):
+        kind, value, _ = self.current
+        return value == text and kind in ("name", "op", "num")
+
+    def accept(self, text):
+        if self.check(text):
+            return self.advance()
+        return None
+
+    def expect(self, text):
+        if not self.check(text):
+            raise SpawnParseError(
+                "line %d: expected %r, found %r"
+                % (self.current[2], text, self.current[1])
+            )
+        return self.advance()
+
+    def expect_name(self):
+        kind, value, line = self.current
+        if kind != "name":
+            raise SpawnParseError("line %d: expected name, found %r"
+                                  % (line, value))
+        return self.advance()[1]
+
+    def expect_int(self):
+        negative = bool(self.accept("-"))
+        kind, value, line = self.current
+        if kind != "num":
+            raise SpawnParseError("line %d: expected number, found %r"
+                                  % (line, value))
+        self.advance()
+        number = int(value, 0)
+        return -number if negative else number
+
+    # -- top level ----------------------------------------------------------
+    def parse(self):
+        while self.current[0] != "eof":
+            keyword = self.expect_name()
+            handler = getattr(self, "_stmt_" + keyword, None)
+            if handler is None:
+                raise SpawnParseError("line %d: unknown statement %r"
+                                      % (self.current[2], keyword))
+            handler()
+        return self.desc
+
+    def _stmt_arch(self):
+        self.desc.arch = self.expect_name()
+
+    def _stmt_wordsize(self):
+        self.desc.wordsize = self.expect_int()
+
+    def _stmt_fields(self):
+        while True:
+            name = self.expect_name()
+            lo = self.expect_int()
+            self.expect(":")
+            hi = self.expect_int()
+            signed = bool(self.accept("signed"))
+            self.desc.fields[name] = FieldDef(name, lo, hi, signed)
+            if not self.accept(","):
+                break
+
+    def _stmt_register(self):
+        name = self.expect_name()
+        count = 1
+        zero = None
+        if self.accept("["):
+            count = self.expect_int()
+            self.expect("]")
+        if self.accept("zero"):
+            zero = self.expect_int()
+        self.desc.banks[name] = RegisterBank(name, count, zero)
+
+    def _stmt_implies(self):
+        trigger = self.expect_name()
+        other = self.expect_name()
+        value = self.expect_int()
+        self.desc.implies[trigger] = (other, value)
+
+    def _parse_names(self):
+        if self.accept("["):
+            names = []
+            while not self.check("]"):
+                names.append(self.expect_name())
+            self.expect("]")
+            return names
+        return [self.expect_name()]
+
+    def _stmt_pat(self):
+        names = self._parse_names()
+        self.expect("is")
+        # Parse constraints: field=value or field=[v1 v2...] / [a..b].
+        shared = {}
+        vectors = {}  # field -> list of per-name values
+        while True:
+            field = self.expect_name()
+            self.expect("=")
+            if self.accept("["):
+                first = self.expect_int()
+                if self.accept(".."):
+                    last = self.expect_int()
+                    values = list(range(first, last + 1))
+                else:
+                    values = [first]
+                    while not self.check("]"):
+                        values.append(self.expect_int())
+                self.expect("]")
+                if len(values) != len(names):
+                    raise SpawnParseError(
+                        "pattern %s: %d names but %d values for %s"
+                        % (names, len(names), len(values), field)
+                    )
+                vectors[field] = values
+            else:
+                shared[field] = self.expect_int()
+            if not self.accept("&&"):
+                break
+        for index, name in enumerate(names):
+            constraints = dict(shared)
+            for field, values in vectors.items():
+                constraints[field] = values[index]
+            if name in self.desc.instructions:
+                raise SpawnParseError("duplicate instruction %r" % name)
+            self.desc.instructions[name] = InstructionDef(name, constraints)
+            self.desc.order.append(name)
+
+    def _stmt_val(self):
+        name = self.expect_name()
+        self.expect("is")
+        self.desc.vals[name] = self._parse_expr()
+
+    def _stmt_sem(self):
+        names = self._parse_names()
+        self.expect("is")
+        body = self._parse_stmtlist()
+        args = None
+        if self.accept("@"):
+            self.expect("[")
+            args = []
+            while not self.check("]"):
+                args.append(self.expect_name())
+            self.expect("]")
+            if len(args) != len(names):
+                raise SpawnParseError("sem vector arity mismatch for %s"
+                                      % names)
+        for index, name in enumerate(names):
+            inst = self.desc.instructions.get(name)
+            if inst is None:
+                raise SpawnParseError("sem for unknown instruction %r" % name)
+            if args is not None:
+                inst.semantics = rtl.substitute(body, [args[index]])
+            else:
+                inst.semantics = body
+
+    # ------------------------------------------------------------------
+    # RTL statements
+    # ------------------------------------------------------------------
+    def _at_statement_end(self):
+        kind, value, _ = self.current
+        if kind == "eof":
+            return True
+        # A new description statement begins.
+        return kind == "name" and value in ("pat", "sem", "val", "arch",
+                                            "wordsize", "fields", "register",
+                                            "implies") and \
+            self.peek(1)[1] not in (":=", "[", "(", "=")
+
+    def _parse_stmtlist(self):
+        statements = [self._parse_par()]
+        while self.accept(";"):
+            statements.append(self._parse_par())
+        if len(statements) == 1:
+            return statements[0]
+        return rtl.Seq(statements)
+
+    def _parse_par(self):
+        statements = [self._parse_stmt()]
+        while self.accept(","):
+            statements.append(self._parse_stmt())
+        if len(statements) == 1:
+            return statements[0]
+        return rtl.Par(statements)
+
+    def _parse_stmt(self):
+        if self.accept("annul"):
+            return rtl.Annul()
+        if self.accept("trap"):
+            self.expect("(")
+            number = self._parse_expr()
+            self.expect(")")
+            return rtl.Trap(number)
+        if self.accept("("):
+            inner = self._parse_stmtlist()
+            self.expect(")")
+            if self.check("?"):
+                raise SpawnParseError("parenthesized condition must be an "
+                                      "expression")
+            return inner
+        expression = self._parse_expr(ternary=False)
+        if self.accept(":="):
+            value = self._parse_expr()
+            return rtl.Assign(expression, value)
+        if self.accept("?"):
+            then = self._parse_stmt()
+            other = None
+            if self.accept(":"):
+                other = self._parse_stmt()
+            return rtl.IfStmt(expression, then, other)
+        raise SpawnParseError(
+            "line %d: expected ':=' or '?' after expression"
+            % self.current[2]
+        )
+
+    # ------------------------------------------------------------------
+    # RTL expressions
+    # ------------------------------------------------------------------
+    def _parse_expr(self, ternary=True):
+        expression = self._parse_compare()
+        if ternary and self.accept("?"):
+            then = self._parse_expr()
+            self.expect(":")
+            other = self._parse_expr(ternary=True)
+            return rtl.CondExpr(expression, then, other)
+        return expression
+
+    def _parse_compare(self):
+        left = self._parse_bitor()
+        while True:
+            for op in ("=", "!=", "<=", ">=", "<", ">"):
+                if self.check(op):
+                    # '=' only acts as comparison here (':=' is assignment).
+                    self.advance()
+                    right = self._parse_bitor()
+                    left = rtl.BinOp("==" if op == "=" else op, left, right)
+                    break
+            else:
+                return left
+
+    def _parse_bitor(self):
+        left = self._parse_bitxor()
+        while self.check("|"):
+            self.advance()
+            left = rtl.BinOp("|", left, self._parse_bitxor())
+        return left
+
+    def _parse_bitxor(self):
+        left = self._parse_bitand()
+        while self.check("^"):
+            self.advance()
+            left = rtl.BinOp("^", left, self._parse_bitand())
+        return left
+
+    def _parse_bitand(self):
+        left = self._parse_shift()
+        while self.check("&") and not self.check("&&"):
+            self.advance()
+            left = rtl.BinOp("&", left, self._parse_shift())
+        return left
+
+    def _parse_shift(self):
+        left = self._parse_additive()
+        while self.check("<<") or self.check(">>"):
+            op = self.advance()[1]
+            left = rtl.BinOp(op, left, self._parse_additive())
+        return left
+
+    def _parse_additive(self):
+        left = self._parse_mult()
+        while self.check("+") or self.check("-"):
+            op = self.advance()[1]
+            left = rtl.BinOp(op, left, self._parse_mult())
+        return left
+
+    def _parse_mult(self):
+        left = self._parse_unary()
+        while self.check("*"):
+            self.advance()
+            left = rtl.BinOp("*", left, self._parse_unary())
+        return left
+
+    def _parse_unary(self):
+        if self.accept("-"):
+            return rtl.UnOp("-", self._parse_unary())
+        if self.accept("~"):
+            return rtl.UnOp("~", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self):
+        kind, value, line = self.current
+        if kind == "num":
+            self.advance()
+            return rtl.Const(int(value, 0))
+        if self.accept("$"):
+            return rtl.Param(self.expect_int())
+        if self.accept("("):
+            expression = self._parse_expr()
+            self.expect(")")
+            return expression
+        if self.accept("mem"):
+            self.expect("[")
+            addr = self._parse_expr()
+            self.expect(",")
+            width = self.expect_int()
+            signed = False
+            if self.accept(","):
+                self.expect("signed")
+                signed = True
+            self.expect("]")
+            return rtl.MemRead(addr, width, signed)
+        if self.accept("cctest"):
+            self.expect("(")
+            if self.accept("$"):
+                index = self.expect_int()
+                self.expect(")")
+                return rtl.Builtin("cctest", [rtl.Param(index)])
+            cond = self.expect_name()
+            self.expect(")")
+            return rtl.CCTest(cond)
+        if kind == "name":
+            name = self.advance()[1]
+            if name in self.desc.banks:
+                self.expect("[")
+                index = self._parse_expr()
+                self.expect("]")
+                return rtl.RegRead(name, index)
+            if name in SPECIALS:
+                return rtl.SpecialRead(name)
+            if name in BUILTINS:
+                self.expect("(")
+                args = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return rtl.Builtin(name, args)
+            if name in self.desc.vals:
+                return self.desc.vals[name]
+            if name in self.desc.fields:
+                return rtl.FieldRef(name)
+            raise SpawnParseError("line %d: unknown name %r" % (line, name))
+        raise SpawnParseError("line %d: unexpected token %r" % (line, value))
+
+
+def parse_description(text, name="<description>"):
+    """Parse a spawn description into a :class:`Description`."""
+    description = _Parser(text, name).parse()
+    if description.arch is None:
+        raise SpawnParseError("description lacks an 'arch' statement")
+    missing = [n for n, inst in description.instructions.items()
+               if inst.semantics is None]
+    if missing:
+        raise SpawnParseError("instructions without semantics: %s"
+                              % ", ".join(sorted(missing)))
+    return description

@@ -1,0 +1,91 @@
+"""Convention refinement: the Figure 6 analog.
+
+Spawn extracts everything a description can express, but subroutine and
+system-call conventions are not encodings (the paper notes spawn "is
+currently unaware of a system's subroutine and system call conventions,
+so these instructions require additional processing").  This module is
+that additional processing: it resolves SPARC's overloaded ``jmpl``,
+MIPS's ``jr $ra`` return, system-call register effects, and branch-name
+suffixes.
+"""
+
+from dataclasses import replace
+
+from repro.isa.base import Category
+
+SPARC_O7 = 15
+SPARC_I7 = 31
+SPARC_ICC = 32
+MIPS_RA = 31
+MIPS_V0 = 2
+
+
+def refine_decoded(arch, decoded, word, codec):
+    if arch == "sparc":
+        return _refine_sparc(decoded, word)
+    if arch == "mips":
+        return _refine_mips(decoded, word)
+    return decoded
+
+
+def _field(decoded, name, default=None):
+    for field_name, value in decoded.fields:
+        if field_name == name:
+            return value
+    return default
+
+
+def _refine_sparc(decoded, word):
+    name = decoded.name
+    if decoded.category is Category.BRANCH:
+        aflag = _field(decoded, "aflag", 0)
+        new_name = name + (",a" if aflag else "")
+        changes = {"name": new_name}
+        if decoded.cond == "a" and aflag:
+            # ba,a annuls its delay slot unconditionally.
+            changes["is_delayed"] = False
+            changes["annul_untaken"] = False
+        elif decoded.cond == "a":
+            changes["annul_untaken"] = False
+        return replace(decoded, **changes)
+    if name == "jmpl":
+        rd = _field(decoded, "rd", 0)
+        rs1 = _field(decoded, "rs1", 0)
+        simm13 = _field(decoded, "simm13")
+        if rd == SPARC_O7:
+            category = Category.CALL_INDIRECT
+        elif rd == 0 and simm13 == 8 and rs1 in (SPARC_O7, SPARC_I7):
+            category = Category.RETURN
+        elif rd == 0 and simm13 is not None and rs1 == 0:
+            category = Category.JUMP
+        else:
+            category = Category.JUMP_INDIRECT
+        return replace(decoded, category=category)
+    if name == "ta":
+        # SunOS-style syscall convention: number in %g1, args in %o0-%o5,
+        # result in %o0; condition codes are clobbered.
+        return replace(
+            decoded,
+            reads=frozenset({1} | set(range(8, 14))),
+            writes=frozenset({8, SPARC_ICC}),
+        )
+    return decoded
+
+
+def _refine_mips(decoded, word):
+    name = decoded.name
+    if decoded.category is Category.BRANCH:
+        return replace(decoded, cond=name[1:])
+    if name == "jr":
+        category = Category.RETURN if _field(decoded, "rs") == MIPS_RA \
+            else Category.JUMP_INDIRECT
+        return replace(decoded, category=category)
+    if name == "jalr":
+        return replace(decoded, category=Category.CALL_INDIRECT)
+    if name == "syscall":
+        return replace(
+            decoded,
+            reads=frozenset({MIPS_V0, 4, 5, 6, 7}),
+            writes=frozenset({MIPS_V0}),
+        )
+    return decoded

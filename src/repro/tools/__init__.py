@@ -1,0 +1,15 @@
+"""Tools built on EEL: the applications from the paper's sections 1 and 5.
+
+* :mod:`repro.tools.branch_count` — the Figures 1-2 branch-counting tool;
+* :mod:`repro.tools.qpt` — qpt2, the EEL-based profiler (Ball-Larus edge
+  counting with spanning-tree placement);
+* :mod:`repro.tools.qpt_classic` — the ad-hoc baseline profiler ("old
+  qpt") used in the Table 1 comparison;
+* :mod:`repro.tools.active_memory` — cache simulation by inserted
+  access tests (Lebeck & Wood's Active Memory);
+* :mod:`repro.tools.blizzard` — fine-grain access control for
+  distributed shared memory (Blizzard-S);
+* :mod:`repro.tools.sfi` — software fault isolation (sandboxing);
+* :mod:`repro.tools.elsie` — a direct-execution simulator that replaces
+  loads/stores with simulator calls.
+"""

@@ -1,0 +1,44 @@
+"""Shared helpers for EEL-based tools."""
+
+from repro.core.snippet import TaggedCodeSnippet
+
+
+class CounterArray:
+    """A block of 32-bit counters in fresh data space."""
+
+    def __init__(self, executable, name, count_hint=4096):
+        self.executable = executable
+        self.name = name
+        self.base = executable.add_data(name, 4 * count_hint)
+        self.capacity = count_hint
+        self.used = 0
+        self.meaning = []  # caller-defined descriptor per counter
+
+    def allocate(self, descriptor):
+        """Reserve one counter; returns its index."""
+        if self.used >= self.capacity:
+            raise ValueError("counter array %s exhausted" % self.name)
+        index = self.used
+        self.used += 1
+        self.meaning.append(descriptor)
+        return index
+
+    def address(self, index):
+        return self.base + 4 * index
+
+    def read(self, simulator):
+        """Counter values after a simulated run."""
+        return [simulator.memory.load_word(self.address(i))
+                for i in range(self.used)]
+
+
+def counter_snippet(executable, counter_addr, tag=None):
+    """The Figure 5 snippet: increment the counter at *counter_addr*.
+
+    Uses the conventions' placeholder registers; EEL's register
+    allocator rebinds them to dead registers at the insertion point.
+    """
+    conventions = executable.conventions
+    p0, p1 = conventions.placeholder_regs[0], conventions.placeholder_regs[1]
+    words = conventions.counter_increment(counter_addr, p0, p1)
+    return TaggedCodeSnippet(words, alloc_regs=(p0, p1), tag=tag)

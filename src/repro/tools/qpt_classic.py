@@ -1,0 +1,231 @@
+"""qpt "classic": the ad-hoc baseline profiler for the Table 1 comparison.
+
+This deliberately mirrors how pre-EEL rewriters worked (paper sections 1
+and 5 and the Larus-Ball paper it cites): no CFG, no liveness, no
+symbol-table refinement.
+
+* Basic-block leaders come from a single linear scan (symbols, branch
+  targets, post-transfer addresses).
+* Every original word keeps a slot in the output, so a complete
+  one-to-one address map makes branch fixup trivial.
+* Counters use fixed scratch registers (%g6/%g7) by convention instead
+  of register scavenging.
+* Indirect jumps always go through run-time address translation —
+  the ad-hoc tool has no slicing, so it cannot find dispatch tables.
+
+The contrast with qpt2 is the paper's Table 1: the ad-hoc tool is
+smaller and faster but fragile, machine-bound, and far less precise
+about where instrumentation can go.
+"""
+
+from repro.binfmt.image import Image, SEC_EXEC, SEC_WRITE, Section, Symbol
+from repro.isa import bits, get_codec, get_conventions
+from repro.isa.base import Category
+
+# By convention the ad-hoc tool steals the application globals %g2/%g3
+# (SPARC reserves them for applications; compilers leave them alone).
+SCRATCH_G6 = 2
+SCRATCH_G7 = 3
+
+COUNTER_BASE_NAME = "__classic_counts"
+
+
+class ClassicProfiler:
+    """Ad-hoc block profiler: linear scan, per-word relocation map."""
+
+    def __init__(self, image):
+        if image.arch != "sparc":
+            raise ValueError("the ad-hoc profiler only supports SPARC")
+        self.image = image
+        self.codec = get_codec(image.arch)
+        self.conventions = get_conventions(image.arch)
+        self.text = image.get_section(".text")
+        self.counter_meaning = []
+        self.objects_allocated = 0  # for the allocation-census experiment
+
+    # ------------------------------------------------------------------
+    def _decode(self, addr):
+        self.objects_allocated += 1
+        return self.codec.decode(self.text.word_at(addr))
+
+    def _leaders(self):
+        """Blocks by linear scan: symbols, branch targets, post-CTI."""
+        leaders = set()
+        for symbol in self.image.symbols:
+            if symbol.section == ".text" and symbol.value % 4 == 0:
+                leaders.add(symbol.value)
+        leaders.add(self.image.entry)
+        addr = self.text.vaddr
+        prev_was_cti = False
+        prev_was_delay = False
+        while addr < self.text.end:
+            inst = self._decode(addr)
+            if prev_was_delay:
+                leaders.add(addr)
+            prev_was_delay = prev_was_cti and inst.category is not \
+                Category.INVALID
+            prev_was_cti = (inst.category.is_control
+                            and inst.category is not Category.SYSTEM
+                            and inst.is_delayed)
+            if inst.category is Category.BRANCH or (
+                inst.category is Category.JUMP
+            ):
+                target = self.codec.control_target(inst, addr)
+                if target is not None and self.text.contains(target):
+                    leaders.add(target)
+            addr += 4
+        return leaders
+
+    def _delay_addrs(self):
+        """Addresses sitting in a delay slot (no counter inserted there)."""
+        delays = set()
+        addr = self.text.vaddr
+        while addr < self.text.end:
+            inst = self._decode(addr)
+            if inst.category.is_control and inst.is_delayed \
+                    and inst.category is not Category.SYSTEM:
+                delays.add(addr + 4)
+            addr += 4
+        return delays
+
+    # ------------------------------------------------------------------
+    def instrument(self):
+        """Produce the instrumented image."""
+        image = self.image
+        codec = self.codec
+        conventions = self.conventions
+        text = self.text
+        leaders = self._leaders()
+        delays = self._delay_addrs()
+
+        new_base = _align(image.address_limit() + 0x1000)
+        counter_base = 0x0200_0000
+        trans_base = counter_base + 4 * (len(leaders) + 16)
+
+        # Pass 1: assign new addresses (every original word gets a slot).
+        new_addr = {}  # jump-target map: points at the counter preamble
+        word_pos = {}  # where the original word itself lands
+        cursor = new_base
+        counter_of = {}
+        addr = text.vaddr
+        while addr < text.end:
+            new_addr[addr] = cursor
+            if addr in leaders and addr not in delays:
+                counter_of[addr] = len(self.counter_meaning)
+                self.counter_meaning.append(addr)
+                cursor += 16  # fixed 4-word counter preamble
+            word_pos[addr] = cursor
+            inst = self._decode(addr)
+            if inst.category is Category.JUMP_INDIRECT:
+                cursor += 4 * 6  # translation stub replaces the jump
+            else:
+                cursor += 4
+            addr += 4
+
+        # Pass 2: emit.
+        words = []
+        addr = text.vaddr
+        while addr < text.end:
+            if addr in counter_of:
+                caddr = counter_base + 4 * counter_of[addr]
+                words.extend(conventions.counter_increment(
+                    caddr, SCRATCH_G6, SCRATCH_G7))
+            inst = self._decode(addr)
+            here = word_pos[addr]
+            if inst.category is Category.JUMP_INDIRECT:
+                words.extend(self._translation_stub(inst, trans_base,
+                                                    text.vaddr))
+            elif inst.category is Category.BRANCH or \
+                    inst.category is Category.JUMP or \
+                    inst.category is Category.CALL:
+                target = codec.control_target(inst, addr)
+                if target is not None and target in new_addr:
+                    words.append(codec.with_control_target(
+                        inst.word, here, new_addr[target]))
+                else:
+                    words.append(inst.word)
+            else:
+                words.append(inst.word)
+            addr += 4
+
+        out = self._build(words, new_base, counter_base, trans_base,
+                          new_addr, len(self.counter_meaning))
+        return out
+
+    def _translation_stub(self, inst, trans_base, text_base):
+        codec = self.codec
+        conventions = self.conventions
+        fields = {"rd": SCRATCH_G6, "rs1": inst.get_field("rs1")}
+        if inst.has_field("simm13"):
+            fields["simm13"] = inst.get_field("simm13")
+        else:
+            fields["rs2"] = inst.get_field("rs2")
+        words = [codec.encode("add", **fields)]
+        load_const = conventions.load_const(SCRATCH_G7,
+                                            trans_base - text_base)
+        while len(load_const) < 2:
+            load_const.append(codec.nop_word)
+        words.extend(load_const)
+        words.append(codec.encode("add", rd=SCRATCH_G7, rs1=SCRATCH_G6,
+                                  rs2=SCRATCH_G7))
+        words.append(codec.encode("ld", rd=SCRATCH_G7, rs1=SCRATCH_G7,
+                                  simm13=0))
+        words.append(codec.encode("jmpl", rd=0, rs1=SCRATCH_G7, simm13=0))
+        return words
+
+    def _build(self, words, new_base, counter_base, trans_base, new_addr,
+               counter_count):
+        source = self.image
+        image = Image(source.arch, kind="exec")
+        for section in source.sections.values():
+            copy = Section(section.name, vaddr=section.vaddr,
+                           flags=section.flags,
+                           data=bytearray(section.data))
+            copy.nobits_size = section.nobits_size
+            image.add_section(copy)
+        image.symbols = [
+            Symbol(s.name, s.value, kind=s.kind, binding=s.binding,
+                   size=s.size, section=s.section)
+            for s in source.symbols
+        ]
+        new_text = Section(".text.instrumented", vaddr=new_base,
+                           flags=SEC_EXEC)
+        for word in words:
+            new_text.append_word(word)
+        image.add_section(new_text)
+
+        counters = Section(COUNTER_BASE_NAME, vaddr=counter_base,
+                           flags=SEC_WRITE,
+                           data=bytearray(4 * (counter_count + 16)))
+        image.add_section(counters)
+
+        translation = Section("__classic_translation", vaddr=trans_base,
+                              flags=SEC_WRITE,
+                              data=bytearray(self.text.size))
+        for orig, new in new_addr.items():
+            translation.set_word(trans_base + (orig - self.text.vaddr), new)
+        image.add_section(translation)
+
+        image.entry = new_addr[source.entry]
+        self.counter_base = counter_base
+        return image
+
+    # ------------------------------------------------------------------
+    def counts(self, simulator):
+        return {
+            addr: simulator.memory.load_word(self.counter_base + 4 * index)
+            for index, addr in enumerate(self.counter_meaning)
+        }
+
+
+def _align(value):
+    return (value + 0xFFF) & ~0xFFF
+
+
+def profile_classic(image, stdin_text=""):
+    from repro.sim import run_image
+
+    tool = ClassicProfiler(image)
+    out = tool.instrument()
+    simulator = run_image(out, stdin_text=stdin_text)
+    return tool, simulator

@@ -1,0 +1,19 @@
+"""Workload corpus: the SPEC92 stand-in programs and their builder."""
+
+from repro.workloads.builder import (
+    build_all,
+    build_image,
+    build_mips_image,
+    expected_output,
+    mips_program_names,
+    program_names,
+)
+
+__all__ = [
+    "build_image",
+    "build_all",
+    "build_mips_image",
+    "expected_output",
+    "program_names",
+    "mips_program_names",
+]

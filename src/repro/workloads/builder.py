@@ -1,0 +1,46 @@
+"""Build workload executables with configurable compiler personalities."""
+
+import functools
+
+from repro.asm import assemble
+from repro.binfmt import link
+from repro.minic import GCC_LIKE, compile_to_image
+from repro.minic.runtime import MIPS_CRT0
+from repro.sim import run_image
+from repro.workloads.mips_programs import MIPS_PROGRAMS
+from repro.workloads.programs import PROGRAMS
+
+
+def program_names():
+    """Names of all minic (SPARC) workload programs."""
+    return sorted(PROGRAMS)
+
+
+def mips_program_names():
+    return sorted(MIPS_PROGRAMS)
+
+
+@functools.lru_cache(maxsize=None)
+def build_image(name, options=GCC_LIKE):
+    """Compile-and-link workload *name* with *options* (cached)."""
+    source = PROGRAMS[name]
+    return compile_to_image(source, options)
+
+
+def build_all(options=GCC_LIKE):
+    """Build the whole corpus; returns {name: Image}."""
+    return {name: build_image(name, options) for name in program_names()}
+
+
+@functools.lru_cache(maxsize=None)
+def build_mips_image(name):
+    source, _ = MIPS_PROGRAMS[name]
+    return link([assemble(MIPS_CRT0, "mips"), assemble(source, "mips")])
+
+
+@functools.lru_cache(maxsize=None)
+def expected_output(name, options=GCC_LIKE):
+    """Ground-truth output of workload *name* (from an uninstrumented run)."""
+    if name in MIPS_PROGRAMS:
+        return MIPS_PROGRAMS[name][1]
+    return run_image(build_image(name, options)).output

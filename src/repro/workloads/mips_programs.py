@@ -1,0 +1,145 @@
+"""Hand-written MIPS assembly workloads.
+
+minic only targets SPARC (like the paper's compilers), so the MIPS
+machine-independence experiments use assembly workloads.  They exercise
+delay slots, branch-likely (annulled) variants, jal/jr, and a dispatch
+table read through an indirect jump.
+"""
+
+MIPS_SUM = """
+    .text
+    .global main
+main:
+    addiu $sp, $sp, -8
+    sw $ra, 0($sp)
+    li $t0, 1
+    li $t1, 0
+loop:
+    addu $t1, $t1, $t0
+    addiu $t0, $t0, 1
+    li $t2, 101
+    bne $t0, $t2, loop
+    nop
+    move $a0, $t1
+    jal print_int
+    nop
+    li $a0, 10
+    jal print_char
+    nop
+    lw $ra, 0($sp)
+    addiu $sp, $sp, 8
+    li $v0, 0
+    jr $ra
+    nop
+"""
+
+MIPS_FIB = """
+    .text
+    .global main
+main:
+    addiu $sp, $sp, -8
+    sw $ra, 0($sp)
+    li $a0, 15
+    jal fib
+    nop
+    move $a0, $v0
+    jal print_int
+    nop
+    li $a0, 10
+    jal print_char
+    nop
+    lw $ra, 0($sp)
+    addiu $sp, $sp, 8
+    li $v0, 0
+    jr $ra
+    nop
+
+    .global fib
+fib:
+    slti $t0, $a0, 2
+    beql $t0, $zero, recurse    # branch-likely: annulled delay slot
+    addiu $sp, $sp, -16
+    move $v0, $a0
+    jr $ra
+    nop
+recurse:
+    sw $ra, 0($sp)
+    sw $s0, 4($sp)
+    sw $a0, 8($sp)
+    addiu $a0, $a0, -1
+    jal fib
+    nop
+    move $s0, $v0
+    lw $a0, 8($sp)
+    addiu $a0, $a0, -2
+    jal fib
+    nop
+    addu $v0, $v0, $s0
+    lw $ra, 0($sp)
+    lw $s0, 4($sp)
+    addiu $sp, $sp, 16
+    jr $ra
+    nop
+"""
+
+MIPS_SWITCH = """
+    .text
+    .global main
+main:
+    addiu $sp, $sp, -8
+    sw $ra, 0($sp)
+    li $s0, 0
+again:
+    sltiu $t0, $s0, 4
+    beq $t0, $zero, default
+    nop
+    la $t1, table
+    sll $t2, $s0, 2
+    addu $t1, $t1, $t2
+    lw $t3, 0($t1)
+    jr $t3
+    nop
+case0:
+    li $a0, 100
+    b print
+    nop
+case1:
+    li $a0, 111
+    b print
+    nop
+case2:
+    li $a0, 122
+    b print
+    nop
+case3:
+    li $a0, 133
+    b print
+    nop
+default:
+    li $a0, 999
+print:
+    jal print_int
+    nop
+    li $a0, 32
+    jal print_char
+    nop
+    addiu $s0, $s0, 1
+    li $t0, 6
+    bne $s0, $t0, again
+    nop
+    lw $ra, 0($sp)
+    addiu $sp, $sp, 8
+    li $v0, 0
+    jr $ra
+    nop
+
+    .rodata
+table:
+    .word case0, case1, case2, case3
+"""
+
+MIPS_PROGRAMS = {
+    "mips_sum": (MIPS_SUM, "5050\n"),
+    "mips_fib": (MIPS_FIB, "610\n"),
+    "mips_switch": (MIPS_SWITCH, "100 111 122 133 999 999 "),
+}

@@ -1,0 +1,565 @@
+"""minic sources for the workload corpus.
+
+Each program prints deterministic output, so original-vs-edited runs can
+be compared exactly.  The mix deliberately covers the constructs the
+paper's measurements depend on: dense switches (dispatch tables), deep
+recursion (register windows), tail calls, pointer chasing, static
+(hideable) functions, and tight array loops.
+"""
+
+QSORT = """
+int seed;
+
+static int next_rand(void) {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int data[200];
+
+static int partition(int *a, int lo, int hi) {
+    int pivot; int i; int j; int t;
+    pivot = a[hi];
+    i = lo - 1;
+    for (j = lo; j < hi; j = j + 1) {
+        if (a[j] <= pivot) {
+            i = i + 1;
+            t = a[i]; a[i] = a[j]; a[j] = t;
+        }
+    }
+    t = a[i + 1]; a[i + 1] = a[hi]; a[hi] = t;
+    return i + 1;
+}
+
+static int quicksort(int *a, int lo, int hi) {
+    int p;
+    if (lo < hi) {
+        p = partition(a, lo, hi);
+        quicksort(a, lo, p - 1);
+        quicksort(a, p + 1, hi);
+    }
+    return 0;
+}
+
+int main(void) {
+    int i; int checksum;
+    seed = 42;
+    for (i = 0; i < 200; i = i + 1) {
+        data[i] = next_rand();
+    }
+    quicksort(data, 0, 199);
+    checksum = 0;
+    for (i = 1; i < 200; i = i + 1) {
+        if (data[i - 1] > data[i]) {
+            print_str("UNSORTED\\n");
+            return 1;
+        }
+        checksum = checksum + data[i] * i;
+    }
+    print_str("qsort ");
+    print_int(checksum);
+    print_nl();
+    return 0;
+}
+"""
+
+SIEVE = """
+char flags[2000];
+
+int main(void) {
+    int i; int j; int count;
+    count = 0;
+    for (i = 2; i < 2000; i = i + 1) {
+        flags[i] = 1;
+    }
+    for (i = 2; i < 2000; i = i + 1) {
+        if (flags[i]) {
+            count = count + 1;
+            for (j = i + i; j < 2000; j = j + i) {
+                flags[j] = 0;
+            }
+        }
+    }
+    print_str("sieve ");
+    print_int(count);
+    print_nl();
+    return 0;
+}
+"""
+
+MATMUL = """
+int a[144];
+int b[144];
+int c[144];
+
+static int fill(int *m, int base) {
+    int i;
+    for (i = 0; i < 144; i = i + 1) {
+        m[i] = (i * 7 + base) % 13;
+    }
+    return 0;
+}
+
+int main(void) {
+    int i; int j; int k; int sum;
+    fill(a, 3);
+    fill(b, 5);
+    for (i = 0; i < 12; i = i + 1) {
+        for (j = 0; j < 12; j = j + 1) {
+            sum = 0;
+            for (k = 0; k < 12; k = k + 1) {
+                sum = sum + a[i * 12 + k] * b[k * 12 + j];
+            }
+            c[i * 12 + j] = sum;
+        }
+    }
+    sum = 0;
+    for (i = 0; i < 144; i = i + 1) {
+        sum = sum + c[i];
+    }
+    print_str("matmul ");
+    print_int(sum);
+    print_nl();
+    return 0;
+}
+"""
+
+NQUEENS = """
+int cols[12];
+int solutions;
+
+static int safe(int row, int col) {
+    int i;
+    for (i = 0; i < row; i = i + 1) {
+        if (cols[i] == col) { return 0; }
+        if (cols[i] - i == col - row) { return 0; }
+        if (cols[i] + i == col + row) { return 0; }
+    }
+    return 1;
+}
+
+static int place(int row, int n) {
+    int col;
+    if (row == n) {
+        solutions = solutions + 1;
+        return 0;
+    }
+    for (col = 0; col < n; col = col + 1) {
+        if (safe(row, col)) {
+            cols[row] = col;
+            place(row + 1, n);
+        }
+    }
+    return 0;
+}
+
+int main(void) {
+    solutions = 0;
+    place(0, 7);
+    print_str("nqueens ");
+    print_int(solutions);
+    print_nl();
+    return 0;
+}
+"""
+
+INTERP = """
+int code[64];
+int stack[64];
+int sp;
+int pc_reg;
+
+static int push(int v) { stack[sp] = v; sp = sp + 1; return 0; }
+static int pop(void) { sp = sp - 1; return stack[sp]; }
+
+static int step(void) {
+    int op; int a; int b;
+    op = code[pc_reg];
+    pc_reg = pc_reg + 1;
+    switch (op) {
+    case 0:  return 1;                       /* halt */
+    case 1:  push(code[pc_reg]); pc_reg = pc_reg + 1; break;
+    case 2:  b = pop(); a = pop(); push(a + b); break;
+    case 3:  b = pop(); a = pop(); push(a - b); break;
+    case 4:  b = pop(); a = pop(); push(a * b); break;
+    case 5:  b = pop(); a = pop(); push(b == 0 ? 0 : a / b); break;
+    case 6:  a = pop(); push(a); push(a); break;  /* dup */
+    case 7:  print_int(pop()); print_char(' '); break;
+    case 8:  a = pop(); if (a) { pc_reg = code[pc_reg]; } else { pc_reg = pc_reg + 1; } break;
+    case 9:  pc_reg = code[pc_reg]; break;    /* jmp */
+    case 10: b = pop(); a = pop(); push(a < b ? 1 : 0); break;
+    case 11: a = pop(); push(-a); break;
+    default: print_str("BADOP\\n"); return 1;
+    }
+    return 0;
+}
+
+int main(void) {
+    int i;
+    /* program: countdown 10..1 printing squares */
+    i = 0;
+    code[i] = 1; i = i + 1; code[i] = 10; i = i + 1;    /* push 10 */
+    /* loop: dup dup * print ; push 1 - ; dup ; jnz loop */
+    code[i] = 6; i = i + 1;                              /* 2: dup */
+    code[i] = 6; i = i + 1;                              /* dup */
+    code[i] = 4; i = i + 1;                              /* mul */
+    code[i] = 7; i = i + 1;                              /* print */
+    code[i] = 1; i = i + 1; code[i] = 1; i = i + 1;      /* push 1 */
+    code[i] = 3; i = i + 1;                              /* sub */
+    code[i] = 6; i = i + 1;                              /* dup */
+    code[i] = 8; i = i + 1; code[i] = 2; i = i + 1;      /* jnz 2 */
+    code[i] = 0;                                         /* halt */
+    sp = 0;
+    pc_reg = 0;
+    while (step() == 0) { }
+    print_str("interp done\\n");
+    return 0;
+}
+"""
+
+STRINGS = """
+char buffer[64];
+
+static int reverse(char *s) {
+    int i; int j; int t;
+    i = 0;
+    j = strlen(s) - 1;
+    while (i < j) {
+        t = s[i]; s[i] = s[j]; s[j] = t;
+        i = i + 1;
+        j = j - 1;
+    }
+    return 0;
+}
+
+static int copy(char *dst, char *src) {
+    int i;
+    i = 0;
+    while (src[i] != 0) {
+        dst[i] = src[i];
+        i = i + 1;
+    }
+    dst[i] = 0;
+    return i;
+}
+
+int main(void) {
+    int n; int i; int hash;
+    copy(buffer, "executable editing library");
+    reverse(buffer);
+    print_str(buffer);
+    print_nl();
+    n = strlen(buffer);
+    hash = 5381;
+    for (i = 0; i < n; i = i + 1) {
+        hash = hash * 33 + buffer[i];
+    }
+    print_str("hash ");
+    print_int(hash & 16777215);
+    print_nl();
+    if (strcmp(buffer, buffer) != 0) {
+        print_str("STRCMP BROKEN\\n");
+        return 1;
+    }
+    return 0;
+}
+"""
+
+TREE = """
+int node_count;
+
+static int *new_node(int value) {
+    int *node;
+    node = sbrk(12);
+    node[0] = value;
+    node[1] = 0;
+    node[2] = 0;
+    node_count = node_count + 1;
+    return node;
+}
+
+static int *insert(int *root, int value) {
+    if (root == 0) {
+        return new_node(value);
+    }
+    if (value < root[0]) {
+        root[1] = insert((int *)root[1], value);
+    } else {
+        root[2] = insert((int *)root[2], value);
+    }
+    return root;
+}
+
+static int total(int *root) {
+    if (root == 0) { return 0; }
+    return root[0] + total((int *)root[1]) + total((int *)root[2]);
+}
+
+int seed;
+
+static int next_rand(void) {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 32767;
+}
+
+int main(void) {
+    int *root; int i;
+    root = 0;
+    seed = 7;
+    node_count = 0;
+    for (i = 0; i < 150; i = i + 1) {
+        root = insert(root, next_rand());
+    }
+    print_str("tree ");
+    print_int(node_count);
+    print_char(' ');
+    print_int(total(root));
+    print_nl();
+    return 0;
+}
+"""
+
+FIB = """
+static int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+
+int main(void) {
+    print_str("fib ");
+    print_int(fib(17));
+    print_nl();
+    return 0;
+}
+"""
+
+CRC = """
+int main(void) {
+    int crc; int i; int j; int byte;
+    crc = -1;
+    for (i = 0; i < 256; i = i + 1) {
+        byte = (i * 37 + 11) & 255;
+        crc = crc ^ byte;
+        for (j = 0; j < 8; j = j + 1) {
+            if (crc & 1) {
+                crc = (crc >> 1) & 2147483647;
+                crc = crc ^ -306674912;
+            } else {
+                crc = (crc >> 1) & 2147483647;
+            }
+        }
+    }
+    print_str("crc ");
+    print_int(crc);
+    print_nl();
+    return 0;
+}
+"""
+
+HANOI = """
+int moves;
+
+static int hanoi(int n, int from, int to, int via) {
+    if (n == 0) { return 0; }
+    hanoi(n - 1, from, via, to);
+    moves = moves + 1;
+    hanoi(n - 1, via, to, from);
+    return 0;
+}
+
+int main(void) {
+    moves = 0;
+    hanoi(12, 1, 3, 2);
+    print_str("hanoi ");
+    print_int(moves);
+    print_nl();
+    return 0;
+}
+"""
+
+BUBBLE = """
+int data[100];
+
+int main(void) {
+    int i; int j; int t; int swaps;
+    for (i = 0; i < 100; i = i + 1) {
+        data[i] = (100 - i) * 3 % 71;
+    }
+    swaps = 0;
+    for (i = 0; i < 100; i = i + 1) {
+        for (j = 0; j + 1 < 100 - i; j = j + 1) {
+            if (data[j] > data[j + 1]) {
+                t = data[j]; data[j] = data[j + 1]; data[j + 1] = t;
+                swaps = swaps + 1;
+            }
+        }
+    }
+    print_str("bubble ");
+    print_int(swaps);
+    print_char(' ');
+    print_int(data[0]);
+    print_char(' ');
+    print_int(data[99]);
+    print_nl();
+    return 0;
+}
+"""
+
+TAILCALLS = """
+static int is_odd(int n);
+
+static int is_even(int n) {
+    if (n == 0) { return 1; }
+    return is_odd(n - 1);
+}
+
+static int is_odd(int n) {
+    if (n == 0) { return 0; }
+    return is_even(n - 1);
+}
+
+static int gcd(int a, int b) {
+    if (b == 0) { return a; }
+    return gcd(b, a % b);
+}
+
+static int collatz_len(int n, int acc) {
+    if (n == 1) { return acc; }
+    if (n & 1) {
+        return collatz_len(3 * n + 1, acc + 1);
+    }
+    return collatz_len(n / 2, acc + 1);
+}
+
+int main(void) {
+    print_str("tail ");
+    print_int(is_even(100));
+    print_char(' ');
+    print_int(gcd(1071, 462));
+    print_char(' ');
+    print_int(collatz_len(27, 0));
+    print_nl();
+    return 0;
+}
+"""
+
+ACKERMANN = """
+static int ack(int m, int n) {
+    if (m == 0) { return n + 1; }
+    if (n == 0) { return ack(m - 1, 1); }
+    return ack(m - 1, ack(m, n - 1));
+}
+
+int main(void) {
+    print_str("ack ");
+    print_int(ack(2, 7));
+    print_char(' ');
+    print_int(ack(3, 3));
+    print_nl();
+    return 0;
+}
+"""
+
+
+
+LEXER = """
+char source[] = "let x = 42 + foo * (bar - 7); if x >= 9 then print x;";
+int counts[8];
+
+static int classify(int c) {
+    switch (c) {
+    case ' ':  return 0;
+    case '(':  return 2;
+    case ')':  return 2;
+    case '+':  return 3;
+    case '-':  return 3;
+    case '*':  return 3;
+    case '/':  return 3;
+    case '=':  return 4;
+    case ';':  return 5;
+    case '<':  return 4;
+    case '>':  return 4;
+    default:
+        if (c >= '0' && c <= '9') { return 6; }
+        if (c >= 'a' && c <= 'z') { return 7; }
+        return 1;
+    }
+}
+
+int main(void) {
+    int i; int n; int kind;
+    n = strlen(source);
+    for (i = 0; i < n; i = i + 1) {
+        kind = classify(source[i]);
+        counts[kind] = counts[kind] + 1;
+    }
+    print_str("lexer");
+    for (i = 0; i < 8; i = i + 1) {
+        print_char(' ');
+        print_int(counts[i]);
+    }
+    print_nl();
+    return 0;
+}
+"""
+
+AUTOMATON = """
+int state;
+int visits[6];
+
+static int step_machine(int symbol) {
+    switch (state) {
+    case 0: state = symbol ? 1 : 2; break;
+    case 1: state = symbol ? 3 : 0; break;
+    case 2: state = symbol ? 0 : 4; break;
+    case 3: state = symbol ? 5 : 1; break;
+    case 4: state = symbol ? 2 : 5; break;
+    case 5: state = symbol ? 4 : 3; break;
+    }
+    visits[state] = visits[state] + 1;
+    return state;
+}
+
+int seed;
+
+static int next_bit(void) {
+    seed = seed * 1103515245 + 12345;
+    return (seed >> 16) & 1;
+}
+
+int main(void) {
+    int i;
+    seed = 99;
+    state = 0;
+    for (i = 0; i < 3000; i = i + 1) {
+        step_machine(next_bit());
+    }
+    print_str("automaton");
+    for (i = 0; i < 6; i = i + 1) {
+        print_char(' ');
+        print_int(visits[i]);
+    }
+    print_nl();
+    return 0;
+}
+"""
+
+# Name -> (source, expected output).  Expected output is validated by the
+# test suite against the simulator, then used to check edited binaries.
+PROGRAMS = {
+    "qsort": QSORT,
+    "sieve": SIEVE,
+    "matmul": MATMUL,
+    "nqueens": NQUEENS,
+    "interp": INTERP,
+    "strings": STRINGS,
+    "tree": TREE,
+    "fib": FIB,
+    "crc": CRC,
+    "hanoi": HANOI,
+    "bubble": BUBBLE,
+    "tailcalls": TAILCALLS,
+    "ackermann": ACKERMANN,
+    "lexer": LEXER,
+    "automaton": AUTOMATON,
+}

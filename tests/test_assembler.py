@@ -1,0 +1,201 @@
+"""Assembler: directives, operand forms, pseudo-instructions, errors."""
+
+import pytest
+
+from repro.asm import AsmError, assemble
+from repro.binfmt import link
+from repro.isa import get_codec
+from repro.sim import run_image
+
+sparc = get_codec("sparc")
+mips = get_codec("mips")
+
+
+def _words(obj, section=".text"):
+    return obj.get_section(section).words()
+
+
+def test_comments_and_labels():
+    obj = assemble("""
+    ! full line comment
+    a: b: nop  ; trailing comment
+    # hash comment
+    """, "sparc")
+    assert len(_words(obj)) == 1
+    names = {s.name for s in obj.symbols}
+    assert {"a", "b"} <= names
+
+
+def test_duplicate_label():
+    with pytest.raises(AsmError):
+        assemble("x: nop\nx: nop\n", "sparc")
+
+
+def test_global_marks_func():
+    obj = assemble(".text\n.global f\nf: nop\n", "sparc")
+    symbol = obj.find_symbol("f")
+    assert symbol.kind == "func" and symbol.binding == "global"
+
+
+def test_type_directive():
+    obj = assemble(".text\n.type f, func\nf: nop\n", "sparc")
+    assert obj.find_symbol("f").kind == "func"
+    assert obj.find_symbol("f").binding == "local"
+
+
+def test_data_directives():
+    obj = assemble("""
+        .data
+    w:  .word 1, -2, 0x10
+    h:  .half 0x1234
+    b:  .byte 1, 2, 3
+        .align 4
+    s:  .asciz "hi!"
+    """, "sparc")
+    data = obj.get_section(".data")
+    assert data.word_at(0) == 1
+    assert data.word_at(4) == 0xFFFFFFFE
+    assert bytes(data.data[12:14]) == b"\x12\x34"
+
+
+def test_bss_space():
+    obj = assemble(".bss\nbuf: .space 100\n", "sparc")
+    assert obj.get_section(".bss").size == 100
+
+
+def test_string_with_comment_chars():
+    obj = assemble('.data\ns: .asciz "a!b;c#d"\n', "sparc")
+    assert b"a!b;c#d" in bytes(obj.get_section(".data").data)
+
+
+def test_unknown_mnemonic():
+    with pytest.raises(AsmError):
+        assemble("bogus %o0\n", "sparc")
+
+
+def test_unknown_directive():
+    with pytest.raises(AsmError):
+        assemble(".frobnicate 3\n", "sparc")
+
+
+def test_sparc_operand_forms():
+    obj = assemble("""
+        add %o0, %o1, %o2
+        add %o0, -5, %o2
+        ld [%fp - 8], %l0
+        ld [%l0 + %l1], %l2
+        st %l0, [%sp + 4]
+        sethi %hi(0x12345678), %l0
+        or %l0, %lo(0x12345678), %l0
+    """, "sparc")
+    words = _words(obj)
+    assert sparc.decode(words[0]).get_field("rs2") == 9  # %o1
+    assert sparc.decode(words[1]).get_field("simm13") == -5
+    assert sparc.decode(words[2]).get_field("simm13") == -8
+    value = (sparc.decode(words[5]).get_field("imm22") << 10) \
+        | sparc.decode(words[6]).get_field("simm13")
+    assert value == 0x12345678
+
+
+def test_sparc_pseudo_ops():
+    obj = assemble("""
+        mov 3, %o0
+        cmp %o0, 4
+        tst %o1
+        clr %o2
+        inc %o3
+        dec 2, %o4
+        neg %o5
+        ret
+        retl
+    """, "sparc")
+    words = _words(obj)
+    assert sparc.decode(words[0]).name == "or"
+    assert sparc.decode(words[1]).name == "subcc"
+    assert sparc.decode(words[7]).category.value == "return"
+
+
+def test_sparc_set_is_two_words():
+    obj = assemble("set 0x1234, %l0\nset sym, %l1\nsym: nop\n", "sparc")
+    assert len(_words(obj)) == 5
+
+
+def test_sparc_branch_reloc():
+    obj = assemble("start: bne start\nnop\n", "sparc")
+    relocs = obj.relocations[".text"]
+    assert any(r.kind == "DISP22" for r in relocs)
+
+
+def test_sparc_call_register_form():
+    obj = assemble("call %l0\nnop\n", "sparc")
+    inst = sparc.decode(_words(obj)[0])
+    assert inst.category.value == "call_indirect"
+
+
+def test_mips_operand_forms():
+    obj = assemble("""
+        addu $v0, $a0, $a1
+        addiu $v0, $a0, -3
+        lw $t0, 8($sp)
+        sw $t0, -4($sp)
+        lui $t1, %hi(0x12345678)
+        addiu $t1, $t1, %lo(0x12345678)
+        sll $t2, $t3, 5
+    """, "mips")
+    words = _words(obj)
+    assert mips.decode(words[0]).name == "addu"
+    assert mips.decode(words[1]).get_field("imm16") == -3
+    assert mips.decode(words[2]).get_field("imm16") == 8
+
+
+def test_mips_pseudo_ops():
+    obj = assemble("""
+        nop
+        move $t0, $t1
+        li $t2, 5
+        li $t3, 0x123456
+        la $t4, somewhere
+        b somewhere
+        nop
+        beqz $t0, somewhere
+        nop
+        bnez $t0, somewhere
+        nop
+    somewhere:
+        negu $t5, $t6
+    """, "mips")
+    words = _words(obj)
+    assert mips.decode(words[1]).name == "addu"  # move
+    assert mips.decode(words[2]).name == "addiu"  # small li
+    # large li is lui+ori (2 words), la is lui+addiu (2 words)
+    assert len(words) == 14
+
+
+def test_mips_numeric_registers():
+    obj = assemble("addu $2, $4, $5\n", "mips")
+    assert mips.decode(_words(obj)[0]).get_field("rd") == 2
+
+
+def test_end_to_end_hello(tmp_path):
+    source = """
+        .text
+        .global _start
+    _start:
+        set msg, %o0
+        mov 4, %g1
+        ta 0
+        clr %o0
+        mov 1, %g1
+        ta 0
+        .rodata
+    msg: .asciz "hello\\n"
+    """
+    image = link([assemble(source, "sparc")])
+    simulator = run_image(image)
+    assert simulator.output == "hello\n"
+    assert simulator.exit_code == 0
+
+
+def test_instruction_outside_text():
+    with pytest.raises(AsmError):
+        assemble(".data\nadd %o0, %o1, %o2\n", "sparc")

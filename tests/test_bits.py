@@ -1,0 +1,94 @@
+"""Bit-manipulation utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import bits
+
+words = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def test_mask():
+    assert bits.mask(0) == 0
+    assert bits.mask(1) == 1
+    assert bits.mask(13) == 0x1FFF
+    assert bits.mask(32) == 0xFFFFFFFF
+
+
+def test_extract_basic():
+    assert bits.extract(0xDEADBEEF, 0, 7) == 0xEF
+    assert bits.extract(0xDEADBEEF, 28, 31) == 0xD
+    assert bits.extract(0xFFFFFFFF, 5, 5) == 1
+
+
+def test_extract_signed():
+    assert bits.extract_signed(0x1FFF, 0, 12) == -1
+    assert bits.extract_signed(0x0FFF, 0, 12) == 4095
+    assert bits.extract_signed(0x1000, 0, 12) == -4096
+
+
+def test_insert_roundtrip_example():
+    word = bits.insert(0, 0, 12, -5)
+    assert bits.extract_signed(word, 0, 12) == -5
+
+
+def test_insert_preserves_other_bits():
+    word = bits.insert(0xFFFFFFFF, 8, 15, 0)
+    assert word == 0xFFFF00FF
+
+
+def test_bad_range_raises():
+    with pytest.raises(ValueError):
+        bits.extract(0, 5, 3)
+    with pytest.raises(ValueError):
+        bits.insert(0, 5, 3, 1)
+
+
+def test_sign_extend():
+    assert bits.sign_extend(0xFF, 8) == -1
+    assert bits.sign_extend(0x7F, 8) == 127
+    assert bits.sign_extend(0x80, 8) == -128
+
+
+def test_to_s32_and_u32():
+    assert bits.to_s32(0xFFFFFFFF) == -1
+    assert bits.to_s32(0x7FFFFFFF) == 0x7FFFFFFF
+    assert bits.to_u32(-1) == 0xFFFFFFFF
+
+
+def test_fits():
+    assert bits.fits_signed(-4096, 13)
+    assert not bits.fits_signed(4096, 13)
+    assert bits.fits_unsigned(0x3FFFFF, 22)
+    assert not bits.fits_unsigned(-1, 22)
+
+
+def test_words_bytes_roundtrip():
+    ws = [0, 1, 0xDEADBEEF, 0xFFFFFFFF]
+    assert bits.bytes_to_words(bits.words_to_bytes(ws)) == ws
+
+
+def test_bytes_to_words_unaligned():
+    with pytest.raises(ValueError):
+        bits.bytes_to_words(b"\x00\x01\x02")
+
+
+@given(words, st.integers(min_value=0, max_value=31),
+       st.integers(min_value=0, max_value=31))
+def test_insert_extract_roundtrip(word, a, b):
+    lo, hi = min(a, b), max(a, b)
+    value = word & bits.mask(hi - lo + 1)
+    assert bits.extract(bits.insert(0, lo, hi, value), lo, hi) == value
+
+
+@given(words)
+def test_s32_u32_roundtrip(word):
+    assert bits.to_u32(bits.to_s32(word)) == word
+
+
+@given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1),
+       st.integers(min_value=1, max_value=32))
+def test_sign_extend_idempotent(value, width):
+    truncated = value & bits.mask(width)
+    extended = bits.sign_extend(truncated, width)
+    assert extended & bits.mask(width) == truncated

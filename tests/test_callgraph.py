@@ -1,0 +1,65 @@
+"""Interprocedural call graph."""
+
+from repro.core import Executable
+from repro.core.analysis.callgraph import CallGraph
+from repro.minic import SUNPRO_LIKE
+from repro.workloads import build_image
+
+
+def graph_for(name, options=None):
+    image = build_image(name) if options is None \
+        else build_image(name, options)
+    return CallGraph(Executable(image).read_contents())
+
+
+def test_direct_calls_found():
+    graph = graph_for("fib")
+    callees = {r.name for r in graph.callees("main")}
+    assert "fib" in callees
+    assert "print_int" in callees
+    # fib is recursive: it calls itself.
+    assert "fib" in {r.name for r in graph.callees("fib")}
+
+
+def test_callers():
+    graph = graph_for("fib")
+    assert "main" in graph.callers_of("fib")
+    assert "_start" in graph.callers_of("main")
+
+
+def test_leaf_routines():
+    graph = graph_for("fib")
+    leaves = {getattr(r, "name", r) for r in graph.leaf_routines()}
+    # The syscall wrappers are leaves.
+    assert "print_int" in leaves
+    assert "main" not in leaves
+
+
+def test_reachable_from_start():
+    graph = graph_for("fib")
+    reachable = graph.reachable_from("_start")
+    assert {"_start", "main", "fib", "print_int"} <= reachable
+    # Unused library routines are not reachable.
+    assert "memset_words" not in reachable
+
+
+def test_bottom_up_order():
+    graph = graph_for("fib")
+    order = graph.bottom_up_order()
+    assert order.index("fib") < order.index("main")
+    assert order.index("main") < order.index("_start")
+
+
+def test_tail_calls_are_edges():
+    graph = graph_for("tailcalls", SUNPRO_LIKE)
+    tail_sites = [s for s in graph.sites if s.kind == "tailcall"]
+    assert tail_sites
+    names = {(s.caller.name, s.target.name if s.target else None)
+             for s in tail_sites}
+    assert ("is_even", "is_odd") in names
+    assert ("is_odd", "is_even") in names
+
+
+def test_no_indirect_calls_in_corpus():
+    graph = graph_for("interp")
+    assert not graph.has_indirect_calls()

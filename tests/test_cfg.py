@@ -1,0 +1,277 @@
+"""CFG construction: delay-slot normalization (Figure 3), surrogates,
+uneditable marking."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.binfmt import link
+from repro.core import Executable
+from repro.core.cfg import (
+    BK_DELAY,
+    BK_ENTRY,
+    BK_EXIT,
+    BK_NORMAL,
+    BK_SURROGATE,
+    CFGError,
+)
+from repro.workloads import build_image
+
+
+def exe_for(source, arch="sparc"):
+    image = link([assemble(source, arch)])
+    return Executable(image).read_contents()
+
+
+def cfg_of(source, name="_start", arch="sparc"):
+    exe = exe_for(source, arch)
+    return exe.routine(name).control_flow_graph()
+
+
+def test_nonannulled_branch_duplicates_delay():
+    """Figure 3: the delay instruction of a plain conditional branch is
+    duplicated along both edges."""
+    cfg = cfg_of("""
+        .text
+        .global _start
+    _start:
+        cmp %o0, 0
+        bne over
+        add %l1, %l2, %l1
+        mov 1, %l3
+    over:
+        mov 1, %g1
+        ta 0
+    """)
+    delays = [b for b in cfg.blocks if b.kind == BK_DELAY]
+    assert len(delays) == 2
+    words = {b.instructions[0][1].word for b in delays}
+    assert len(words) == 1  # same instruction, duplicated
+
+
+def test_annulled_branch_single_delay_on_taken_edge():
+    """Figure 3's exact case: annulled conditional branch."""
+    cfg = cfg_of("""
+        .text
+        .global _start
+    _start:
+        cmp %o0, 0
+        bne,a over
+        add %l1, %l2, %l1
+        mov 1, %l3
+    over:
+        mov 1, %g1
+        ta 0
+    """)
+    delays = [b for b in cfg.blocks if b.kind == BK_DELAY]
+    assert len(delays) == 1
+    delay = delays[0]
+    # The delay block hangs off the branch's taken edge.
+    incoming = delay.pred[0]
+    assert incoming.kind == "taken"
+    # Fall-through bypasses the delay instruction.
+    branch_block = incoming.src
+    fall = branch_block.fall_edge()
+    assert fall.dst.kind == BK_NORMAL
+
+
+def test_ba_annulled_has_no_delay_block():
+    cfg = cfg_of("""
+        .text
+        .global _start
+    _start:
+        ba,a over
+        add %l1, %l2, %l1   ! never executes
+    over:
+        mov 1, %g1
+        ta 0
+    """)
+    assert not any(b.kind == BK_DELAY for b in cfg.blocks)
+    # The skipped word is unreached.
+    assert len(cfg.unreached) == 1
+
+
+def test_call_gets_delay_and_surrogate():
+    cfg = cfg_of("""
+        .text
+        .global _start
+    _start:
+        call f
+        mov 1, %o0
+        mov 1, %g1
+        ta 0
+        .global f
+    f:
+        retl
+        nop
+    """)
+    surrogates = [b for b in cfg.blocks if b.kind == BK_SURROGATE]
+    assert len(surrogates) == 1
+    surrogate = surrogates[0]
+    assert not surrogate.editable
+    delay = surrogate.pred[0].src
+    assert delay.kind == BK_DELAY and not delay.editable
+    continuation = surrogate.succ[0].dst
+    assert continuation.kind == BK_NORMAL
+
+
+def test_return_delay_uneditable():
+    exe = exe_for("""
+        .text
+        .global _start
+    _start:
+        mov 1, %g1
+        ta 0
+        .global f
+    f:
+        retl
+        nop
+    """)
+    cfg = exe.routine("f").control_flow_graph()
+    delays = [b for b in cfg.blocks if b.kind == BK_DELAY]
+    assert len(delays) == 1
+    assert not delays[0].editable
+    assert delays[0].succ[0].dst.kind == BK_EXIT
+
+
+def test_entry_exit_pseudo_blocks():
+    cfg = cfg_of("""
+        .text
+        .global _start
+    _start:
+        mov 1, %g1
+        ta 0
+    """)
+    assert cfg.entry.kind == BK_ENTRY and not cfg.entry.editable
+    assert cfg.exit.kind == BK_EXIT and not cfg.exit.editable
+    assert cfg.entry.succ[0].dst.kind == BK_NORMAL
+
+
+def test_syscall_does_not_break_block():
+    cfg = cfg_of("""
+        .text
+        .global _start
+    _start:
+        mov 2, %g1
+        ta 0
+        mov 3, %g1
+        ta 0
+        mov 1, %g1
+        ta 0
+    """)
+    assert len(cfg.normal_blocks()) == 1
+    assert len(cfg.normal_blocks()[0]) == 6
+
+
+def test_branch_into_delay_slot():
+    """A delay-slot word that is also a branch target becomes a normal
+    block of its own in addition to the delay copies."""
+    cfg = cfg_of("""
+        .text
+        .global _start
+    _start:
+        cmp %o0, 0
+        bne slot
+        nop
+        ba over
+    slot:
+        add %l1, 1, %l1
+    over:
+        mov 1, %g1
+        ta 0
+    """)
+    # 'slot' is the delay word of `ba over` and a branch target.
+    slot_blocks = [b for b in cfg.blocks if b.start is not None
+                   and any(addr == b.start for addr, _ in b.instructions)
+                   and b.kind == BK_NORMAL]
+    starts = {b.start for b in cfg.normal_blocks()}
+    exe_start = cfg.routine.start
+    assert exe_start + 16 in starts  # slot: is its own block
+
+
+def test_editable_fractions_in_paper_range():
+    """15-20% of blocks and edges are uneditable (section 3.3)."""
+    total_blocks = editable_blocks = 0
+    total_edges = editable_edges = 0
+    for name in ("fib", "qsort", "interp", "tree"):
+        exe = Executable(build_image(name)).read_contents()
+        for routine in exe.all_routines():
+            cfg = routine.control_flow_graph()
+            blocks_editable, blocks_total, edges_editable, edges_total = \
+                cfg.editable_stats()
+            total_blocks += blocks_total
+            editable_blocks += blocks_editable
+            total_edges += edges_total
+            editable_edges += edges_editable
+    uneditable_block_fraction = 1 - editable_blocks / total_blocks
+    uneditable_edge_fraction = 1 - editable_edges / total_edges
+    # The paper reports 15-20% on SPEC92; minic routines are much
+    # smaller (the runtime's leaf routines are 2-3 instructions), so the
+    # per-routine entry/exit/surrogate overhead inflates the fraction.
+    # The bench (E3) reports the exact numbers; here we pin the order of
+    # magnitude: a substantial minority, never a majority of blocks.
+    assert 0.10 < uneditable_block_fraction < 0.60
+    assert 0.10 < uneditable_edge_fraction < 0.65
+
+
+def test_block_census_kinds():
+    exe = Executable(build_image("fib")).read_contents()
+    cfg = exe.routine("fib").control_flow_graph()
+    census = cfg.block_census()
+    assert census["entry"] == 1
+    assert census["exit"] == 1
+    assert census["surrogate"] == 2  # two recursive calls
+    assert census["delay"] > 0
+
+
+def test_edit_restrictions():
+    exe = Executable(build_image("fib")).read_contents()
+    cfg = exe.routine("fib").control_flow_graph()
+    surrogate = next(b for b in cfg.blocks if b.kind == BK_SURROGATE)
+    from repro.core.snippet import CodeSnippet
+
+    snippet = CodeSnippet([0])
+    with pytest.raises(CFGError):
+        surrogate.add_code_before(0, snippet)
+    for edge in surrogate.succ:
+        with pytest.raises(CFGError):
+            edge.add_code_along(snippet)
+    block = cfg.normal_blocks()[0]
+    last_index = len(block.instructions) - 1
+    if block.instructions[last_index][1].is_control:
+        with pytest.raises(CFGError):
+            block.add_code_after(last_index, snippet)
+        with pytest.raises(CFGError):
+            block.delete_instruction(last_index)
+
+
+def test_mips_branch_likely_normalization():
+    cfg = cfg_of("""
+        .text
+        .global _start
+    _start:
+        beql $t0, $zero, over
+        addiu $t1, $t1, 1
+        addiu $t2, $t2, 1
+    over:
+        li $v0, 1
+        syscall
+    """, arch="mips")
+    delays = [b for b in cfg.blocks if b.kind == BK_DELAY]
+    assert len(delays) == 1  # annulled: taken edge only
+    assert delays[0].pred[0].kind == "taken"
+
+
+def test_mips_plain_branch_duplicates():
+    cfg = cfg_of("""
+        .text
+        .global _start
+    _start:
+        beq $t0, $zero, over
+        addiu $t1, $t1, 1
+        addiu $t2, $t2, 1
+    over:
+        li $v0, 1
+        syscall
+    """, arch="mips")
+    delays = [b for b in cfg.blocks if b.kind == BK_DELAY]
+    assert len(delays) == 2

@@ -1,0 +1,54 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_build_and_run(tmp_path, capsys):
+    out = str(tmp_path / "fib.eelf")
+    assert main(["build", "fib", out]) == 0
+    assert main(["run", out]) == 0
+    captured = capsys.readouterr()
+    assert "fib 1597" in captured.out
+
+
+def test_build_unknown_workload(tmp_path):
+    assert main(["build", "nonesuch", str(tmp_path / "x")]) == 1
+
+
+def test_routines_listing(tmp_path, capsys):
+    out = str(tmp_path / "fib.eelf")
+    main(["build", "fib", out])
+    assert main(["routines", out]) == 0
+    captured = capsys.readouterr()
+    assert "fib" in captured.out and "main" in captured.out
+
+
+def test_disasm(tmp_path, capsys):
+    out = str(tmp_path / "fib.eelf")
+    main(["build", "fib", out])
+    assert main(["disasm", out]) == 0
+    captured = capsys.readouterr()
+    assert "save" in captured.out and "call" in captured.out
+
+
+def test_profile_roundtrip(tmp_path, capsys):
+    src = str(tmp_path / "fib.eelf")
+    dst = str(tmp_path / "fib.prof.eelf")
+    main(["build", "fib", src])
+    assert main(["profile", src, dst, "--mode", "edge"]) == 0
+    captured = capsys.readouterr()
+    assert "fib 1597" in captured.out
+    assert main(["run", dst]) == 0
+    captured = capsys.readouterr()
+    assert "fib 1597" in captured.out
+
+
+def test_cachesim(tmp_path, capsys):
+    src = str(tmp_path / "sieve.eelf")
+    main(["build", "sieve", src])
+    assert main(["cachesim", src]) == 0
+    captured = capsys.readouterr()
+    assert "sieve 303" in captured.out
+    assert "misses" in captured.err

@@ -1,0 +1,99 @@
+"""Machine conventions: constant synthesis, counters, spills, rebinding."""
+
+import pytest
+
+from repro.isa import get_codec, get_conventions
+
+
+@pytest.fixture(params=["sparc", "mips"])
+def arch(request):
+    return request.param
+
+
+def test_load_const_small(arch):
+    conventions = get_conventions(arch)
+    words = conventions.load_const(8, 42)
+    assert len(words) == 1
+
+
+def test_load_const_large(arch):
+    conventions = get_conventions(arch)
+    words = conventions.load_const(8, 0x12345678)
+    assert len(words) == 2
+
+
+def test_load_const_negative(arch):
+    conventions = get_conventions(arch)
+    assert len(conventions.load_const(8, -1 & 0xFFFFFFFF)) <= 2
+
+
+def test_counter_increment_shape(arch):
+    conventions = get_conventions(arch)
+    codec = get_codec(arch)
+    words = conventions.counter_increment(0x1000400, *conventions.
+                                          placeholder_regs[:2])
+    assert len(words) == 4
+    categories = [codec.decode(w).category.value for w in words]
+    assert "load" in categories and "store" in categories
+
+
+def test_spill_unspill_distinct_slots(arch):
+    conventions = get_conventions(arch)
+    a = conventions.spill(8, 0)[0]
+    b = conventions.spill(8, 1)[0]
+    assert a != b
+    assert conventions.unspill(8, 0) != conventions.unspill(8, 1)
+
+
+def test_rebind_registers(arch):
+    conventions = get_conventions(arch)
+    codec = get_codec(arch)
+    p0, p1 = conventions.placeholder_regs[:2]
+    words = conventions.counter_increment(0x1000400, p0, p1)
+    rebound = conventions.rebind_registers(words, {p0: 4, p1: 5})
+    for word in rebound:
+        inst = codec.decode(word)
+        assert p0 not in inst.reads | inst.writes
+        assert p1 not in inst.reads | inst.writes
+
+
+def test_rebind_empty_mapping_is_identity(arch):
+    conventions = get_conventions(arch)
+    words = conventions.counter_increment(0x1000400, *conventions.
+                                          placeholder_regs[:2])
+    assert conventions.rebind_registers(words, {}) == words
+
+
+def test_long_jump_ends_in_indirect(arch):
+    conventions = get_conventions(arch)
+    codec = get_codec(arch)
+    words = conventions.long_jump(conventions.placeholder_regs[0],
+                                  0x12345678)
+    kinds = [codec.decode(w).category.value for w in words]
+    assert "jump_indirect" in kinds or "jump" in kinds
+
+
+def test_sparc_cc_save_restore():
+    conventions = get_conventions("sparc")
+    codec = get_codec("sparc")
+    save = conventions.save_cc(16)[0]
+    restore = conventions.restore_cc(16)[0]
+    assert codec.decode(save).name == "rdpsr"
+    assert codec.decode(restore).name == "wrpsr"
+
+
+def test_sparc_direct_jump_annulled():
+    conventions = get_conventions("sparc")
+    codec = get_codec("sparc")
+    word = conventions.direct_jump_annulled(0x1000, 0x2000)
+    inst = codec.decode(word)
+    assert inst.cond == "a" and not inst.is_delayed
+    assert codec.control_target(inst, 0x1000) == 0x2000
+
+
+def test_mips_direct_jump_region():
+    conventions = get_conventions("mips")
+    from repro.isa.base import SpanError
+
+    with pytest.raises(SpanError):
+        conventions.direct_jump(0x1000, 0x30000000)

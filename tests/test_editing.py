@@ -1,0 +1,261 @@
+"""Editing and layout: identity transforms, snippets, deletion, the
+address map, trampolines, dispatch-table rewriting, runtime translation."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.binfmt import link
+from repro.core import Executable
+from repro.minic import GCC_LIKE, SUNPRO_LIKE, compile_to_image
+from repro.sim import run_image
+from repro.tools.common import CounterArray, counter_snippet
+from repro.workloads import build_image, build_mips_image, expected_output
+
+
+def identity_edit(image):
+    exe = Executable(image).read_contents()
+    for routine in exe.all_routines():
+        routine.produce_edited_routine()
+    out = exe.edited_image()
+    out.entry = exe.edited_addr(exe.start_address())
+    return exe, out
+
+
+@pytest.mark.parametrize("name", ["fib", "interp", "qsort", "tailcalls"])
+def test_identity_transform_gcc(name):
+    image = build_image(name)
+    _, out = identity_edit(image)
+    simulator = run_image(out)
+    assert simulator.output == expected_output(name)
+    assert simulator.exit_code == 0
+
+
+@pytest.mark.parametrize("name", ["interp", "tailcalls", "tree"])
+def test_identity_transform_sunpro(name):
+    image = build_image(name, SUNPRO_LIKE)
+    _, out = identity_edit(image)
+    assert run_image(out).output == expected_output(name)
+
+
+@pytest.mark.parametrize("name", ["mips_fib", "mips_switch"])
+def test_identity_transform_mips(name):
+    from repro.workloads.mips_programs import MIPS_PROGRAMS
+
+    image = build_mips_image(name)
+    _, out = identity_edit(image)
+    assert run_image(out).output == MIPS_PROGRAMS[name][1]
+
+
+def test_identity_same_instruction_count():
+    """Re-folding keeps unedited code from growing (section 3.3)."""
+    image = build_image("fib")
+    baseline = run_image(image)
+    _, out = identity_edit(image)
+    edited_run = run_image(out)
+    assert edited_run.instructions_executed == baseline.instructions_executed
+
+
+def test_edited_addr_maps_entry():
+    image = build_image("fib")
+    exe, out = identity_edit(image)
+    new_entry = exe.edited_addr(exe.start_address())
+    assert new_entry != exe.start_address()
+    assert out.section_at(new_entry).name == ".text.edited"
+
+
+def test_unedited_address_maps_to_itself():
+    image = build_image("fib")
+    exe = Executable(image).read_contents()
+    exe.routine("main").produce_edited_routine()
+    # fib was not edited: its address is unchanged.
+    fib = exe.routine("fib")
+    assert exe.edited_addr(fib.start) == fib.start
+
+
+def test_trampoline_installed_at_original_entry():
+    image = build_image("fib")
+    exe, out = identity_edit(image)
+    fib = exe.routine("fib")
+    from repro.isa import get_codec
+
+    codec = get_codec("sparc")
+    word = out.get_section(".text").word_at(fib.start)
+    inst = codec.decode(word)
+    assert inst.category.value == "branch" and inst.cond == "a"
+    assert codec.control_target(inst, fib.start) == exe.edited_addr(fib.start)
+
+
+def test_edit_after_finalize_rejected():
+    from repro.core.executable import ExecutableError
+
+    image = build_image("fib")
+    exe = Executable(image).read_contents()
+    exe.routine("fib").produce_edited_routine()
+    exe.edited_addr(exe.start_address())
+    with pytest.raises(ExecutableError):
+        exe.routine("main").produce_edited_routine()
+
+
+def test_write_and_reload_edited_executable(tmp_path):
+    image = build_image("fib")
+    exe = Executable(image).read_contents()
+    for routine in exe.all_routines():
+        routine.produce_edited_routine()
+    path = str(tmp_path / "fib.edited")
+    entry = exe.edited_addr(exe.start_address())
+    exe.write_edited_executable(path, entry)
+    from repro.binfmt import read_image
+
+    reloaded = read_image(path)
+    assert run_image(reloaded).output == expected_output("fib")
+
+
+def test_block_snippet_executes():
+    image = build_image("fib")
+    exe = Executable(image).read_contents()
+    counters = CounterArray(exe, "__test_counts")
+    index = counters.allocate("fib head")
+    fib = exe.routine("fib")
+    cfg = fib.control_flow_graph()
+    head = cfg.block_at[fib.start]
+    head.add_code_before(0, counter_snippet(exe,
+                                            counters.address(index)))
+    for routine in exe.all_routines():
+        routine.produce_edited_routine()
+    out = exe.edited_image()
+    out.entry = exe.edited_addr(exe.start_address())
+    simulator = run_image(out)
+    assert simulator.output == expected_output("fib")
+    counts = counters.read(simulator)
+    assert counts[0] == 5167  # fib(17) makes 5167 calls
+
+
+def test_delete_instruction():
+    source = """
+    int main(void) {
+        print_int(1);
+        print_int(2);
+        return 0;
+    }
+    """
+    image = compile_to_image(source)
+    exe = Executable(image).read_contents()
+    cfg = exe.routine("main").control_flow_graph()
+    # Delete the `mov 2, ...` that feeds the second print: find it.
+    deleted = False
+    for block in cfg.normal_blocks():
+        for index, (addr, inst) in enumerate(block.instructions):
+            if inst.name == "or" and inst.has_field("simm13") \
+                    and inst.field("simm13") == 2 \
+                    and inst.field("rs1") == 0:
+                block.delete_instruction(index)
+                deleted = True
+                break
+        if deleted:
+            break
+    assert deleted
+    for routine in exe.all_routines():
+        routine.produce_edited_routine()
+    out = exe.edited_image()
+    out.entry = exe.edited_addr(exe.start_address())
+    output = run_image(out).output
+    # The register keeps its previous value (print_int's return, 0),
+    # so the second call prints 0 instead of 2.
+    assert output == "10"
+
+
+def test_edge_snippet_on_taken_edge_only():
+    source = """
+    int main(void) {
+        int i;
+        for (i = 0; i < 5; i = i + 1) { }
+        return 0;
+    }
+    """
+    image = compile_to_image(source)
+    exe = Executable(image).read_contents()
+    counters = CounterArray(exe, "__test_counts")
+    cfg = exe.routine("main").control_flow_graph()
+    edges = []
+    for block in cfg.normal_blocks():
+        last = block.last_instruction
+        if last is not None and last.is_branch and last.is_conditional:
+            taken = block.taken_edge()
+            fall = block.fall_edge()
+            t = counters.allocate("taken")
+            f = counters.allocate("fall")
+            taken.add_code_along(counter_snippet(exe, counters.address(t)))
+            fall.add_code_along(counter_snippet(exe, counters.address(f)))
+            edges.append((t, f))
+    assert edges
+    for routine in exe.all_routines():
+        routine.produce_edited_routine()
+    out = exe.edited_image()
+    out.entry = exe.edited_addr(exe.start_address())
+    simulator = run_image(out)
+    values = counters.read(simulator)
+    total_taken = sum(values[t] for t, _ in edges)
+    total_fall = sum(values[f] for _, f in edges)
+    # The loop condition is tested 6 times: 5 iterations one way, 1 exit.
+    assert total_taken + total_fall == 6
+
+
+def test_dispatch_table_edges_with_snippets():
+    image = build_image("interp")
+    exe = Executable(image).read_contents()
+    counters = CounterArray(exe, "__test_counts")
+    cfg = exe.routine("step").control_flow_graph()
+    computed = [e for e in cfg.all_edges() if e.kind == "computed"]
+    assert computed
+    indices = []
+    for edge in computed:
+        index = counters.allocate(("case", edge.dst.start))
+        indices.append(index)
+        edge.add_code_along(counter_snippet(exe, counters.address(index)))
+    for routine in exe.all_routines():
+        routine.produce_edited_routine()
+    out = exe.edited_image()
+    out.entry = exe.edited_addr(exe.start_address())
+    simulator = run_image(out)
+    assert simulator.output == expected_output("interp")
+    values = counters.read(simulator)
+    # The interpreter executes 62 bytecodes in total through the table.
+    assert sum(values[i] for i in indices) > 0
+
+
+def test_tail_call_literal_patched():
+    image = build_image("tailcalls", SUNPRO_LIKE)
+    exe, out = identity_edit(image)
+    assert run_image(out).output == expected_output("tailcalls")
+
+
+OPAQUE_JUMP = """
+    .text
+    .global _start
+_start:
+    set slot, %l0
+    set target, %l1
+    st %l1, [%l0]
+    ld [%l0], %l2
+    jmp %l2
+    nop
+target:
+    mov 7, %o0
+    mov 2, %g1
+    ta 0
+    clr %o0
+    mov 1, %g1
+    ta 0
+    .data
+slot: .word 0
+"""
+
+
+def test_runtime_translation_fallback():
+    """An unanalyzable indirect jump still works in the edited program,
+    through the original->edited translation table (section 3.3)."""
+    image = link([assemble(OPAQUE_JUMP, "sparc")])
+    assert run_image(image).output == "7"
+    exe, out = identity_edit(image)
+    assert out.has_section("__eel_translation")
+    assert run_image(out).output == "7"

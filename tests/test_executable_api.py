@@ -1,0 +1,149 @@
+"""The Executable facade: Figure 1's API surface and additions."""
+
+import pytest
+
+from repro.core import Executable
+from repro.core.executable import ExecutableError, RoutineList
+from repro.sim import run_image
+from repro.workloads import build_image, expected_output
+
+
+def test_routine_list_worklist_interface():
+    routines = RoutineList(["a", "b"])
+    assert not routines.is_empty()
+    assert routines.first() == "a"
+    routines.remove("a")
+    routines.add("c")
+    assert list(routines) == ["b", "c"]
+    assert len(routines) == 2
+    assert routines[0] == "b"
+
+
+def test_figure1_protocol():
+    """The exact call sequence of the paper's Figure 1."""
+    exe = Executable(build_image("fib"))
+    exe.read_contents()
+    for routine in exe.routines():
+        graph = routine.control_flow_graph()
+        assert graph.blocks
+        routine.produce_edited_routine()
+        routine.delete_control_flow_graph()
+    hidden = exe.hidden_routines()
+    while not hidden.is_empty():
+        routine = hidden.first()
+        hidden.remove(routine)
+        routine.produce_edited_routine()
+        exe.routines().add(routine)
+    x = exe.edited_addr(exe.start_address())
+    image = exe.edited_image()
+    image.entry = x
+    assert run_image(image).output == expected_output("fib")
+
+
+def test_routine_queries():
+    exe = Executable(build_image("fib")).read_contents()
+    fib = exe.routine("fib")
+    assert fib is not None
+    assert exe.routine_at(fib.start + 8) is fib
+    assert exe.routine("nonexistent") is None
+    assert fib.entry == fib.start
+    assert fib.size == fib.end - fib.start
+    instructions = fib.instructions()
+    assert len(instructions) == fib.size // 4
+
+
+def test_add_data_alignment_and_separation():
+    exe = Executable(build_image("fib")).read_contents()
+    a = exe.add_data("__blob_a", 100)
+    b = exe.add_data("__blob_b", 8, initial=b"\x01\x02\x03\x04aaaa")
+    assert a % 1024 == 0 and b % 1024 == 0
+    assert b >= a + 100
+    exe.routine("main").produce_edited_routine()
+    image = exe.edited_image()
+    assert image.get_section("__blob_a").size >= 100
+    assert image.get_section("__blob_b").data[:4] == bytearray(
+        b"\x01\x02\x03\x04")
+    assert image.find_symbol("__blob_a").value == a
+
+
+def test_add_routine_assembled_and_linked():
+    exe = Executable(build_image("fib")).read_contents()
+    counter = exe.add_data("__hook_count", 4)
+    hook_addr = exe.add_routine("__hook", """
+        .text
+        .global __hook
+    __hook:
+        set %d, %%g2
+        ld [%%g2], %%g3
+        add %%g3, 1, %%g3
+        st %%g3, [%%g2]
+        retl
+        nop
+    """ % counter)
+    assert hook_addr == exe._new_text_base
+    exe.routine("main").produce_edited_routine()
+    image = exe.edited_image()
+    symbol = image.find_symbol("__hook")
+    assert symbol is not None and symbol.value == hook_addr
+    # The routine's code is present at its address.
+    from repro.isa import get_codec
+
+    codec = get_codec("sparc")
+    first = codec.decode(image.word_at(hook_addr))
+    assert first.name == "sethi"
+
+
+def test_added_routine_may_reference_program_symbols():
+    exe = Executable(build_image("fib")).read_contents()
+    addr = exe.add_routine("__wrapper", """
+        .text
+        .global __wrapper
+    __wrapper:
+        mov %o7, %g4
+        call print_int
+        nop
+        jmp %g4 + 8
+        nop
+    """)
+    assert addr
+    # The call displacement resolves to the real print_int.
+    exe.routine("main").produce_edited_routine()
+    image = exe.edited_image()
+    from repro.isa import get_codec
+
+    codec = get_codec("sparc")
+    call_word = image.word_at(addr + 4)
+    inst = codec.decode(call_word)
+    target = codec.control_target(inst, addr + 4)
+    original = Executable(build_image("fib")).read_contents()
+    assert target == original.routine("print_int").start
+
+
+def test_add_routine_undefined_symbol():
+    exe = Executable(build_image("fib")).read_contents()
+    with pytest.raises(ExecutableError):
+        exe.add_routine("__broken", """
+            .text
+            .global __broken
+        __broken:
+            call no_such_routine
+            nop
+        """)
+
+
+def test_non_executable_image_rejected():
+    from repro.asm import assemble
+
+    obj = assemble(".text\nnop\n", "sparc")
+    with pytest.raises(ExecutableError):
+        Executable(obj)
+
+
+def test_claim_data_bookkeeping():
+    exe = Executable(build_image("fib")).read_contents()
+    fib = exe.routine("fib")
+    exe.claim_data(fib.start + 16, 8)
+    claimed = exe.claimed_data(fib)
+    assert fib.start + 16 in claimed and fib.start + 20 in claimed
+    other = exe.routine("main")
+    assert not exe.claimed_data(other)

@@ -1,0 +1,155 @@
+"""Differential fuzzing: random programs survive the identity transform.
+
+A seeded generator produces random (but valid and terminating) minic
+programs; each is compiled under both compiler personalities, run, put
+through EEL's identity transform, and run again.  Output and exit code
+must survive the round trip — this exercises symbol refinement, CFG
+normalization, indirect-jump analysis, layout, and re-folding against
+code shapes no hand-written test anticipates.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Executable
+from repro.minic import GCC_LIKE, SUNPRO_LIKE, compile_to_image
+from repro.sim import run_image
+
+
+class ProgramGenerator:
+    """Generates small, terminating minic programs."""
+
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+        self.counter = 0
+
+    def fresh(self, prefix):
+        self.counter += 1
+        return "%s%d" % (prefix, self.counter)
+
+    def expr(self, names, depth=0):
+        rng = self.rng
+        if depth > 2 or rng.random() < 0.4:
+            if names and rng.random() < 0.6:
+                return rng.choice(names)
+            return str(rng.randint(-50, 50))
+        op = rng.choice(["+", "-", "*", "&", "|", "^"])
+        return "(%s %s %s)" % (self.expr(names, depth + 1), op,
+                               self.expr(names, depth + 1))
+
+    # Loop counters are reserved: statements may read them but never
+    # assign them, which guarantees every generated loop terminates.
+    TARGETS = ("x", "y")
+
+    def statement(self, names, depth, loop_depth=0):
+        rng = self.rng
+        kind = rng.randint(0, 5 if depth < 2 else 3)
+        if kind == 0:
+            return "%s = %s;" % (rng.choice(self.TARGETS),
+                                 self.expr(names))
+        if kind == 1:
+            return "acc = acc + (%s);" % self.expr(names)
+        if kind == 2:
+            return "print_int(%s & 1023); print_char(' ');" \
+                % self.expr(names)
+        if kind == 3:
+            target = rng.choice(self.TARGETS)
+            return "%s = %s > %s ? %s : %s;" % (
+                target, self.expr(names), self.expr(names),
+                self.expr(names), self.expr(names))
+        if kind == 4:
+            body = " ".join(self.statement(names, depth + 1, loop_depth)
+                            for _ in range(rng.randint(1, 3)))
+            return "if (%s > %s) { %s } else { %s }" % (
+                self.expr(names), self.expr(names), body,
+                self.statement(names, depth + 1, loop_depth))
+        # Bounded loop over a reserved counter (i, j by nesting level).
+        var = "i" if loop_depth == 0 else "j"
+        body = " ".join(self.statement(names + [var], depth + 1,
+                                       loop_depth + 1)
+                        for _ in range(rng.randint(1, 2)))
+        return ("for (%s = 0; %s < %d; %s = %s + 1) { %s }"
+                % (var, var, rng.randint(1, 8), var, var, body))
+
+    def switch_function(self, name):
+        rng = self.rng
+        cases = sorted(rng.sample(range(0, 12), rng.randint(4, 7)))
+        arms = "\n".join("    case %d: return %d;" % (value,
+                                                      rng.randint(0, 99))
+                         for value in cases)
+        return ("static int %s(int x) {\n  switch (x) {\n%s\n"
+                "    default: return -1;\n  }\n}\n" % (name, arms))
+
+    def helper_function(self, name):
+        names = ["a", "b"]
+        body = " ".join(self.statement(names, 1)
+                        for _ in range(self.rng.randint(1, 3)))
+        return ("static int %s(int a) {\n"
+                "  int b; int acc; int x; int y; int i; int j;\n"
+                "  b = a * 2; acc = 0; x = a; y = b; i = 0; j = 0;\n"
+                "  %s\n  return acc + b + x + y;\n}\n"
+                % (name, body))
+
+    def program(self):
+        rng = self.rng
+        parts = []
+        switch = self.fresh("sw")
+        helper = self.fresh("fn")
+        parts.append(self.switch_function(switch))
+        parts.append(self.helper_function(helper))
+        names = ["x", "y"]
+        statements = [self.statement(names, 0)
+                      for _ in range(rng.randint(3, 7))]
+        statements.append("print_int(%s(x & 15));" % switch)
+        statements.append("print_int(%s(y & 31));" % helper)
+        return (
+            "%s\nint main(void) {\n"
+            "  int x; int y; int i; int j; int acc;\n"
+            "  x = %d; y = %d; i = 0; j = 0; acc = 0;\n  %s\n"
+            "  print_int(acc & 65535);\n  return 0;\n}\n"
+            % ("\n".join(parts), rng.randint(0, 99), rng.randint(0, 99),
+               "\n  ".join(statements))
+        )
+
+
+def _identity(image):
+    exe = Executable(image).read_contents()
+    for routine in exe.all_routines():
+        routine.produce_edited_routine()
+    out = exe.edited_image()
+    out.entry = exe.edited_addr(exe.start_address())
+    return out
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_program_identity_roundtrip(seed):
+    source = ProgramGenerator(seed).program()
+    for options in (GCC_LIKE, SUNPRO_LIKE,
+                    GCC_LIKE.named(hide_statics=True)):
+        image = compile_to_image(source, options)
+        baseline = run_image(image, max_steps=2_000_000)
+        edited = _identity(image)
+        roundtrip = run_image(edited, max_steps=4_000_000)
+        assert roundtrip.output == baseline.output, (seed, options)
+        assert roundtrip.exit_code == baseline.exit_code, (seed, options)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_program_profiles_exactly(seed):
+    from repro.tools.qpt import profile
+
+    source = ProgramGenerator(1000 + seed).program()
+    image = compile_to_image(source)
+    base = run_image(image, count_pcs=True, max_steps=2_000_000)
+    exe = Executable(image).read_contents()
+    truth = {}
+    for routine in exe.all_routines():
+        cfg = routine.control_flow_graph()
+        for block in cfg.normal_blocks():
+            truth[(routine.name, block.start)] = base.pc_counts.get(
+                block.start, 0)
+    tool, simulator = profile(image, mode="edge")
+    assert simulator.output == base.output
+    for key, value in tool.block_counts(simulator).items():
+        assert truth.get(key, 0) == value, (seed, key)

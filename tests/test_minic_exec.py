@@ -1,0 +1,308 @@
+"""Compile-and-run tests for every minic language construct."""
+
+import pytest
+
+from repro.minic import (
+    CompileError,
+    CompilerOptions,
+    GCC_LIKE,
+    SUNPRO_LIKE,
+    compile_to_assembly,
+    compile_to_image,
+)
+from repro.sim import run_image
+
+
+def run_main(body, options=GCC_LIKE, prelude=""):
+    source = "%s\nint main(void) { %s }" % (prelude, body)
+    return run_image(compile_to_image(source, options)).output
+
+
+def test_print_int():
+    assert run_main("print_int(42); return 0;") == "42"
+
+
+def test_arithmetic_precedence():
+    assert run_main("print_int(2 + 3 * 4 - 10 / 2); return 0;") == "9"
+    assert run_main("print_int((2 + 3) * 4); return 0;") == "20"
+    assert run_main("print_int(17 % 5); return 0;") == "2"
+    assert run_main("print_int(-17 % 5); return 0;") == "-2"
+
+
+def test_bitwise_and_shifts():
+    assert run_main("print_int(12 & 10); return 0;") == "8"
+    assert run_main("print_int(12 | 3); return 0;") == "15"
+    assert run_main("print_int(12 ^ 10); return 0;") == "6"
+    assert run_main("print_int(1 << 10); return 0;") == "1024"
+    assert run_main("print_int(-16 >> 2); return 0;") == "-4"
+    assert run_main("print_int(~0); return 0;") == "-1"
+
+
+def test_comparisons_as_values():
+    assert run_main("print_int(3 < 4); print_int(4 < 3); return 0;") == "10"
+    assert run_main("print_int(3 == 3); print_int(3 != 3); return 0;") \
+        == "10"
+
+
+def test_logical_short_circuit():
+    prelude = """
+    int calls;
+    int bump(void) { calls = calls + 1; return 1; }
+    """
+    out = run_main(
+        "calls = 0; if (0 && bump()) { } print_int(calls);"
+        " if (1 || bump()) { } print_int(calls); return 0;",
+        prelude=prelude,
+    )
+    assert out == "00"
+
+
+def test_ternary():
+    assert run_main("print_int(5 > 3 ? 7 : 9); return 0;") == "7"
+
+
+def test_locals_and_compound_assign():
+    body = """
+    int x; x = 10;
+    x += 5; x -= 3; x *= 2; x /= 4; x %= 4;
+    print_int(x); return 0;
+    """
+    assert run_main(body) == "2"
+
+
+def test_incdec():
+    body = """
+    int x; int y;
+    x = 5;
+    y = x++;
+    print_int(y); print_int(x);
+    y = ++x;
+    print_int(y);
+    return 0;
+    """
+    assert run_main(body) == "567"
+
+
+def test_while_for_dowhile():
+    assert run_main("""
+        int i; int s; s = 0;
+        for (i = 0; i < 5; i = i + 1) { s = s + i; }
+        print_int(s);
+        while (s > 0) { s = s - 3; }
+        print_int(s);
+        do { s = s + 1; } while (s < 2);
+        print_int(s);
+        return 0;
+    """) == "10-22"
+
+
+def test_break_continue():
+    assert run_main("""
+        int i; int s; s = 0;
+        for (i = 0; i < 10; i = i + 1) {
+            if (i == 3) { continue; }
+            if (i == 6) { break; }
+            s = s + i;
+        }
+        print_int(s);
+        return 0;
+    """) == "12"  # 0+1+2+4+5
+
+
+def test_global_arrays_and_pointers():
+    prelude = "int data[5];"
+    body = """
+    int i; int *p;
+    for (i = 0; i < 5; i = i + 1) { data[i] = i * i; }
+    p = data;
+    print_int(p[3]);
+    print_int(*(p + 4));
+    return 0;
+    """
+    assert run_main(body, prelude=prelude) == "916"
+
+
+def test_address_of_and_deref():
+    body = """
+    int x; int *p;
+    x = 7;
+    p = &x;
+    *p = 11;
+    print_int(x);
+    return 0;
+    """
+    assert run_main(body) == "11"
+
+
+def test_char_arrays_and_strings():
+    prelude = 'char msg[] = "abc";'
+    body = """
+    print_int(msg[0]);
+    msg[0] = 'z';
+    print_str(msg);
+    return 0;
+    """
+    assert run_main(body, prelude=prelude) == "97zbc"
+
+
+def test_local_arrays():
+    body = """
+    int a[4]; int i; int s;
+    for (i = 0; i < 4; i = i + 1) { a[i] = i + 1; }
+    s = 0;
+    for (i = 0; i < 4; i = i + 1) { s = s + a[i]; }
+    print_int(s);
+    return 0;
+    """
+    assert run_main(body) == "10"
+
+
+def test_recursion():
+    prelude = """
+    int fact(int n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+    """
+    assert run_main("print_int(fact(6)); return 0;", prelude=prelude) \
+        == "720"
+
+
+def test_switch_dense_uses_table():
+    source = """
+    int pick(int x) {
+        switch (x) {
+        case 0: return 10;
+        case 1: return 11;
+        case 2: return 12;
+        case 3: return 13;
+        default: return 99;
+        }
+    }
+    int main(void) { return 0; }
+    """
+    text, _ = compile_to_assembly(source, GCC_LIKE)
+    assert "jmp" in text and ".word" in text  # dispatch table emitted
+    text_chain, _ = compile_to_assembly(
+        source, GCC_LIKE.named(dispatch_tables=False))
+    assert ".Ltab" not in text_chain
+
+
+def test_switch_semantics_table_and_chain():
+    prelude = """
+    int pick(int x) {
+        switch (x) {
+        case 2: return 20;
+        case 3: return 30;
+        case 4: return 40;
+        case 5: return 50;
+        case 9: return 90;
+        }
+        return -1;
+    }
+    """
+    body = """
+    int i;
+    for (i = 0; i < 11; i = i + 1) { print_int(pick(i)); print_char(' '); }
+    return 0;
+    """
+    expected = "-1 -1 20 30 40 50 -1 -1 -1 90 -1 "
+    for options in (GCC_LIKE, GCC_LIKE.named(dispatch_tables=False),
+                    SUNPRO_LIKE):
+        assert run_main(body, options, prelude) == expected
+
+
+def test_sparse_switch_uses_chain():
+    source = """
+    int pick(int x) {
+        switch (x) {
+        case 0: return 1;
+        case 100: return 2;
+        case 1000: return 3;
+        case 10000: return 4;
+        }
+        return 0;
+    }
+    int main(void) { return pick(100); }
+    """
+    text, _ = compile_to_assembly(source, GCC_LIKE)
+    assert ".Ltab" not in text  # too sparse for a table
+
+
+def test_tail_call_option_changes_code():
+    source = """
+    static int helper(int x) { return x + 1; }
+    int outer(int x) { return helper(x); }
+    int main(void) { print_int(outer(4)); return 0; }
+    """
+    plain, _ = compile_to_assembly(source, GCC_LIKE)
+    tail, _ = compile_to_assembly(source, SUNPRO_LIKE)
+    assert "jmp %g1" in tail
+    assert "jmp %g1" not in plain
+    assert run_image(compile_to_image(source, SUNPRO_LIKE)).output == "5"
+
+
+def test_tables_in_text_option():
+    source = """
+    int pick(int x) {
+        switch (x) {
+        case 0: return 1;
+        case 1: return 2;
+        case 2: return 3;
+        case 3: return 4;
+        }
+        return 0;
+    }
+    int main(void) { return 0; }
+    """
+    in_text, _ = compile_to_assembly(
+        source, GCC_LIKE.named(tables_in_text=True))
+    # The table rows must appear before the .rodata/.data sections.
+    text_part = in_text.split(".rodata")[0] if ".rodata" in in_text \
+        else in_text
+    assert ".word" in text_part
+
+
+def test_builtin_library_calls():
+    assert run_main('print_int(strlen("hello")); return 0;') == "5"
+    assert run_main('print_int(abs_int(-9)); return 0;') == "9"
+    assert run_main('print_int(max_int(3, 8)); return 0;') == "8"
+
+
+def test_read_int_builtin():
+    source = "int main(void) { print_int(read_int() + read_int());" \
+        " return 0; }"
+    image = compile_to_image(source)
+    assert run_image(image, stdin_text="20 22").output == "42"
+
+
+def test_compile_errors():
+    with pytest.raises(CompileError):
+        compile_to_image("int main(void) { return undefined_var; }")
+    with pytest.raises(CompileError):
+        compile_to_image("int main(void) { break; }")
+    with pytest.raises(CompileError):
+        compile_to_image(
+            "int f(int a, int b, int c, int d, int e, int g, int h)"
+            " { return 0; }\nint main(void) { return 0; }"
+        )
+
+
+def test_exit_code_from_main():
+    image = compile_to_image("int main(void) { return 3; }")
+    assert run_image(image).exit_code == 3
+
+
+def test_hide_statics_option():
+    source = """
+    static int helper(int x) { return x * 2; }
+    int main(void) { print_int(helper(21)); return 0; }
+    """
+    image = compile_to_image(source, GCC_LIKE.named(hide_statics=True))
+    assert image.find_symbol("helper") is None
+    assert image.find_symbol("main") is not None
+    assert run_image(image).output == "42"
+
+
+def test_strip_option():
+    image = compile_to_image("int main(void) { return 0; }",
+                             GCC_LIKE.named(strip=True))
+    assert not image.symbols
+    assert run_image(image).exit_code == 0

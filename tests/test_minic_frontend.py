@@ -1,0 +1,111 @@
+"""minic lexer and parser."""
+
+import pytest
+
+from repro.minic import ast
+from repro.minic.lexer import LexError, tokenize
+from repro.minic.parser import ParseError, parse
+
+
+def test_tokens():
+    tokens = tokenize("int x = 0x1F + 'a'; // comment\n/* block */ y")
+    kinds = [t.kind for t in tokens]
+    assert kinds == ["kw", "id", "op", "num", "op", "num", "op", "id",
+                     "eof"]
+    assert tokens[3].value == 0x1F
+    assert tokens[5].value == ord("a")
+
+
+def test_string_escapes():
+    tokens = tokenize(r'"a\nb\tc\0"')
+    assert tokens[0].value == "a\nb\tc\0"
+
+
+def test_bad_character():
+    with pytest.raises(LexError):
+        tokenize("int @ x;")
+
+
+def test_parse_function_shapes():
+    program = parse("""
+    int add(int a, int b) { return a + b; }
+    static int s(void) { return 0; }
+    int main(void) { return add(1, 2); }
+    """)
+    assert [f.name for f in program.functions] == ["add", "s", "main"]
+    assert program.function("s").static
+    assert len(program.function("add").params) == 2
+
+
+def test_parse_globals():
+    program = parse("""
+    int x;
+    int y = 5;
+    int arr[10];
+    int init[] = { 1, 2, 3 };
+    char msg[] = "hi";
+    static int hidden_global;
+    """)
+    by_name = {g.name: g for g in program.globals}
+    assert by_name["y"].init == 5
+    assert by_name["arr"].array == 10
+    assert by_name["init"].array == 3
+    assert by_name["msg"].array == 3  # "hi" + NUL
+    assert by_name["hidden_global"].static
+
+
+def test_parse_statements():
+    program = parse("""
+    int f(int n) {
+        int i;
+        for (i = 0; i < n; i = i + 1) {
+            if (i == 2) { continue; }
+            while (n > 0) { break; }
+            do { n = n - 1; } while (n > 10);
+        }
+        switch (n) {
+        case 1: return 1;
+        case 2: break;
+        default: return 0;
+        }
+        return n;
+    }
+    """)
+    body = program.function("f").body.statements
+    assert any(isinstance(s, ast.For) for s in body)
+    switch = [s for s in body if isinstance(s, ast.Switch)][0]
+    assert [value for value, _ in switch.cases] == [1, 2]
+    assert switch.default is not None
+
+
+def test_parse_expressions():
+    program = parse("""
+    int f(int *p, int x) {
+        x += 2;
+        x = p[1] + *p - -x;
+        x = x < 3 ? 1 : 0;
+        x = (int)p;
+        p = (int *)x;
+        x++;
+        --x;
+        return x && p || !x;
+    }
+    """)
+    assert program.function("f") is not None
+
+
+def test_prototypes_skipped():
+    program = parse("""
+    static int odd(int n);
+    static int odd(int n) { return n & 1; }
+    """)
+    assert len(program.functions) == 1
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse("int f( { }")
+    with pytest.raises(ParseError):
+        parse("int f(void) { return; ")
+    with pytest.raises(ParseError):
+        parse("int f(void) { switch (1) { x = 1; } }")

@@ -1,0 +1,161 @@
+"""Handwritten MIPS codec: decode, encode, classify."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import get_codec
+from repro.isa.base import Category, SpanError
+
+codec = get_codec("mips")
+
+
+def test_rtype_roundtrip():
+    word = codec.encode("addu", rd=2, rs=4, rt=5)
+    inst = codec.decode(word)
+    assert inst.name == "addu"
+    assert inst.reads == frozenset({4, 5})
+    assert inst.writes == frozenset({2})
+
+
+def test_zero_register_filtered():
+    word = codec.encode("addu", rd=0, rs=4, rt=5)
+    assert codec.decode(word).writes == frozenset()
+
+
+def test_shift():
+    inst = codec.decode(codec.encode("sll", rd=2, rt=3, shamt=7))
+    assert inst.get_field("shamt") == 7
+    assert inst.reads == frozenset({3})
+
+
+def test_nop_decodes_as_sll():
+    inst = codec.decode(0)
+    assert inst.name == "sll"
+    assert inst.writes == frozenset()
+
+
+def test_immediate_sign():
+    inst = codec.decode(codec.encode("addiu", rt=2, rs=3, imm16=-4))
+    assert inst.get_field("imm16") == -4
+
+
+def test_branches():
+    beq = codec.decode(codec.encode("beq", rs=4, rt=5, imm16=3))
+    assert beq.category is Category.BRANCH
+    assert beq.is_delayed and not beq.annul_untaken
+    assert codec.control_target(beq, 0x100) == 0x100 + 4 + 12
+
+    likely = codec.decode(codec.encode("bnel", rs=4, rt=5, imm16=3))
+    assert likely.annul_untaken  # branch-likely = annulled variant
+
+
+def test_regimm_branches():
+    bltz = codec.decode(codec.encode("bltz", rs=9, imm16=-2))
+    assert bltz.category is Category.BRANCH
+    assert bltz.cond == "ltz"
+    bgezl = codec.decode(codec.encode("bgezl", rs=9, imm16=-2))
+    assert bgezl.annul_untaken
+
+
+def test_jumps():
+    j = codec.decode(codec.encode("j", target26=0x400))
+    assert j.category is Category.JUMP
+    assert codec.control_target(j, 0x1000) == 0x1000
+
+
+def test_j_region_semantics():
+    j = codec.decode(codec.encode("j", target26=0x40))
+    assert codec.control_target(j, 0x10000000) == 0x10000100
+
+
+def test_jal_writes_ra():
+    jal = codec.decode(codec.encode("jal", target26=0x400))
+    assert jal.category is Category.CALL
+    assert jal.writes == frozenset({31})
+
+
+def test_jr_overloads():
+    ret = codec.decode(codec.encode("jr", rs=31))
+    assert ret.category is Category.RETURN
+    jump = codec.decode(codec.encode("jr", rs=25))
+    assert jump.category is Category.JUMP_INDIRECT
+
+
+def test_jalr():
+    inst = codec.decode(codec.encode("jalr", rs=25))
+    assert inst.category is Category.CALL_INDIRECT
+    assert inst.writes == frozenset({31})
+
+
+def test_memory():
+    lb = codec.decode(codec.encode("lb", rt=8, rs=29, imm16=-4))
+    assert lb.category is Category.LOAD
+    assert lb.mem_width == 1 and lb.mem_signed
+    sw = codec.decode(codec.encode("sw", rt=8, rs=29, imm16=0))
+    assert sw.category is Category.STORE
+    assert 8 in sw.reads
+
+
+def test_lui():
+    inst = codec.decode(codec.encode("lui", rt=8, uimm16=0x1234))
+    assert inst.get_field("uimm16") == 0x1234
+    assert inst.reads == frozenset()
+
+
+def test_multdiv_hi_lo():
+    mult = codec.decode(codec.encode("mult", rs=4, rt=5))
+    assert codec.regs.number("$hi") in mult.writes
+    assert codec.regs.number("$lo") in mult.writes
+    mflo = codec.decode(codec.encode("mflo", rd=2))
+    assert codec.regs.number("$lo") in mflo.reads
+
+
+def test_syscall():
+    inst = codec.decode(codec.encode("syscall"))
+    assert inst.category is Category.SYSTEM
+    assert 2 in inst.reads  # $v0
+
+
+def test_invalid():
+    assert codec.decode(0xFC000000).category is Category.INVALID
+
+
+def test_invert_branch():
+    word = codec.encode("beq", rs=1, rt=2, imm16=5)
+    assert codec.decode(codec.invert_branch(word)).name == "bne"
+    word = codec.encode("bltzl", rs=1, imm16=5)
+    assert codec.decode(codec.invert_branch(word)).name == "bgezl"
+
+
+def test_clear_annul_converts_likely():
+    word = codec.encode("beql", rs=1, rt=2, imm16=5)
+    cleared = codec.decode(codec.clear_annul(word))
+    assert cleared.name == "beq"
+    assert not cleared.annul_untaken
+
+
+def test_with_control_target():
+    word = codec.encode("bne", rs=1, rt=2, imm16=0)
+    patched = codec.with_control_target(word, 0x1000, 0x1100)
+    assert codec.control_target(codec.decode(patched), 0x1000) == 0x1100
+    with pytest.raises(SpanError):
+        codec.with_control_target(word, 0x1000, 0x1000000)
+
+
+def test_j_region_violation():
+    word = codec.encode("j", target26=0)
+    with pytest.raises(SpanError):
+        codec.with_control_target(word, 0x1000, 0x20000000)
+
+
+def test_disassemble_smoke():
+    assert codec.disassemble(0) == "nop"
+    assert "addu" in codec.disassemble(codec.encode("addu", rd=2, rs=4,
+                                                    rt=5))
+    assert "lw" in codec.disassemble(codec.encode("lw", rt=2, rs=29,
+                                                  imm16=8))
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_decode_total(word):
+    assert codec.decode(word).category in Category

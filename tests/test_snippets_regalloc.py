@@ -1,0 +1,134 @@
+"""Snippets and register scavenging (paper section 3.5)."""
+
+import pytest
+
+from repro.core.regalloc import RegallocError, allocate_snippet
+from repro.core.snippet import CodeSnippet, TaggedCodeSnippet
+from repro.isa import get_codec, get_conventions
+
+conventions = get_conventions("sparc")
+codec = get_codec("sparc")
+
+
+def counter_words(p0, p1):
+    return conventions.counter_increment(0x1000400, p0, p1)
+
+
+def test_scavenges_dead_registers():
+    snippet = CodeSnippet(counter_words(16, 17), alloc_regs=(16, 17))
+    live = frozenset({8, 9, 24})
+    allocated = allocate_snippet(snippet, live, conventions)
+    assert not allocated.spilled
+    used = set(allocated.mapping.values())
+    assert not (used & live)
+    assert len(used) == 2
+
+
+def test_forbidden_registers_respected():
+    snippet = CodeSnippet(counter_words(16, 17), alloc_regs=(16, 17),
+                          forbidden_regs=frozenset(range(16, 24)))
+    allocated = allocate_snippet(snippet, frozenset(), conventions)
+    assert not (set(allocated.mapping.values()) & set(range(16, 24)))
+
+
+def test_spills_when_no_dead_registers():
+    snippet = CodeSnippet(counter_words(16, 17), alloc_regs=(16, 17))
+    live = frozenset(conventions.scavenge_candidates)
+    allocated = allocate_snippet(snippet, live, conventions)
+    assert len(allocated.spilled) == 2
+    # Spill/unspill wrap the body.
+    assert len(allocated.words) == len(snippet.words) + 4
+    first = codec.decode(allocated.words[0])
+    assert first.category.value == "store"
+    last = codec.decode(allocated.words[-1])
+    assert last.category.value == "load"
+
+
+def test_exhaustion_raises():
+    many = tuple(range(16, 24))
+    snippet = CodeSnippet([codec.nop_word], alloc_regs=many + (8, 9, 10, 11,
+                                                              12, 13, 1, 2,
+                                                              3, 4))
+    live = frozenset()
+    # More placeholders than scavenge candidates exist.
+    snippet2 = CodeSnippet([codec.nop_word],
+                           alloc_regs=tuple(range(30)))
+    with pytest.raises(RegallocError):
+        allocate_snippet(snippet2, live, conventions)
+
+
+def test_cc_save_wrap_when_cc_live():
+    snippet = CodeSnippet(counter_words(16, 17), alloc_regs=(16, 17),
+                          clobbers_cc=True)
+    icc = codec.regs.number("%icc")
+    allocated = allocate_snippet(snippet, frozenset({icc}), conventions)
+    names = [codec.decode(w).name for w in allocated.words]
+    assert names[0] == "rdpsr" or "rdpsr" in names
+    assert "wrpsr" in names
+    rd_at = names.index("rdpsr")
+    wr_at = names.index("wrpsr")
+    assert rd_at < wr_at
+
+
+def test_no_cc_save_when_cc_dead():
+    snippet = CodeSnippet(counter_words(16, 17), alloc_regs=(16, 17),
+                          clobbers_cc=True)
+    allocated = allocate_snippet(snippet, frozenset(), conventions)
+    names = [codec.decode(w).name for w in allocated.words]
+    assert "rdpsr" not in names
+
+
+def test_callback_invoked_with_address():
+    seen = {}
+
+    def callback(words, address, mapping):
+        seen["address"] = address
+        seen["mapping"] = mapping
+        return words
+
+    snippet = CodeSnippet(counter_words(16, 17), alloc_regs=(16, 17),
+                          callback=callback)
+    allocated = allocate_snippet(snippet, frozenset(), conventions)
+    allocated.run_callback(0x5000)
+    assert seen["address"] == 0x5000
+    assert set(seen["mapping"]) == {16, 17}
+
+
+def test_callback_may_patch_words():
+    def callback(words, address, mapping):
+        words[0] = codec.nop_word
+        return words
+
+    snippet = CodeSnippet(counter_words(16, 17), alloc_regs=(16, 17),
+                          callback=callback)
+    allocated = allocate_snippet(snippet, frozenset(), conventions)
+    words = allocated.run_callback(0x5000)
+    assert words[0] == codec.nop_word
+
+
+def test_callback_cannot_change_length():
+    def callback(words, address, mapping):
+        return words + [codec.nop_word]
+
+    snippet = CodeSnippet([codec.nop_word], callback=callback)
+    allocated = allocate_snippet(snippet, frozenset(), conventions)
+    with pytest.raises(RegallocError):
+        allocated.run_callback(0)
+
+
+def test_tagged_snippet_find_and_set():
+    snippet = TaggedCodeSnippet(counter_words(16, 17),
+                                alloc_regs=(16, 17))
+    word = snippet.find_inst(0)
+    snippet.set_inst(0, codec.nop_word)
+    assert snippet.find_inst(0) == codec.nop_word
+    assert snippet.find_inst(1) != word
+
+
+def test_mips_allocation():
+    mips_conv = get_conventions("mips")
+    snippet = CodeSnippet(mips_conv.counter_increment(0x1000400, 8, 9),
+                          alloc_regs=(8, 9))
+    allocated = allocate_snippet(snippet, frozenset({8, 9}), mips_conv)
+    used = set(allocated.mapping.values())
+    assert not used & {8, 9}

@@ -1,0 +1,212 @@
+"""Handwritten SPARC codec: decode, encode, classify."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import get_codec
+from repro.isa.base import Category, SpanError
+
+codec = get_codec("sparc")
+
+
+def test_alu_roundtrip_immediate():
+    word = codec.encode("add", rd=9, rs1=8, simm13=-42)
+    inst = codec.decode(word)
+    assert inst.name == "add"
+    assert inst.get_field("simm13") == -42
+    assert inst.get_field("rd") == 9
+    assert inst.category is Category.COMPUTE
+
+
+def test_alu_roundtrip_register():
+    word = codec.encode("xor", rd=2, rs1=3, rs2=4)
+    inst = codec.decode(word)
+    assert inst.reads == frozenset({3, 4})
+    assert inst.writes == frozenset({2})
+
+
+def test_g0_writes_discarded_from_sets():
+    word = codec.encode("subcc", rd=0, rs1=8, simm13=5)  # cmp
+    inst = codec.decode(word)
+    assert 0 not in inst.writes
+    assert 32 in inst.writes  # %icc
+
+
+def test_cc_ops_write_icc():
+    for name in ("addcc", "andcc", "orcc", "xorcc", "subcc"):
+        inst = codec.decode(codec.encode(name, rd=1, rs1=2, rs2=3))
+        assert 32 in inst.writes, name
+
+
+def test_sethi():
+    word = codec.encode("sethi", rd=4, imm22=0x12345)
+    inst = codec.decode(word)
+    assert inst.name == "sethi"
+    assert inst.get_field("imm22") == 0x12345
+    assert inst.writes == frozenset({4})
+
+
+def test_nop_is_sethi_zero():
+    inst = codec.decode(codec.nop_word)
+    assert inst.name == "sethi"
+    assert inst.writes == frozenset()
+
+
+def test_call():
+    word = codec.encode("call", disp30=0x100)
+    inst = codec.decode(word)
+    assert inst.category is Category.CALL
+    assert inst.is_delayed
+    assert inst.writes == frozenset({15})
+    assert codec.control_target(inst, 0x1000) == 0x1000 + 0x400
+
+
+def test_branch_variants():
+    plain = codec.decode(codec.encode("bne", disp22=4))
+    assert plain.category is Category.BRANCH
+    assert plain.cond == "ne"
+    assert plain.is_delayed and not plain.annul_untaken
+    annulled = codec.decode(codec.encode("bne,a", disp22=4))
+    assert annulled.annul_untaken and annulled.is_delayed
+    assert annulled.reads == frozenset({32})
+
+
+def test_ba_annulled_has_no_delay():
+    inst = codec.decode(codec.encode("ba,a", disp22=-2))
+    assert inst.cond == "a"
+    assert not inst.is_delayed
+    assert not inst.annul_untaken
+
+
+def test_branch_always_and_never_read_no_cc():
+    for name in ("ba", "bn"):
+        inst = codec.decode(codec.encode(name, disp22=1))
+        assert inst.reads == frozenset()
+
+
+def test_branch_target_negative():
+    inst = codec.decode(codec.encode("be", disp22=-3))
+    assert codec.control_target(inst, 0x2000) == 0x2000 - 12
+
+
+def test_jmpl_overloads():
+    icall = codec.decode(codec.encode("jmpl", rd=15, rs1=9, simm13=0))
+    assert icall.category is Category.CALL_INDIRECT
+    ret = codec.decode(codec.encode("jmpl", rd=0, rs1=31, simm13=8))
+    assert ret.category is Category.RETURN
+    retl = codec.decode(codec.encode("jmpl", rd=0, rs1=15, simm13=8))
+    assert retl.category is Category.RETURN
+    literal = codec.decode(codec.encode("jmpl", rd=0, rs1=0, simm13=64))
+    assert literal.category is Category.JUMP
+    assert codec.control_target(literal, 0) == 64
+    indirect = codec.decode(codec.encode("jmpl", rd=0, rs1=9, simm13=0))
+    assert indirect.category is Category.JUMP_INDIRECT
+
+
+def test_loads_and_stores():
+    load = codec.decode(codec.encode("ldsb", rd=3, rs1=14, simm13=-1))
+    assert load.category is Category.LOAD
+    assert load.mem_width == 1 and load.mem_signed
+    store = codec.decode(codec.encode("sth", rd=3, rs1=14, simm13=2))
+    assert store.category is Category.STORE
+    assert store.mem_width == 2
+    assert 3 in store.reads  # stored value is read
+
+
+def test_trap():
+    inst = codec.decode(codec.encode("ta", trap_num=0))
+    assert inst.category is Category.SYSTEM
+    assert 1 in inst.reads  # %g1 syscall number
+
+
+def test_save_restore():
+    save = codec.decode(codec.encode("save", rd=14, rs1=14, simm13=-96))
+    assert save.category is Category.COMPUTE
+    assert save.name == "save"
+
+
+def test_invalid_word():
+    inst = codec.decode(0x00000000)
+    assert inst.category is Category.INVALID
+    assert not inst.is_valid
+
+
+def test_decode_interning():
+    word = codec.encode("add", rd=1, rs1=2, simm13=3)
+    assert codec.decode(word) is codec.decode(word)
+
+
+def test_with_control_target_branch():
+    word = codec.encode("bne", disp22=0)
+    patched = codec.with_control_target(word, 0x1000, 0x1040)
+    assert codec.control_target(codec.decode(patched), 0x1000) == 0x1040
+
+
+def test_with_control_target_span_error():
+    word = codec.encode("bne", disp22=0)
+    with pytest.raises(SpanError):
+        codec.with_control_target(word, 0, 0x4000000)
+
+
+def test_with_control_target_misaligned():
+    word = codec.encode("call", disp30=0)
+    with pytest.raises(SpanError):
+        codec.with_control_target(word, 0, 0x1002)
+
+
+def test_invert_branch():
+    word = codec.encode("bne", disp22=7)
+    assert codec.decode(codec.invert_branch(word)).cond == "e"
+    word = codec.encode("bgu", disp22=7)
+    assert codec.decode(codec.invert_branch(word)).cond == "leu"
+
+
+def test_invert_non_branch_raises():
+    with pytest.raises(ValueError):
+        codec.invert_branch(codec.encode("add", rd=1, rs1=1, simm13=1))
+
+
+def test_clear_annul():
+    word = codec.encode("bne,a", disp22=7)
+    cleared = codec.decode(codec.clear_annul(word))
+    assert not cleared.annul_untaken
+    assert cleared.cond == "ne"
+
+
+def test_disassemble_smoke():
+    assert codec.disassemble(codec.encode("add", rd=9, rs1=8, simm13=5)) \
+        == "add %o0, 5, %o1"
+    assert "call" in codec.disassemble(codec.encode("call", disp30=4), 0)
+    assert codec.disassemble(codec.nop_word) == "nop"
+    assert codec.disassemble(
+        codec.encode("jmpl", rd=0, rs1=31, simm13=8)) == "ret"
+
+
+def test_encode_range_checks():
+    with pytest.raises(SpanError):
+        codec.encode("add", rd=1, rs1=1, simm13=5000)
+    with pytest.raises(SpanError):
+        codec.encode("bne", disp22=1 << 22)
+
+
+def test_encode_unknown_raises():
+    with pytest.raises(ValueError):
+        codec.encode("frobnicate")
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_decode_total(word):
+    """Decoding never raises: unknown words classify as INVALID."""
+    inst = codec.decode(word)
+    assert inst.category in Category
+
+
+@given(st.integers(min_value=-4096, max_value=4095),
+       st.integers(min_value=0, max_value=31),
+       st.integers(min_value=0, max_value=31))
+def test_alu_imm_roundtrip_property(simm13, rd, rs1):
+    word = codec.encode("add", rd=rd, rs1=rs1, simm13=simm13)
+    inst = codec.decode(word)
+    assert inst.get_field("simm13") == simm13
+    assert inst.get_field("rd") == rd
+    assert inst.get_field("rs1") == rs1

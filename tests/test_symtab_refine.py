@@ -1,0 +1,121 @@
+"""Symbol-table refinement (paper section 3.1 stages 1-4)."""
+
+from repro.core import Executable
+from repro.minic import GCC_LIKE, SUNPRO_LIKE, compile_to_image
+from repro.sim import run_image
+from repro.workloads import build_image
+
+SOURCE = """
+static int helper(int x) { return x * 3; }
+static int onlytail(int x) { return helper(x); }
+int main(void) {
+    print_int(onlytail(2) + helper(1));
+    return 0;
+}
+"""
+
+
+def test_named_routines_found():
+    exe = Executable(build_image("fib")).read_contents()
+    names = {r.name for r in exe.routines()}
+    assert {"_start", "main", "fib", "print_int", "strlen"} <= names
+    assert len(exe.hidden_routines()) == 0
+
+
+def test_temporary_labels_pruned():
+    exe = Executable(build_image("fib")).read_contents()
+    names = {r.name for r in exe.routines()}
+    assert not any(name.startswith(".L") for name in names)
+
+
+def test_routine_extents_cover_text_without_overlap():
+    exe = Executable(build_image("interp")).read_contents()
+    routines = sorted(exe.all_routines(), key=lambda r: r.start)
+    for earlier, later in zip(routines, routines[1:]):
+        assert earlier.end == later.start
+    text = exe.image.get_section(".text")
+    assert routines[0].start == text.vaddr
+    assert routines[-1].end == text.end
+
+
+def test_hidden_routines_discovered_via_calls():
+    image = compile_to_image(SOURCE, GCC_LIKE.named(hide_statics=True))
+    exe = Executable(image).read_contents()
+    named = {r.name for r in exe.routines()}
+    assert "helper" not in named and "onlytail" not in named
+    hidden = list(exe.hidden_routines())
+    assert len(hidden) == 2
+    for routine in hidden:
+        assert routine.name.startswith("hidden_0x")
+        assert routine.hidden
+
+
+def test_hidden_routine_via_tail_call_only():
+    # With tail calls the only reference to `helper` from `onlytail` is a
+    # frame-pop jump; refinement still finds it through the literal
+    # target (stage 4 escape analysis).  The analysis is conservative:
+    # it may also split off dead return trailers as extra "routines"
+    # (the paper: "may find invalid entries").
+    image = compile_to_image(SOURCE,
+                             SUNPRO_LIKE.named(hide_statics=True))
+    exe = Executable(image).read_contents()
+    named = Executable(compile_to_image(SOURCE, SUNPRO_LIKE)) \
+        .read_contents()
+    expected = {named.routine("helper").start,
+                named.routine("onlytail").start}
+    found = {r.start for r in exe.hidden_routines()}
+    assert expected <= found
+
+
+def test_stripped_executable_seeded_from_calls():
+    image = compile_to_image(SOURCE, GCC_LIKE.named(strip=True))
+    exe = Executable(image).read_contents()
+    all_routines = exe.all_routines()
+    assert all_routines, "stripped executable still yields routines"
+    # Every routine reached by a direct call is discovered.
+    starts = {r.start for r in all_routines}
+    named = Executable(compile_to_image(SOURCE, GCC_LIKE)).read_contents()
+    for routine in named.routines():
+        if routine.name in ("main", "helper", "onlytail", "print_int"):
+            assert routine.start in starts, routine.name
+
+
+def test_stripped_names_are_not_recreated():
+    """The paper: in a stripped executable the analysis finds routines
+    but cannot recreate names."""
+    image = compile_to_image(SOURCE, GCC_LIKE.named(strip=True))
+    exe = Executable(image).read_contents()
+    for routine in exe.all_routines():
+        assert routine.name.startswith(("hidden_0x", "text_start", "entry"))
+
+
+def test_dispatch_table_in_text_claimed_as_data():
+    image = build_image("interp", GCC_LIKE.named(tables_in_text=True))
+    exe = Executable(image).read_contents()
+    step = next(r for r in exe.all_routines()
+                if r.contains(_routine_start(exe, "step")))
+    cfg = step.control_flow_graph()
+    infos = [i for i in cfg.indirect_jumps if i.status == "table"]
+    assert infos, "switch dispatch table found"
+    table = infos[0]
+    # The table's words lie inside the text segment yet are data.
+    assert exe.is_text_address(table.table_addr)
+    claimed = exe.claimed_data(step)
+    assert table.table_addr in claimed
+
+
+def _routine_start(exe, name):
+    routine = exe.routine(name)
+    assert routine is not None
+    return routine.start
+
+
+def test_tables_in_text_program_still_analyzes_and_runs():
+    image = build_image("interp", GCC_LIKE.named(tables_in_text=True))
+    baseline = run_image(image)
+    exe = Executable(image).read_contents()
+    for routine in exe.all_routines():
+        routine.produce_edited_routine()
+    out = exe.edited_image()
+    out.entry = exe.edited_addr(exe.start_address())
+    assert run_image(out).output == baseline.output

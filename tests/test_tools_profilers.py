@@ -1,0 +1,129 @@
+"""Profiling tools: branch counter, qpt2 (block/edge), classic baseline."""
+
+import pytest
+
+from repro.core import Executable
+from repro.minic import SUNPRO_LIKE
+from repro.sim import run_image
+from repro.tools.branch_count import BranchCounter, count_branches
+from repro.tools.qpt import QptProfiler, profile
+from repro.tools.qpt_classic import ClassicProfiler, profile_classic
+from repro.workloads import build_image, expected_output
+
+
+def ground_truth_block_counts(image):
+    base = run_image(image, count_pcs=True)
+    exe = Executable(image).read_contents()
+    truth = {}
+    for routine in exe.all_routines():
+        cfg = routine.control_flow_graph()
+        for block in cfg.normal_blocks():
+            truth[(routine.name, block.start)] = base.pc_counts.get(
+                block.start, 0)
+    return base, truth
+
+
+def test_branch_counter_fib():
+    image = build_image("fib")
+    simulator, counts = count_branches(image)
+    assert simulator.output == expected_output("fib")
+    nonzero = {desc: count for desc, count in counts if count}
+    # fib has one conditional branch, taken + fall-through sum to the
+    # number of calls.
+    assert sum(nonzero.values()) == 5167
+
+
+def test_branch_counter_processes_hidden_routines():
+    from repro.minic import GCC_LIKE, compile_to_image
+
+    source = """
+    static int helper(int n) {
+        if (n > 2) { return 1; }
+        return 0;
+    }
+    int main(void) {
+        int i;
+        for (i = 0; i < 4; i = i + 1) { print_int(helper(i)); }
+        return 0;
+    }
+    """
+    image = compile_to_image(source, GCC_LIKE.named(hide_statics=True))
+    tool = BranchCounter(image).run()
+    edited = tool.edited_image()
+    simulator = run_image(edited)
+    assert simulator.output == "0001"
+    counts = tool.counts(simulator)
+    hidden_counts = [c for (desc, c) in counts
+                     if str(desc[0]).startswith("hidden_")]
+    assert hidden_counts and sum(hidden_counts) > 0
+
+
+@pytest.mark.parametrize("mode", ["block", "edge"])
+@pytest.mark.parametrize("name", ["fib", "interp"])
+def test_qpt_counts_match_ground_truth(mode, name):
+    image = build_image(name)
+    base, truth = ground_truth_block_counts(image)
+    tool, simulator = profile(image, mode=mode)
+    assert simulator.output == base.output
+    counts = tool.block_counts(simulator)
+    assert counts, "profiler produced counts"
+    for key, value in counts.items():
+        assert truth.get(key, 0) == value, key
+
+
+def test_qpt_edge_mode_instruments_fewer_sites():
+    """Ball-Larus placement: spanning-tree edges go uncounted."""
+    image = build_image("qsort")
+    block_tool = QptProfiler(image, mode="block").run()
+    edge_tool = QptProfiler(image, mode="edge").run()
+    assert edge_tool.counters.used < block_tool.counters.used
+
+
+def test_qpt_edge_mode_cheaper_at_runtime():
+    image = build_image("hanoi")
+    base = run_image(image)
+    _, block_run = profile(image, mode="block")
+    _, edge_run = profile(image, mode="edge")
+    assert edge_run.instructions_executed < block_run.instructions_executed
+
+
+def test_qpt_edge_counts_flow_conservation():
+    image = build_image("fib")
+    tool, simulator = profile(image, mode="edge")
+    edge_counts = tool.edge_counts(simulator)
+    assert edge_counts
+    assert all(count >= 0 for count in edge_counts.values())
+
+
+def test_qpt_rejects_bad_mode():
+    with pytest.raises(ValueError):
+        QptProfiler(build_image("fib"), mode="banana")
+
+
+@pytest.mark.parametrize("name", ["fib", "interp"])
+def test_classic_profiler_preserves_behavior(name):
+    image = build_image(name)
+    tool, simulator = profile_classic(image)
+    assert simulator.output == expected_output(name)
+
+
+def test_classic_profiler_sunpro_tailcalls():
+    image = build_image("tailcalls", SUNPRO_LIKE)
+    tool, simulator = profile_classic(image)
+    assert simulator.output == expected_output("tailcalls")
+
+
+def test_classic_counts_are_plausible():
+    image = build_image("fib")
+    tool, simulator = profile_classic(image)
+    counts = tool.counts(simulator)
+    exe = Executable(image).read_contents()
+    fib_start = exe.routine("fib").start
+    assert counts.get(fib_start) == 5167
+
+
+def test_classic_rejects_mips():
+    from repro.workloads import build_mips_image
+
+    with pytest.raises(ValueError):
+        ClassicProfiler(build_mips_image("mips_fib"))

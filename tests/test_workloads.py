@@ -1,0 +1,73 @@
+"""Workload corpus: golden outputs under both compiler personalities."""
+
+import pytest
+
+from repro.minic import GCC_LIKE, SUNPRO_LIKE
+from repro.sim import run_image
+from repro.workloads import (
+    build_image,
+    build_mips_image,
+    expected_output,
+    mips_program_names,
+    program_names,
+)
+
+GOLDEN = {
+    "ackermann": "ack 17 61\n",
+    "bubble": "bubble 2749 0 70\n",
+    "crc": "crc 1898470575\n",
+    "fib": "fib 1597\n",
+    "hanoi": "hanoi 4095\n",
+    "interp": "100 81 64 49 36 25 16 9 4 1 interp done\n",
+    "matmul": "matmul 61969\n",
+    "nqueens": "nqueens 40\n",
+    "qsort": "qsort 451491574\n",
+    "sieve": "sieve 303\n",
+    "strings": "yrarbil gnitide elbatucexe\nhash 7985920\n",
+    "tailcalls": "tail 1 21 111\n",
+    "tree": "tree 150 2481711\n",
+    "lexer": "lexer 16 0 2 3 3 2 4 23\n",
+    "automaton": "automaton 465 469 461 510 525 570\n",
+}
+
+
+def test_corpus_is_complete():
+    assert set(program_names()) == set(GOLDEN)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_output_gcc_like(name):
+    simulator = run_image(build_image(name))
+    assert simulator.output == GOLDEN[name]
+    assert simulator.exit_code == 0
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_same_output_sunpro_like(name):
+    simulator = run_image(build_image(name, SUNPRO_LIKE))
+    assert simulator.output == GOLDEN[name]
+
+
+def test_expected_output_helper():
+    assert expected_output("fib") == GOLDEN["fib"]
+
+
+def test_sunpro_emits_tail_calls_somewhere():
+    from repro.minic import compile_to_assembly
+    from repro.workloads.programs import PROGRAMS
+
+    text, _ = compile_to_assembly(PROGRAMS["tailcalls"], SUNPRO_LIKE)
+    assert "jmp %g1" in text
+
+
+@pytest.mark.parametrize("name", mips_program_names())
+def test_mips_workloads(name):
+    from repro.workloads.mips_programs import MIPS_PROGRAMS
+
+    simulator = run_image(build_mips_image(name))
+    assert simulator.output == MIPS_PROGRAMS[name][1]
+    assert simulator.exit_code == 0
+
+
+def test_build_is_cached():
+    assert build_image("fib") is build_image("fib")
