@@ -149,11 +149,20 @@ def image_from_bytes(blob):
 
 def write_image(image, path):
     """Write *image* to *path* as an EELF file."""
-    with open(path, "wb") as handle:
-        handle.write(image_to_bytes(image))
+    from repro.obs.trace import span
+
+    with span("binfmt.write_image", path=str(path)) as sp:
+        blob = image_to_bytes(image)
+        sp.set(bytes=len(blob))
+        with open(path, "wb") as handle:
+            handle.write(blob)
 
 
 def read_image(path):
     """Read an EELF file from *path*."""
+    from repro.obs.trace import span
+
     with open(path, "rb") as handle:
-        return image_from_bytes(handle.read())
+        blob = handle.read()
+    with span("binfmt.read_image", path=str(path), bytes=len(blob)):
+        return image_from_bytes(blob)

@@ -6,9 +6,15 @@
     python -m repro.cli routines <exe.eelf>
     python -m repro.cli profile <exe.eelf> <out.eelf> [--mode block|edge]
     python -m repro.cli cachesim <exe.eelf>
+    python -m repro.cli stats  <exe.eelf> [--no-run]
+
+``run``, ``profile``, ``cachesim``, and ``stats`` accept telemetry
+flags: ``--trace`` prints the span tree and counters to stderr, and
+``--stats-json PATH`` writes the full ``repro.obs/1`` JSON report.
 """
 
 import argparse
+import json
 import sys
 
 from repro.asm.disassembler import disassemble_section
@@ -16,6 +22,65 @@ from repro.binfmt import read_image, write_image
 from repro.core import Executable
 from repro.sim import run_image
 
+
+# ----------------------------------------------------------------------
+# Telemetry plumbing
+# ----------------------------------------------------------------------
+
+def _add_obs_flags(subparser):
+    subparser.add_argument("--trace", action="store_true",
+                           help="print a span-tree/counter summary to stderr")
+    subparser.add_argument("--stats-json", metavar="PATH", default=None,
+                           help="write the repro.obs JSON report to PATH")
+
+
+def _obs_begin(args):
+    """Enable telemetry when any obs flag is present; returns True if so."""
+    wanted = getattr(args, "trace", False) \
+        or getattr(args, "stats_json", None)
+    if not wanted:
+        return False
+    from repro import obs
+
+    obs.reset()
+    obs.enable()
+    return True
+
+
+def _obs_end(args, enabled):
+    if not enabled:
+        return
+    from repro import obs
+    from repro.obs import report as obs_report
+
+    obs.disable()
+    report = obs_report.build_report()
+    if getattr(args, "stats_json", None):
+        _write_report(report, args.stats_json)
+        print("wrote stats to %s" % args.stats_json, file=sys.stderr)
+    if getattr(args, "trace", False):
+        obs_report.render(report)
+
+
+def _write_report(report, path):
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _emit_program_output(simulator):
+    """Write the simulated program's stdout, newline-terminated and
+    flushed, so the stderr trailers never interleave mid-line."""
+    output = simulator.output
+    sys.stdout.write(output)
+    if output and not output.endswith("\n"):
+        sys.stdout.write("\n")
+    sys.stdout.flush()
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
 
 def _cmd_build(args):
     from repro.minic import GCC_LIKE, SUNPRO_LIKE
@@ -35,8 +100,8 @@ def _cmd_build(args):
 def _cmd_run(args):
     simulator = run_image(read_image(args.executable),
                           stdin_text=args.stdin or "")
-    sys.stdout.write(simulator.output)
-    print("\n[exit %d after %d instructions]"
+    _emit_program_output(simulator)
+    print("[exit %d after %d instructions]"
           % (simulator.exit_code, simulator.instructions_executed),
           file=sys.stderr)
     return simulator.exit_code
@@ -75,8 +140,8 @@ def _cmd_profile(args):
     edited = tool.edited_image()
     write_image(edited, args.output)
     simulator = run_image(edited, stdin_text=args.stdin or "")
-    sys.stdout.write(simulator.output)
-    print("\nhottest blocks:", file=sys.stderr)
+    _emit_program_output(simulator)
+    print("hottest blocks:", file=sys.stderr)
     counts = tool.block_counts(simulator)
     for (routine, start), count in sorted(counts.items(),
                                           key=lambda kv: -kv[1])[:10]:
@@ -91,10 +156,47 @@ def _cmd_cachesim(args):
     image = read_image(args.executable)
     tool = ActiveMemory(image, cache_size=args.cache_size).instrument()
     simulator, cache = tool.run(stdin_text=args.stdin or "")
-    sys.stdout.write(simulator.output)
-    print("\n%d misses / %d handled accesses (cache %dB, %d sites)"
+    _emit_program_output(simulator)
+    print("%d misses / %d handled accesses (cache %dB, %d sites)"
           % (cache.misses, cache.accesses, args.cache_size, tool.sites),
           file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args):
+    """Full-pipeline telemetry for one executable.
+
+    Runs symbol-table refinement, builds every routine's CFG (which
+    triggers indirect-jump analysis), optionally simulates the program,
+    and prints the ``repro.obs/1`` JSON report on stdout (or writes it
+    with ``--stats-json``).
+    """
+    from repro import obs
+    from repro.obs import report as obs_report
+
+    obs.reset()
+    obs.enable()
+    try:
+        with obs.span("stats", executable=str(args.executable)):
+            exe = Executable(read_image(args.executable)).read_contents()
+            with obs.span("stats.cfg_walk") as sp:
+                routines = sorted(exe.all_routines(), key=lambda r: r.start)
+                for routine in routines:
+                    routine.control_flow_graph()
+                sp.set(routines=len(routines))
+            if not args.no_run:
+                run_image(read_image(args.executable),
+                          stdin_text=args.stdin or "")
+    finally:
+        obs.disable()
+    report = obs_report.build_report()
+    if args.trace:
+        obs_report.render(report)
+    if args.stats_json:
+        _write_report(report, args.stats_json)
+        print("wrote stats to %s" % args.stats_json, file=sys.stderr)
+    else:
+        print(json.dumps(report, indent=2, sort_keys=True))
     return 0
 
 
@@ -112,6 +214,7 @@ def main(argv=None):
     run = sub.add_parser("run", help="run an executable in the simulator")
     run.add_argument("executable")
     run.add_argument("--stdin", default="")
+    _add_obs_flags(run)
     run.set_defaults(func=_cmd_run)
 
     disasm = sub.add_parser("disasm", help="disassemble text sections")
@@ -129,6 +232,7 @@ def main(argv=None):
     profile.add_argument("--mode", choices=("block", "edge"),
                          default="edge")
     profile.add_argument("--stdin", default="")
+    _add_obs_flags(profile)
     profile.set_defaults(func=_cmd_profile)
 
     cachesim = sub.add_parser("cachesim",
@@ -136,10 +240,26 @@ def main(argv=None):
     cachesim.add_argument("executable")
     cachesim.add_argument("--cache-size", type=int, default=8192)
     cachesim.add_argument("--stdin", default="")
+    _add_obs_flags(cachesim)
     cachesim.set_defaults(func=_cmd_cachesim)
 
+    stats = sub.add_parser("stats",
+                           help="edit-pipeline + simulator telemetry report")
+    stats.add_argument("executable")
+    stats.add_argument("--stdin", default="")
+    stats.add_argument("--no-run", action="store_true",
+                       help="skip the simulation pass")
+    _add_obs_flags(stats)
+    stats.set_defaults(func=_cmd_stats, obs_managed=True)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    if getattr(args, "obs_managed", False):
+        return args.func(args)
+    enabled = _obs_begin(args)
+    try:
+        return args.func(args)
+    finally:
+        _obs_end(args, enabled)
 
 
 if __name__ == "__main__":

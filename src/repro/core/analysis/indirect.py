@@ -20,8 +20,29 @@ small abstract evaluator.  Outcomes:
 
 from repro.core.cfg import IndirectJumpInfo
 from repro.isa import bits
+from repro.obs import metrics as _metrics
 
 _MAX_TABLE = 4096
+
+# One counter per analysis outcome; "table"/"literal"/"tailcall" are
+# resolved statically, "unanalyzable" falls back to run-time address
+# translation (the paper's Table 1 uneditable-jump column).
+_OUTCOMES = {
+    status: _metrics.counter("indirect.%s" % status)
+    for status in ("table", "literal", "tailcall", "unanalyzable")
+}
+_H_TABLE = _metrics.histogram("indirect.table_entries")
+
+
+def record_indirect_outcome(info):
+    """Count one *final* analysis outcome (called after the CFG's
+    indirect-target fixpoint converges, so re-analysis during the
+    fixpoint does not inflate the counts)."""
+    counter = _OUTCOMES.get(info.status)
+    if counter is not None:
+        counter.inc()
+    if info.status == "table":
+        _H_TABLE.observe(len(info.targets))
 
 
 # -- abstract values ----------------------------------------------------

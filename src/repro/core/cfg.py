@@ -20,6 +20,17 @@ paper reports 15-20% of blocks/edges are uneditable.
 
 from repro.core.instruction import instruction_for
 from repro.isa.base import Category
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
+
+_C_BUILDS = _metrics.counter("cfg.builds")
+_C_BLOCKS = _metrics.counter("cfg.blocks")
+_C_EDGES = _metrics.counter("cfg.edges")
+_C_DELAY_HOISTS = _metrics.counter("cfg.delay_hoists")
+_C_EDITABLE_BLOCKS = _metrics.counter("cfg.editable_blocks")
+_C_EDITABLE_EDGES = _metrics.counter("cfg.editable_edges")
+_C_INCOMPLETE = _metrics.counter("cfg.incomplete")
+_H_BLOCKS = _metrics.histogram("cfg.blocks_per_routine")
 
 # Block kinds.
 BK_NORMAL = "normal"
@@ -215,6 +226,26 @@ class CFG:
         return edge
 
     def _build(self):
+        with _span("cfg.build", routine=self.routine.name) as sp:
+            self._build_inner()
+            sp.set(blocks=len(self.blocks), edges=self._edge_count)
+        self._record_metrics()
+
+    def _record_metrics(self):
+        editable_blocks, blocks, editable_edges, edges = self.editable_stats()
+        _C_BUILDS.inc()
+        _C_BLOCKS.inc(blocks)
+        _C_EDGES.inc(edges)
+        _C_EDITABLE_BLOCKS.inc(editable_blocks)
+        _C_EDITABLE_EDGES.inc(editable_edges)
+        _C_DELAY_HOISTS.inc(
+            sum(1 for block in self.blocks if block.kind == BK_DELAY)
+        )
+        if self.incomplete:
+            _C_INCOMPLETE.inc()
+        _H_BLOCKS.observe(blocks)
+
+    def _build_inner(self):
         from repro.core.analysis.indirect import analyze_indirect_jump
 
         routine = self.routine
@@ -394,7 +425,10 @@ class CFG:
                           escape_target=addr)
 
     def _finalize_indirect_edges(self):
+        from repro.core.analysis.indirect import record_indirect_outcome
+
         for info in self.indirect_jumps:
+            record_indirect_outcome(info)
             block = info.block
             delay = None
             for edge in block.succ:

@@ -14,6 +14,7 @@ from repro.binfmt import layout as binlayout
 from repro.binfmt.image import Image
 from repro.binfmt.serialize import read_image, write_image
 from repro.isa import get_codec, get_conventions
+from repro.obs.trace import span as _span
 
 # Fresh address space for tool data (counter arrays, state tables).
 TOOL_DATA_BASE = 0x0100_0000
@@ -33,10 +34,19 @@ class RoutineList:
         return not self._routines
 
     def first(self):
+        if not self._routines:
+            raise ExecutableError("routine list is empty; check is_empty() "
+                                  "before calling first()")
         return self._routines[0]
 
     def remove(self, routine):
-        self._routines.remove(routine)
+        try:
+            self._routines.remove(routine)
+        except ValueError:
+            raise ExecutableError(
+                "routine %r is not in this list" %
+                getattr(routine, "name", routine)
+            ) from None
 
     def add(self, routine):
         self._routines.append(routine)
@@ -93,7 +103,9 @@ class Executable:
         """Analyze the symbol table and program to find all routines."""
         from repro.core.symtab_refine import refine_symbol_table
 
-        routines, hidden = refine_symbol_table(self)
+        with _span("exe.read_contents", arch=self.arch) as sp:
+            routines, hidden = refine_symbol_table(self)
+            sp.set(routines=len(routines), hidden=len(hidden))
         self._routines = RoutineList(routines)
         self._hidden = RoutineList(hidden)
         self._read = True
@@ -215,7 +227,10 @@ class Executable:
         if self._finalized is None:
             from repro.core.layout import finalize_image
 
-            self._finalized = finalize_image(self)
+            with _span("layout.finalize",
+                       edited=len(self._edited_routines),
+                       added=len(self._added_routines)):
+                self._finalized = finalize_image(self)
         return self._finalized
 
     def edited_addr(self, addr):
@@ -231,5 +246,6 @@ class Executable:
         finalized = self._finalize()
         if entry is not None:
             finalized.image.entry = entry
-        write_image(finalized.image, path)
+        with _span("exe.write_edited", path=str(path)):
+            write_image(finalized.image, path)
         return finalized.image

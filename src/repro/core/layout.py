@@ -29,6 +29,17 @@ from repro.core.cfg import (
 )
 from repro.core.regalloc import allocate_snippet
 from repro.isa.base import Category, SpanError
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
+
+_C_ROUTINES = _metrics.counter("layout.routines")
+_C_STUBS = _metrics.counter("layout.stubs")
+_C_REFOLDS = _metrics.counter("layout.delay_refolds")
+_C_BRANCH_FIXUPS = _metrics.counter("layout.branch_stub_fixups")
+_C_RUNTIME_XLATE = _metrics.counter("layout.runtime_translations")
+_C_TABLE_PATCHES = _metrics.counter("layout.table_patches")
+_C_TRAMPOLINES = _metrics.counter("layout.trampolines")
+_C_BYTES = _metrics.counter("layout.edited_bytes")
 
 
 class LayoutError(Exception):
@@ -152,13 +163,20 @@ class _RoutineLayout:
     # ------------------------------------------------------------------
     def run(self):
         cfg = self.cfg
-        normal = sorted(cfg.normal_blocks(), key=lambda b: b.start)
-        for index, block in enumerate(normal):
-            next_start = normal[index + 1].start if index + 1 < len(normal) \
-                else None
-            self._emit_block(block, next_start)
-        self.items.extend(self.stubs)
-        self.result.size = sum(item.size(self.arch) for item in self.items)
+        with _span("layout.routine", routine=self.routine.name) as sp:
+            normal = sorted(cfg.normal_blocks(), key=lambda b: b.start)
+            for index, block in enumerate(normal):
+                next_start = normal[index + 1].start \
+                    if index + 1 < len(normal) else None
+                self._emit_block(block, next_start)
+            self.items.extend(self.stubs)
+            self.result.size = sum(item.size(self.arch)
+                                   for item in self.items)
+            sp.set(bytes=self.result.size, stubs=self._stub_counter)
+        _C_ROUTINES.inc()
+        _C_STUBS.inc(self._stub_counter)
+        _C_BYTES.inc(self.result.size)
+        _C_TABLE_PATCHES.inc(len(self.result.table_patches))
         return self.result
 
     def _emit_block(self, block, next_start):
@@ -322,6 +340,7 @@ class _RoutineLayout:
         if t_clean and has_delay_block:
             if annulled and not any(p[0] == "delay" for p in f_parts):
                 # Refold: b,a target with original delay in the slot.
+                _C_REFOLDS.inc()
                 self._emit_branch_word(word, t_target, addr)
                 self.emit_word(self._delay_word(taken.dst), orig_addr=addr + 4)
                 self._emit_parts(f_parts)
@@ -329,6 +348,7 @@ class _RoutineLayout:
                 return
             if not annulled and self._refoldable_fall(f_parts):
                 # Refold: delay executes on both paths from the slot.
+                _C_REFOLDS.inc()
                 self._emit_branch_word(word, t_target, addr)
                 self.emit_word(self._delay_word(taken.dst), orig_addr=addr + 4)
                 self._emit_parts([p for p in f_parts if p[0] != "delay"])
@@ -336,6 +356,7 @@ class _RoutineLayout:
                 return
 
         # General case: route the taken path through a stub.
+        _C_BRANCH_FIXUPS.inc()
         stub_label = self._new_stub_label()
         plain = self.codec.clear_annul(word)
         self._emit_branch_word(plain, ("label", stub_label), addr)
@@ -446,6 +467,7 @@ class _RoutineLayout:
 
     def _emit_runtime_translation(self, block, addr, instruction, delay):
         """Replace an unanalyzable jump with a translation-table lookup."""
+        _C_RUNTIME_XLATE.inc()
         executable = self.routine.executable
         table_base = executable.ensure_translation_table()
         text_base = executable.image.sections[".text"].vaddr
@@ -527,23 +549,26 @@ class _ImageFinalizer:
 
     def run(self):
         executable = self.executable
-        cursor = binlayout.align_up(executable._added_cursor, 4)
-        # Phase A: assign addresses.
-        for routine in self.edited:
-            routine.edited.base = cursor
-            cursor = self._place(routine.edited, cursor)
-        self.addr_map.update(self._label_map)
-        # Phase B: materialize words.
-        words = []
-        for name, base, added_words in executable._added_routines:
-            words.extend(added_words)
-        pad = (self.edited[0].edited.base - executable._new_text_base) // 4 \
-            if self.edited else 0
-        while len(words) < pad:
-            words.append(self.codec.nop_word)
-        for routine in self.edited:
-            words.extend(self._materialize(routine.edited))
-        image = self._build_image(words)
+        with _span("layout.place"):
+            cursor = binlayout.align_up(executable._added_cursor, 4)
+            # Phase A: assign addresses.
+            for routine in self.edited:
+                routine.edited.base = cursor
+                cursor = self._place(routine.edited, cursor)
+            self.addr_map.update(self._label_map)
+        with _span("layout.materialize"):
+            # Phase B: materialize words.
+            words = []
+            for name, base, added_words in executable._added_routines:
+                words.extend(added_words)
+            pad = (self.edited[0].edited.base
+                   - executable._new_text_base) // 4 if self.edited else 0
+            while len(words) < pad:
+                words.append(self.codec.nop_word)
+            for routine in self.edited:
+                words.extend(self._materialize(routine.edited))
+        with _span("layout.build_image", words=len(words)):
+            image = self._build_image(words)
         return FinalizedImage(image, self.addr_map)
 
     # ------------------------------------------------------------------
@@ -687,6 +712,7 @@ class _ImageFinalizer:
                 new_addr = self._resolve_orig(entry)
                 if new_addr == entry or not text.contains(entry):
                     continue
+                _C_TRAMPOLINES.inc()
                 if self.arch == "sparc":
                     word = self.conventions.direct_jump_annulled(entry,
                                                                  new_addr)

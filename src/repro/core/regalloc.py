@@ -8,6 +8,14 @@ they are live, a save/restore pair is wrapped around it as well.
 """
 
 
+from repro.obs import metrics as _metrics
+
+_C_ALLOCATIONS = _metrics.counter("regalloc.allocations")
+_C_SCAVENGED = _metrics.counter("regalloc.scavenged")
+_C_SPILLED = _metrics.counter("regalloc.spilled")
+_C_CC_SAVES = _metrics.counter("regalloc.cc_saves")
+
+
 class RegallocError(Exception):
     pass
 
@@ -76,6 +84,12 @@ def allocate_snippet(snippet, live, conventions):
             cc_reg = reg
         else:
             mapping[placeholder] = reg
+
+    _C_ALLOCATIONS.inc()
+    _C_SCAVENGED.inc(len(assigned) - len(spilled))
+    _C_SPILLED.inc(len(spilled))
+    if cc_reg is not None:
+        _C_CC_SAVES.inc()
 
     body = conventions.rebind_registers(snippet.words, mapping)
     prologue = []

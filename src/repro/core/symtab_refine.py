@@ -19,19 +19,32 @@ import re
 
 from repro.core.instruction import instruction_for
 from repro.isa.base import Category
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
 
 # Compiler-temporary label pattern (".L12", "L5", ".Lcase3", ...).
 _TEMP_LABEL = re.compile(r"^\.?L")
 
+_C_ROUTINES = _metrics.counter("refine.routines")
+_C_HIDDEN = _metrics.counter("refine.hidden")
+_C_STRIPPED = _metrics.counter("refine.stripped_seeds")
+
 
 def refine_symbol_table(executable):
     """Run all refinement stages; returns (routines, hidden_routines)."""
-    named = _stage1_initial_set(executable)
+    with _span("refine.stage1_symtab"):
+        named = _stage1_initial_set(executable)
     if not named:
-        named = _stage2_stripped_seed(executable)
-    routines = _make_routines(executable, named)
-    hidden = _stage3_interprocedural(executable, routines)
-    _stage4_cfg_feedback(executable, routines, hidden)
+        with _span("refine.stage2_stripped"):
+            named = _stage2_stripped_seed(executable)
+            _C_STRIPPED.inc(len(named))
+    with _span("refine.stage3_interproc"):
+        routines = _make_routines(executable, named)
+        hidden = _stage3_interprocedural(executable, routines)
+    with _span("refine.stage4_cfg"):
+        _stage4_cfg_feedback(executable, routines, hidden)
+    _C_ROUTINES.inc(len(routines))
+    _C_HIDDEN.inc(len(hidden))
     return routines, hidden
 
 

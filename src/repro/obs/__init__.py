@@ -1,0 +1,56 @@
+"""repro.obs — zero-dependency telemetry for the edit/simulate pipeline.
+
+Three layers:
+
+* :mod:`repro.obs.trace` — nestable wall-clock spans with a no-op fast
+  path while disabled (the default);
+* :mod:`repro.obs.metrics` — interned counters/gauges/histograms;
+* :mod:`repro.obs.report` — stable-schema JSON export consumed by the
+  CLI (``stats``, ``--stats-json``) and the benchmark harness.
+
+Typical tool-side usage::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("mytool.instrument"):
+        ...
+    report = obs.dump("stats.json")
+"""
+
+from repro.obs import metrics, trace
+from repro.obs.metrics import counter, gauge, histogram
+from repro.obs.report import build_report, dump, render
+from repro.obs.trace import is_enabled, span
+
+
+def enable():
+    """Turn on span recording (metrics always accumulate)."""
+    trace.enable()
+
+
+def disable():
+    trace.disable()
+
+
+def reset():
+    """Clear recorded spans and zero every metric."""
+    trace.reset()
+    metrics.reset()
+
+
+__all__ = [
+    "enable",
+    "disable",
+    "reset",
+    "is_enabled",
+    "span",
+    "counter",
+    "gauge",
+    "histogram",
+    "build_report",
+    "dump",
+    "render",
+    "metrics",
+    "trace",
+]

@@ -1,0 +1,147 @@
+"""Counters, gauges, and histograms for the edit/simulate pipeline.
+
+Metric objects are interned by name in a module-level :class:`Registry`
+so hot call sites can hold a direct reference:
+
+    _BLOCKS = metrics.counter("cfg.blocks")
+    ...
+    _BLOCKS.inc(len(self.blocks))
+
+``Registry.reset()`` zeroes values **in place** — interned references
+stay valid across resets, which is what lets the CLI take a clean
+measurement without reloading modules.
+
+Counters are cheap enough to leave unconditional everywhere except the
+simulator's fetch/execute loop, which keeps a separate untelemetered
+fast path (see ``repro.sim.machine``).
+"""
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def reset(self):
+        self.value = 0
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = None
+
+    def set(self, value):
+        self.value = value
+
+    def reset(self):
+        self.value = None
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Streaming summary: count, sum, min, max."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name):
+        self.name = name
+        self.reset()
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def reset(self):
+        self.count = 0
+        self.total = 0
+        self.minimum = None
+        self.maximum = None
+
+    def snapshot(self):
+        mean = self.total / self.count if self.count else None
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": mean,
+        }
+
+
+class Registry:
+    """Interning store for all metric instruments."""
+
+    def __init__(self):
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+
+    def _intern(self, table, factory, name):
+        instrument = table.get(name)
+        if instrument is None:
+            instrument = table[name] = factory(name)
+        return instrument
+
+    def counter(self, name):
+        return self._intern(self.counters, Counter, name)
+
+    def gauge(self, name):
+        return self._intern(self.gauges, Gauge, name)
+
+    def histogram(self, name):
+        return self._intern(self.histograms, Histogram, name)
+
+    def reset(self):
+        """Zero every instrument in place (references stay valid)."""
+        for table in (self.counters, self.gauges, self.histograms):
+            for instrument in table.values():
+                instrument.reset()
+
+    def snapshot(self):
+        """All current values as plain (JSON-ready) dicts."""
+        return {
+            "counters": {name: c.snapshot()
+                         for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.snapshot()
+                       for name, g in sorted(self.gauges.items())
+                       if g.value is not None},
+            "histograms": {name: h.snapshot()
+                           for name, h in sorted(self.histograms.items())
+                           if h.count},
+        }
+
+
+REGISTRY = Registry()
+
+counter = REGISTRY.counter
+gauge = REGISTRY.gauge
+histogram = REGISTRY.histogram
+
+
+def reset():
+    REGISTRY.reset()
+
+
+def snapshot():
+    return REGISTRY.snapshot()

@@ -1,0 +1,131 @@
+"""JSON export of telemetry with a stable, versioned schema.
+
+The report is the machine-readable surface the benchmarks and the CLI
+share: ``python -m repro.cli stats`` and ``run --stats-json`` both call
+:func:`dump`, and ``benchmarks/conftest.py`` writes its
+``BENCH_RESULTS.json`` through :func:`write_bench_results`.
+
+Schema ``repro.obs/1``::
+
+    {
+      "schema": "repro.obs/1",
+      "spans": [ {name, duration_s, attrs, children: [...]} ],
+      "counters": { name: int },
+      "gauges": { name: value },
+      "histograms": { name: {count, sum, min, max, mean} },
+      "derived": { name: value }      # ratios computed from counters
+    }
+
+Benchmark results use schema ``repro.obs.bench/1``::
+
+    { "schema": "repro.obs.bench/1",
+      "results": [ {name, value, unit} ] }
+
+New keys may be added; existing keys keep their meaning (tests pin the
+key set, so widening the schema is an explicit act).
+"""
+
+import json
+
+from repro.obs import metrics, trace
+
+SCHEMA = "repro.obs/1"
+BENCH_SCHEMA = "repro.obs.bench/1"
+
+
+def _ratio(numerator, denominator):
+    return numerator / denominator if denominator else None
+
+
+def derived_metrics(counters):
+    """Ratios the paper's Table 1 discussion quotes directly."""
+    derived = {}
+    hits = counters.get("sim.flyweight.hits", 0)
+    misses = counters.get("sim.flyweight.misses", 0)
+    rate = _ratio(hits, hits + misses)
+    if rate is not None:
+        derived["sim.flyweight.hit_rate"] = rate
+    resolved = sum(counters.get("indirect.%s" % status, 0)
+                   for status in ("table", "literal", "tailcall"))
+    fallback = counters.get("indirect.unanalyzable", 0)
+    if resolved or fallback:
+        derived["indirect.resolved"] = resolved
+        derived["indirect.fallback"] = fallback
+        derived["indirect.resolved_rate"] = _ratio(resolved,
+                                                   resolved + fallback)
+    editable = counters.get("cfg.editable_blocks", 0)
+    blocks = counters.get("cfg.blocks", 0)
+    if blocks:
+        derived["cfg.uneditable_block_rate"] = _ratio(blocks - editable,
+                                                      blocks)
+    editable_edges = counters.get("cfg.editable_edges", 0)
+    edges = counters.get("cfg.edges", 0)
+    if edges:
+        derived["cfg.uneditable_edge_rate"] = _ratio(edges - editable_edges,
+                                                     edges)
+    scavenged = counters.get("regalloc.scavenged", 0)
+    spilled = counters.get("regalloc.spilled", 0)
+    if scavenged or spilled:
+        derived["regalloc.spill_rate"] = _ratio(spilled, scavenged + spilled)
+    return derived
+
+
+def build_report():
+    """Snapshot the tracer and metrics registry as one JSON-ready dict."""
+    snap = metrics.snapshot()
+    return {
+        "schema": SCHEMA,
+        "spans": trace.TRACER.tree(),
+        "counters": snap["counters"],
+        "gauges": snap["gauges"],
+        "histograms": snap["histograms"],
+        "derived": derived_metrics(snap["counters"]),
+    }
+
+
+def dump(path=None):
+    """Build the report; write it to *path* when given.  Returns the dict."""
+    report = build_report()
+    if path is not None:
+        with open(path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report
+
+
+def render(report=None, stream=None):
+    """Span-tree + top-counter text summary (for ``--trace`` on stderr)."""
+    import sys
+
+    if report is None:
+        report = build_report()
+    if stream is None:
+        stream = sys.stderr
+    lines = ["-- spans " + "-" * 48]
+    lines.append(trace.TRACER.render() or "(tracing disabled or no spans)")
+    lines.append("-- counters " + "-" * 45)
+    for name, value in sorted(report["counters"].items()):
+        lines.append("%-44s %12d" % (name, value))
+    for name, value in sorted(report["derived"].items()):
+        lines.append("%-44s %12.4f" % (name, value)
+                     if isinstance(value, float)
+                     else "%-44s %12d" % (name, value))
+    print("\n".join(lines), file=stream)
+
+
+# ----------------------------------------------------------------------
+# Benchmark results (satellite: machine-readable bench output)
+# ----------------------------------------------------------------------
+
+def bench_record(name, value, unit):
+    """One benchmark measurement in the shared schema."""
+    return {"name": str(name), "value": value, "unit": str(unit)}
+
+
+def write_bench_results(path, records):
+    """Write ``BENCH_RESULTS.json``; returns the payload dict."""
+    payload = {"schema": BENCH_SCHEMA, "results": list(records)}
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload

@@ -1,0 +1,157 @@
+"""Nestable tracing spans timed with ``perf_counter``.
+
+The tracer is a module-level singleton.  Call sites write
+
+    with span("refine.symtab", routine="main"):
+        ...
+
+and pay **one attribute lookup** when tracing is disabled: ``span``
+checks ``Tracer.enabled`` and returns a shared no-op context manager,
+so instrumented code has effectively zero cost by default.
+
+When enabled, spans record wall time, parent/child hierarchy, and
+arbitrary per-span attributes.  The finished forest is exported by
+:mod:`repro.obs.report` in a stable JSON schema.
+"""
+
+from time import perf_counter
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed region; children are spans opened while it is active."""
+
+    __slots__ = ("tracer", "name", "attrs", "start", "duration", "children")
+
+    def __init__(self, tracer, name, attrs):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.start = None
+        self.duration = None
+        self.children = []
+
+    def set(self, **attrs):
+        """Attach attributes to the span; returns the span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self):
+        tracer = self.tracer
+        stack = tracer._stack
+        (stack[-1].children if stack else tracer.roots).append(self)
+        stack.append(self)
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.duration = perf_counter() - self.start
+        stack = self.tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        return False
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "duration_s": self.duration,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self):
+        return "Span(%s %.6fs)" % (
+            self.name, self.duration if self.duration is not None else -1.0,
+        )
+
+
+class Tracer:
+    """Singleton holder of the span forest; disabled by default."""
+
+    def __init__(self):
+        self.enabled = False
+        self.roots = []
+        self._stack = []
+
+    def span(self, name, **attrs):
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, attrs)
+
+    def enable(self):
+        self.enabled = True
+
+    def disable(self):
+        self.enabled = False
+
+    def reset(self):
+        """Drop all recorded spans (keeps the enabled flag)."""
+        self.roots = []
+        self._stack = []
+
+    def tree(self):
+        """The completed span forest as plain dicts."""
+        return [root.to_dict() for root in self.roots]
+
+    def render(self, min_duration=0.0):
+        """Human-readable span tree, one line per span."""
+        lines = []
+
+        def emit(node, depth):
+            duration = node.duration if node.duration is not None else 0.0
+            if duration < min_duration and node.children:
+                pass  # still show parents of slow children
+            attrs = "".join(
+                " %s=%s" % (key, value)
+                for key, value in sorted(node.attrs.items())
+            )
+            lines.append("%s%-*s %10.3fms%s" % (
+                "  " * depth, max(1, 40 - 2 * depth), node.name,
+                duration * 1e3, attrs,
+            ))
+            for child in node.children:
+                emit(child, depth + 1)
+
+        for root in self.roots:
+            emit(root, 0)
+        return "\n".join(lines)
+
+
+TRACER = Tracer()
+
+# Bound once so a call site pays: global load + call + one attribute
+# lookup (``self.enabled``) when disabled.
+span = TRACER.span
+
+
+def enable():
+    TRACER.enable()
+
+
+def disable():
+    TRACER.disable()
+
+
+def is_enabled():
+    return TRACER.enabled
+
+
+def reset():
+    TRACER.reset()

@@ -13,10 +13,19 @@ of closures small.
 from repro.binfmt import layout
 from repro.isa import bits, get_codec
 from repro.isa.base import Category
+from repro.obs import metrics as _metrics
+from repro.obs.trace import TRACER as _TRACER
+from repro.obs.trace import span as _span
 from repro.sim.memory import Memory, MemoryFault
 from repro.sim.syscalls import ExitProgram, SyscallHandler
 
 M32 = 0xFFFFFFFF
+
+_C_INSTRUCTIONS = _metrics.counter("sim.instructions")
+_C_FLY_HITS = _metrics.counter("sim.flyweight.hits")
+_C_FLY_MISSES = _metrics.counter("sim.flyweight.misses")
+_C_FLY_COMPILES = _metrics.counter("sim.flyweight.compiles")
+_C_RUNS = _metrics.counter("sim.runs")
 
 
 class SimulationError(Exception):
@@ -76,12 +85,34 @@ class Simulator:
     def run(self):
         """Execute until exit; returns the exit code."""
         try:
-            self.cpu.run()
-        except ExitProgram as exit_request:
-            self.syscalls.exit_code = exit_request.code
-            return exit_request.code
+            with _span("sim.run", arch=self.image.arch) as sp:
+                try:
+                    self.cpu.run()
+                except ExitProgram as exit_request:
+                    self.syscalls.exit_code = exit_request.code
+                    sp.set(exit_code=exit_request.code,
+                           instructions=self.instructions_executed)
+                    return exit_request.code
+        finally:
+            self._record_telemetry()
         raise SimulationError("program ran %d steps without exiting"
                               % self.max_steps)
+
+    def _record_telemetry(self):
+        """Flush per-run flyweight/instruction metrics (once per run)."""
+        executed = self.instructions_executed
+        compiles = getattr(self.cpu, "compiles", 0)
+        _C_RUNS.inc()
+        _C_INSTRUCTIONS.inc(executed)
+        _C_FLY_COMPILES.inc(compiles)
+        _C_FLY_MISSES.inc(compiles)
+        _C_FLY_HITS.inc(max(0, executed - compiles))
+        categories = getattr(self.cpu, "category_counts", None)
+        if categories:
+            for category, count in categories.items():
+                _metrics.counter(
+                    "sim.category.%s" % category.name.lower()
+                ).inc(count)
 
 
 def run_image(image, stdin_text="", max_steps=50_000_000, count_pcs=False):
@@ -102,8 +133,16 @@ class _BaseCPU:
         self.pc = simulator.image.entry
         self.npc = self.pc + 4
         self._prepared = {}
+        self.compiles = 0  # flyweight-cache misses (one compile each)
+        self.category_counts = None  # filled by the telemetry loop
 
     def run(self):
+        # Telemetry is checked ONCE, out here: the disabled path below is
+        # byte-for-byte the seed dispatch loop, so disabled telemetry
+        # costs nothing per instruction.
+        if _TRACER.enabled:
+            self._run_counting()
+            return
         simulator = self.simulator
         memory = self.memory
         decode = self.codec.decode
@@ -122,8 +161,42 @@ class _BaseCPU:
             if op is None:
                 op = self._prepare(inst)
                 prepared[inst] = op
+                self.compiles += 1
             steps += 1
             # Kept current so the SYS_CYCLES trap can report it.
+            simulator.instructions_executed += 1
+            op()
+
+    def _run_counting(self):
+        """The dispatch loop with per-category instruction accounting.
+
+        Only entered when telemetry is enabled; the counts land in the
+        ``sim.category.*`` counters when the run finishes (even on
+        program exit, which unwinds through here as ExitProgram).
+        """
+        simulator = self.simulator
+        memory = self.memory
+        decode = self.codec.decode
+        prepared = self._prepared
+        max_steps = simulator.max_steps
+        count_pcs = simulator.count_pcs
+        pc_counts = simulator.pc_counts
+        categories = self.category_counts = {}
+        steps = 0
+        while steps < max_steps:
+            pc = self.pc
+            if count_pcs:
+                pc_counts[pc] = pc_counts.get(pc, 0) + 1
+            word = memory.load(pc, 4)
+            inst = decode(word)
+            op = prepared.get(inst)
+            if op is None:
+                op = self._prepare(inst)
+                prepared[inst] = op
+                self.compiles += 1
+            category = inst.category
+            categories[category] = categories.get(category, 0) + 1
+            steps += 1
             simulator.instructions_executed += 1
             op()
 

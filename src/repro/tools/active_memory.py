@@ -117,6 +117,17 @@ class ActiveMemory:
                            clobbers_cc=True)
 
     def instrument(self):
+        from repro.obs import metrics as _metrics
+        from repro.obs.trace import span as _span
+
+        with _span("active_memory.instrument",
+                   cache_size=self.cache_size) as sp:
+            self._instrument_routines()
+            sp.set(sites=self.sites)
+        _metrics.counter("active_memory.sites").inc(self.sites)
+        return self
+
+    def _instrument_routines(self):
         for routine in self.exec.all_routines():
             cfg = routine.control_flow_graph()
             for block in cfg.blocks:
@@ -149,7 +160,6 @@ class ActiveMemory:
                     self.sites += 1
             routine.produce_edited_routine()
             routine.delete_control_flow_graph()
-        return self
 
     @staticmethod
     def _editable_predecessor(block):

@@ -14,9 +14,14 @@ test suite compares against simulator ground truth.
 """
 
 from repro.core import Executable
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
 from repro.tools.common import CounterArray, counter_snippet
 
 _UNEDITABLE_WEIGHT = 1 << 30
+
+_C_COUNTERS = _metrics.counter("qpt.counters_placed")
+_C_SKIPPED = _metrics.counter("qpt.uninstrumentable_edges")
 
 
 class RoutineProfile:
@@ -46,14 +51,17 @@ class QptProfiler:
 
     # ------------------------------------------------------------------
     def run(self):
-        for routine in self.exec.routines():
-            self._instrument(routine)
-        hidden = self.exec.hidden_routines()
-        while not hidden.is_empty():
-            routine = hidden.first()
-            hidden.remove(routine)
-            self._instrument(routine)
-            self.exec.routines().add(routine)
+        with _span("qpt.instrument", mode=self.mode) as sp:
+            for routine in self.exec.routines():
+                self._instrument(routine)
+            hidden = self.exec.hidden_routines()
+            while not hidden.is_empty():
+                routine = hidden.first()
+                hidden.remove(routine)
+                self._instrument(routine)
+                self.exec.routines().add(routine)
+            sp.set(counters=self.counters.used)
+        _C_COUNTERS.inc(self.counters.used)
         return self
 
     def _instrument(self, routine):
@@ -91,6 +99,7 @@ class QptProfiler:
                 # Cannot instrument and not on the tree: counts for this
                 # routine cannot be fully reconstructed; fall back to
                 # counting what we can.
+                _C_SKIPPED.inc()
                 continue
             index = self.counters.allocate(
                 (routine.name, edge.src.id, edge.dst.id)

@@ -45,6 +45,53 @@ def test_profile_roundtrip(tmp_path, capsys):
     assert "fib 1597" in captured.out
 
 
+def test_run_output_ends_with_newline(tmp_path, capsys):
+    out = str(tmp_path / "fib.eelf")
+    main(["build", "fib", out])
+    main(["run", out])
+    captured = capsys.readouterr()
+    # Program stdout is newline-terminated so the stderr trailer can
+    # never interleave mid-line, and the trailer is its own line.
+    assert captured.out.endswith("\n")
+    assert captured.err.startswith("[exit ")
+
+
+def test_stats_reports_pipeline_counters(tmp_path, capsys):
+    import json
+
+    out = str(tmp_path / "interp.eelf")
+    main(["build", "interp", out])
+    capsys.readouterr()
+    assert main(["stats", out]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == "repro.obs/1"
+    counters = report["counters"]
+    assert counters["cfg.blocks"] > 0
+    assert counters["cfg.delay_hoists"] > 0
+    assert counters["indirect.table"] >= 1
+    assert counters["sim.instructions"] > 0
+    assert "sim.flyweight.hit_rate" in report["derived"]
+    span_names = {node["name"] for node in report["spans"]}
+    assert "stats" in span_names
+
+
+def test_run_stats_json_and_trace(tmp_path, capsys):
+    import json
+
+    exe = str(tmp_path / "fib.eelf")
+    stats = str(tmp_path / "stats.json")
+    main(["build", "fib", exe])
+    capsys.readouterr()
+    assert main(["run", exe, "--trace", "--stats-json", stats]) == 0
+    captured = capsys.readouterr()
+    assert "fib 1597" in captured.out
+    assert "sim.run" in captured.err  # span tree on stderr
+    with open(stats) as handle:
+        report = json.load(handle)
+    assert report["counters"]["sim.runs"] == 1
+    assert report["derived"]["sim.flyweight.hit_rate"] > 0
+
+
 def test_cachesim(tmp_path, capsys):
     src = str(tmp_path / "sieve.eelf")
     main(["build", "sieve", src])

@@ -19,6 +19,18 @@ def test_routine_list_worklist_interface():
     assert routines[0] == "b"
 
 
+def test_routine_list_errors_are_executable_errors():
+    empty = RoutineList()
+    with pytest.raises(ExecutableError, match="empty"):
+        empty.first()
+    routines = RoutineList(["a"])
+    with pytest.raises(ExecutableError, match="not in this list"):
+        routines.remove("missing")
+    # Normal worklist drain still works after the failed remove.
+    routines.remove("a")
+    assert routines.is_empty()
+
+
 def test_figure1_protocol():
     """The exact call sequence of the paper's Figure 1."""
     exe = Executable(build_image("fib"))

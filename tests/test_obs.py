@@ -1,0 +1,236 @@
+"""Telemetry subsystem: spans, metrics, report schema, and overhead."""
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics, report, trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """Each test starts and ends with telemetry off and empty."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+
+def test_span_nesting_records_hierarchy():
+    obs.enable()
+    with obs.span("outer", tool="test"):
+        with obs.span("inner.a"):
+            pass
+        with obs.span("inner.b") as sp:
+            sp.set(extra=1)
+    forest = trace.TRACER.tree()
+    assert len(forest) == 1
+    outer = forest[0]
+    assert outer["name"] == "outer"
+    assert outer["attrs"] == {"tool": "test"}
+    assert [child["name"] for child in outer["children"]] == \
+        ["inner.a", "inner.b"]
+    assert outer["children"][1]["attrs"] == {"extra": 1}
+    assert outer["duration_s"] >= 0
+    assert all(child["duration_s"] >= 0 for child in outer["children"])
+
+
+def test_span_duration_measures_wall_time():
+    obs.enable()
+    with obs.span("sleepy"):
+        time.sleep(0.01)
+    node = trace.TRACER.tree()[0]
+    assert node["duration_s"] >= 0.009
+
+
+def test_disabled_spans_record_nothing():
+    assert not obs.is_enabled()
+    with obs.span("ghost", attr=1) as sp:
+        # The disabled path hands back the shared no-op span.
+        assert sp is trace._NULL_SPAN
+        sp.set(more=2)
+    assert trace.TRACER.tree() == []
+
+
+def test_span_exit_pops_even_on_exception():
+    obs.enable()
+    with pytest.raises(RuntimeError):
+        with obs.span("boom"):
+            raise RuntimeError("x")
+    assert trace.TRACER._stack == []
+    assert trace.TRACER.tree()[0]["duration_s"] is not None
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+def test_counter_aggregation_and_interning():
+    first = obs.counter("test.hits")
+    first.inc()
+    first.inc(4)
+    # Same name -> same object; values aggregate.
+    assert obs.counter("test.hits") is first
+    assert metrics.snapshot()["counters"]["test.hits"] == 5
+
+
+def test_registry_reset_keeps_references_valid():
+    counter = obs.counter("test.reset")
+    counter.inc(7)
+    metrics.reset()
+    assert counter.value == 0
+    counter.inc()  # interned reference still feeds the registry
+    assert metrics.snapshot()["counters"]["test.reset"] == 1
+
+
+def test_gauge_and_histogram():
+    obs.gauge("test.gauge").set(42)
+    histogram = obs.histogram("test.hist")
+    for value in (1, 2, 9):
+        histogram.observe(value)
+    snap = metrics.snapshot()
+    assert snap["gauges"]["test.gauge"] == 42
+    assert snap["histograms"]["test.hist"] == {
+        "count": 3, "sum": 12, "min": 1, "max": 9, "mean": 4.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Report schema
+# ----------------------------------------------------------------------
+
+def test_report_schema_stability(tmp_path):
+    obs.enable()
+    with obs.span("stage"):
+        obs.counter("sim.flyweight.hits").inc(90)
+        obs.counter("sim.flyweight.misses").inc(10)
+        obs.counter("indirect.table").inc(3)
+        obs.counter("indirect.unanalyzable").inc(1)
+    built = report.build_report()
+    # Top-level key set is the schema contract: widen deliberately only.
+    assert sorted(built) == [
+        "counters", "derived", "gauges", "histograms", "schema", "spans",
+    ]
+    assert built["schema"] == "repro.obs/1"
+    assert built["derived"]["sim.flyweight.hit_rate"] == 0.9
+    assert built["derived"]["indirect.resolved"] == 3
+    assert built["derived"]["indirect.fallback"] == 1
+    span_node = built["spans"][0]
+    assert sorted(span_node) == ["attrs", "children", "duration_s", "name"]
+    # dump() writes valid, key-sorted JSON that round-trips.
+    path = tmp_path / "stats.json"
+    report.dump(str(path))
+    on_disk = json.loads(path.read_text())
+    assert on_disk["schema"] == built["schema"]
+    assert on_disk["counters"] == built["counters"]
+
+
+def test_bench_results_schema(tmp_path):
+    path = tmp_path / "BENCH_RESULTS.json"
+    payload = report.write_bench_results(
+        str(path), [report.bench_record("e12.fib.slowdown", 1.31, "x")]
+    )
+    assert payload["schema"] == "repro.obs.bench/1"
+    on_disk = json.loads(path.read_text())
+    assert on_disk["results"] == [
+        {"name": "e12.fib.slowdown", "value": 1.31, "unit": "x"}
+    ]
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the pipeline populates the report
+# ----------------------------------------------------------------------
+
+def test_stats_pipeline_populates_required_counters():
+    from repro.core import Executable
+    from repro.sim import run_image
+    from repro.workloads import build_image
+
+    image = build_image("interp")  # has a switch -> dispatch table
+    obs.enable()
+    exe = Executable(image).read_contents()
+    for routine in exe.all_routines():
+        routine.control_flow_graph()
+    run_image(image)
+    built = report.build_report()
+    counters = built["counters"]
+    assert counters["cfg.blocks"] > 0
+    assert counters["cfg.edges"] > 0
+    assert counters["cfg.delay_hoists"] > 0
+    assert counters["indirect.table"] >= 1
+    assert counters["sim.instructions"] > 0
+    assert 0 < built["derived"]["sim.flyweight.hit_rate"] < 1
+    # Refinement stage timings appear as spans under exe.read_contents.
+    names = _all_span_names(built["spans"])
+    assert "refine.stage1_symtab" in names
+    assert "refine.stage3_interproc" in names
+    assert "refine.stage4_cfg" in names
+    assert "sim.run" in names
+
+
+def _all_span_names(nodes):
+    names = set()
+    for node in nodes:
+        names.add(node["name"])
+        names |= _all_span_names(node["children"])
+    return names
+
+
+# ----------------------------------------------------------------------
+# Disabled-mode overhead
+# ----------------------------------------------------------------------
+
+def _busy_image(iterations):
+    from repro.minic import compile_to_image
+
+    return compile_to_image(
+        "int main(void) { int i; i = 0; while (i < %d) { i = i + 1; } "
+        "print_int(i); return 0; }" % iterations
+    )
+
+
+def test_disabled_simulation_is_untelemetered():
+    """With telemetry off, the simulator takes the seed fast path: no
+    spans, no per-category accounting."""
+    from repro.sim import Simulator
+
+    simulator = Simulator(_busy_image(1000))
+    simulator.run()
+    assert simulator.cpu.category_counts is None
+    assert trace.TRACER.tree() == []
+
+
+def test_disabled_overhead_bound():
+    """Disabled telemetry must stay within 5% of a 1M-instruction run.
+
+    The per-instruction fast path is identical to the seed loop, so the
+    only possible regression is the per-*call-site* guard.  Measure the
+    guard directly: 1M disabled span() calls must cost well under 5% of
+    what a 1M-instruction simulation costs (~1s on this substrate).
+    """
+    from repro.sim import Simulator
+
+    image = _busy_image(250_000)  # 4-instruction loop body -> ~1M steps
+    simulator = Simulator(image)
+    started = time.perf_counter()
+    simulator.run()
+    sim_elapsed = time.perf_counter() - started
+    assert simulator.instructions_executed >= 1_000_000
+
+    span = trace.span
+    started = time.perf_counter()
+    for _ in range(1_000_000):
+        span("overhead.probe")
+    guard_elapsed = time.perf_counter() - started
+
+    assert guard_elapsed < 0.05 * sim_elapsed, (
+        "disabled span() guard cost %.3fs vs %.3fs simulation"
+        % (guard_elapsed, sim_elapsed)
+    )
