@@ -19,7 +19,24 @@ import os
 import re
 import sys
 
+import pytest
+
 from repro.obs import report as obs_report
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_analysis_cache(tmp_path_factory):
+    """Keep benchmark runs off the developer's real analysis cache (an
+    exported REPRO_CACHE_DIR is respected for deliberate warm runs)."""
+    if os.environ.get("REPRO_CACHE_DIR"):
+        yield
+        return
+    directory = tmp_path_factory.mktemp("analysis-cache")
+    os.environ["REPRO_CACHE_DIR"] = str(directory)
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)
 
 # Session-wide accumulator for machine-readable benchmark records.
 _RECORDS = []

@@ -10,12 +10,21 @@ File layout (all integers big-endian):
 Strings are encoded as u16 length + UTF-8 bytes.
 """
 
+import json
 import struct
+import zlib
 
 from repro.binfmt.image import Image, Relocation, SEC_NOBITS, Section, Symbol
 
 MAGIC = b"EELF"
 VERSION = 1
+
+# Analysis-result blobs ("EELA"): persisted per-executable analysis
+# summaries for repro.cache.  Bump ANALYSIS_VERSION whenever the summary
+# contents *or* the semantics of any cached analysis change; the version
+# participates in the cache key, so old entries simply stop matching.
+ANALYSIS_MAGIC = b"EELA"
+ANALYSIS_VERSION = 1
 
 
 class FormatError(Exception):
@@ -145,6 +154,34 @@ def image_from_bytes(blob):
             section.data = bytearray(reader.take(size))
         image.add_section(section)
     return image
+
+
+def analysis_to_bytes(summary):
+    """Serialize an analysis *summary* dict to EELA bytes.
+
+    The payload is canonical JSON (sorted keys, no whitespace) under
+    zlib, so identical analyses always produce identical blobs.
+    """
+    payload = json.dumps(summary, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return (ANALYSIS_MAGIC + struct.pack(">H", ANALYSIS_VERSION)
+            + zlib.compress(payload))
+
+
+def analysis_from_bytes(blob):
+    """Parse EELA bytes back into the analysis summary dict."""
+    if blob[:4] != ANALYSIS_MAGIC:
+        raise FormatError("bad magic; not an EELA analysis blob")
+    if len(blob) < 6:
+        raise FormatError("truncated EELA analysis blob")
+    (version,) = struct.unpack(">H", blob[4:6])
+    if version != ANALYSIS_VERSION:
+        raise FormatError("unsupported EELA version %d" % version)
+    try:
+        payload = zlib.decompress(blob[6:])
+        return json.loads(payload.decode("utf-8"))
+    except (zlib.error, ValueError) as exc:
+        raise FormatError("corrupt EELA analysis blob: %s" % exc)
 
 
 def write_image(image, path):

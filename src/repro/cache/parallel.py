@@ -1,0 +1,58 @@
+"""Process-pool fan-out for cold-cache routine analysis.
+
+Each worker gets the serialized image plus a chunk of routine
+identities, rebuilds a lightweight Executable, and returns plain
+summary dicts — everything crossing the pool boundary is picklable
+bytes and JSON-ready data.  Any pool failure (missing multiprocessing
+support, broken workers, sandboxed fork) makes the caller fall back to
+the serial path, so ``--jobs N`` is always safe to pass.
+"""
+
+from repro.obs import metrics as _metrics
+
+_C_FALLBACKS = _metrics.counter("cache.parallel_fallbacks")
+
+
+def _analyze_chunk(payload):
+    """Worker: analyze one chunk of routines; returns summary dicts."""
+    blob, identities, claimed = payload
+    from repro.binfmt.serialize import image_from_bytes
+    from repro.cache.summary import summarize_routine
+    from repro.core.executable import Executable
+    from repro.core.symtab_refine import routine_from_identity
+
+    executable = Executable(image_from_bytes(blob))
+    executable._read = True
+    executable._claimed = set(claimed)
+    return [summarize_routine(routine_from_identity(executable, identity))
+            for identity in identities]
+
+
+def _chunks(items, count):
+    """Split *items* into at most *count* contiguous chunks."""
+    size = max(1, (len(items) + count - 1) // count)
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def parallel_summaries(executable, routines, jobs):
+    """Summaries for *routines* in original order, or None on failure."""
+    from repro.binfmt.serialize import image_to_bytes
+    from repro.core.symtab_refine import routine_identity
+
+    blob = image_to_bytes(executable.image)
+    claimed = sorted(executable._claimed)
+    payloads = [
+        (blob, [routine_identity(r) for r in chunk], claimed)
+        for chunk in _chunks(routines, jobs)
+    ]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_analyze_chunk, payloads))
+    except Exception:
+        # Pools can be unavailable (restricted environments) or die
+        # mid-flight; the serial path computes identical results.
+        _C_FALLBACKS.inc()
+        return None
+    return [summary for chunk in results for summary in chunk]

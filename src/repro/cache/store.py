@@ -1,0 +1,157 @@
+"""Content-addressed on-disk store for analysis summaries.
+
+The cache key is a SHA-256 over everything routine analysis consumes:
+the architecture, the entry point, every section's identity and bytes,
+and the symbol table (symbol-table refinement stage 1 reads it), plus
+the ``ANALYSIS_VERSION`` tag from :mod:`repro.binfmt.serialize`.  Two
+executables with the same key are analysis-equivalent by construction;
+any change to the analyses bumps the version and old entries simply
+stop matching.
+
+Invalidation rules:
+
+* version or magic mismatch, truncated or corrupt blob -> the entry is
+  deleted and counted in ``cache.invalidations``; the caller sees a miss;
+* the directory is pruned oldest-first past ``REPRO_CACHE_MAX`` entries
+  (default 512), counted in ``cache.evictions``.
+
+The store must never break the pipeline: every filesystem error turns
+into a miss (or a dropped store) plus a counter, not an exception.
+"""
+
+import hashlib
+import os
+import struct
+
+from repro.binfmt.image import SEC_NOBITS
+from repro.binfmt.serialize import (
+    ANALYSIS_VERSION,
+    FormatError,
+    analysis_from_bytes,
+    analysis_to_bytes,
+)
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
+
+_C_HITS = _metrics.counter("cache.hits")
+_C_MISSES = _metrics.counter("cache.misses")
+_C_STORES = _metrics.counter("cache.stores")
+_C_INVALIDATIONS = _metrics.counter("cache.invalidations")
+_C_EVICTIONS = _metrics.counter("cache.evictions")
+_C_ERRORS = _metrics.counter("cache.store_errors")
+
+_SUFFIX = ".eela"
+_OFF_VALUES = ("off", "0", "false", "no")
+
+
+def enabled():
+    """The cache is on unless REPRO_CACHE says otherwise."""
+    return os.environ.get("REPRO_CACHE", "on").lower() not in _OFF_VALUES
+
+
+def cache_dir():
+    """Directory holding cached analyses (REPRO_CACHE_DIR overrides)."""
+    configured = os.environ.get("REPRO_CACHE_DIR")
+    if configured:
+        return configured
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-eel")
+
+
+def max_entries():
+    try:
+        return int(os.environ.get("REPRO_CACHE_MAX", "512"))
+    except ValueError:
+        return 512
+
+
+def image_cache_key(image):
+    """Hex digest addressing *image*'s analysis results."""
+    digest = hashlib.sha256()
+    digest.update(b"EELK")
+    digest.update(struct.pack(">H", ANALYSIS_VERSION))
+    digest.update(image.arch.encode("utf-8"))
+    digest.update(struct.pack(">I", image.entry & 0xFFFFFFFF))
+    for name in sorted(image.sections):
+        section = image.sections[name]
+        digest.update(name.encode("utf-8"))
+        digest.update(struct.pack(">IIB", section.vaddr, section.size,
+                                  section.flags))
+        if not section.flags & SEC_NOBITS:
+            digest.update(bytes(section.data))
+    for symbol in image.symbols:
+        record = "%s|%d|%s|%s|%d|%s" % (
+            symbol.name, symbol.value, symbol.kind, symbol.binding,
+            symbol.size, symbol.section,
+        )
+        digest.update(record.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _entry_path(key):
+    return os.path.join(cache_dir(), key + _SUFFIX)
+
+
+def load(key):
+    """Summary dict for *key*, or None on miss/invalidation."""
+    path = _entry_path(key)
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError:
+        _C_MISSES.inc()
+        return None
+    with _span("cache.load", key=key[:12], bytes=len(blob)):
+        try:
+            summary = analysis_from_bytes(blob)
+        except FormatError:
+            _invalidate(path)
+            _C_MISSES.inc()
+            return None
+    _C_HITS.inc()
+    return summary
+
+
+def store(key, summary):
+    """Persist *summary* under *key* (atomic write; errors are dropped)."""
+    directory = cache_dir()
+    path = _entry_path(key)
+    with _span("cache.store", key=key[:12]):
+        try:
+            os.makedirs(directory, exist_ok=True)
+            blob = analysis_to_bytes(summary)
+            tmp = "%s.tmp.%d" % (path, os.getpid())
+            with open(tmp, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            _C_ERRORS.inc()
+            return
+    _C_STORES.inc()
+    _prune(directory)
+
+
+def _invalidate(path):
+    _C_INVALIDATIONS.inc()
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def _prune(directory):
+    """Drop the oldest entries once the directory exceeds the cap."""
+    cap = max_entries()
+    try:
+        names = [n for n in os.listdir(directory) if n.endswith(_SUFFIX)]
+        if len(names) <= cap:
+            return
+        entries = []
+        for name in names:
+            path = os.path.join(directory, name)
+            entries.append((os.path.getmtime(path), path))
+        entries.sort()
+        for _, path in entries[: len(entries) - cap]:
+            os.unlink(path)
+            _C_EVICTIONS.inc()
+    except OSError:
+        _C_ERRORS.inc()

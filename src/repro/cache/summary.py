@@ -1,0 +1,100 @@
+"""Build and restore whole-executable analysis summaries.
+
+A summary captures what EEL computes once per executable (paper
+section 3): the refined routine set and, per routine, the CFG shape
+(with delay-slot hoists and indirect-jump resolutions baked in) and the
+liveness solution.  Restoring a summary puts an Executable in the same
+analyzed state without re-running refinement or any per-routine
+analysis.
+"""
+
+from repro.obs.trace import span as _span
+
+
+def summarize_routine(routine):
+    """Per-routine analysis summary: identity + CFG + liveness."""
+    from repro.core.symtab_refine import routine_identity
+
+    cfg = routine.control_flow_graph()
+    liveness = cfg.live_registers()
+    summary = routine_identity(routine)
+    summary["cfg"] = cfg.to_summary()
+    summary["liveness"] = liveness.to_summary()
+    return summary
+
+
+def analyze_routines(executable, routines, jobs=1):
+    """Analysis summaries for *routines*, optionally fanned out.
+
+    Routines are independent after symbol-table refinement, so on a
+    cold cache the CFG/liveness work can run under
+    ``concurrent.futures``; any pool failure falls back to the serial
+    path, and ``jobs=1`` never touches a pool at all.
+    """
+    if jobs > 1 and len(routines) > 1:
+        from repro.cache.parallel import parallel_summaries
+
+        summaries = parallel_summaries(executable, routines, jobs)
+        if summaries is not None:
+            return summaries
+    return [summarize_routine(routine) for routine in routines]
+
+
+def executable_to_summary(executable, jobs=1):
+    """Summarize *executable*'s refined, analyzed state.
+
+    Must run after ``read_contents``; building the per-routine CFGs
+    claims dispatch-table data, so the claimed set is recorded last.
+    """
+    routines = list(executable._routines)
+    hidden = list(executable._hidden)
+    with _span("cache.analyze", jobs=jobs,
+               routines=len(routines) + len(hidden)):
+        summaries = analyze_routines(executable, routines + hidden,
+                                     jobs=jobs)
+    routine_summaries = summaries[: len(routines)]
+    hidden_summaries = summaries[len(routines):]
+    _attach(routines + hidden, summaries)
+    return {
+        "arch": executable.arch,
+        "routines": routine_summaries,
+        "hidden": hidden_summaries,
+        "claimed": sorted(executable._claimed),
+    }
+
+
+def restore_executable(executable, summary):
+    """Recreate the refined routine sets from *summary*.
+
+    Returns (routines, hidden) lists of Routine objects with analysis
+    summaries attached; CFGs and liveness restore lazily on first use.
+    Returns None when the summary does not describe this executable.
+    """
+    from repro.core.symtab_refine import routine_from_identity
+
+    if summary.get("arch") != executable.arch:
+        return None
+    with _span("cache.restore",
+               routines=len(summary["routines"]),
+               hidden=len(summary["hidden"])):
+        executable._claimed = set(summary["claimed"])
+        routines = []
+        for entry in summary["routines"]:
+            routine = routine_from_identity(executable, entry)
+            routine.analysis_summary = entry
+            routines.append(routine)
+        hidden = []
+        for entry in summary["hidden"]:
+            routine = routine_from_identity(executable, entry)
+            routine.analysis_summary = entry
+            hidden.append(routine)
+    return routines, hidden
+
+
+def _attach(routines, summaries):
+    """Attach freshly built summaries so in-session CFG rebuilds (after
+    ``delete_control_flow_graph``) can restore instead of re-analyzing."""
+    for routine, summary in zip(routines, summaries):
+        routine.analysis_summary = summary
+        if routine._cfg is not None and routine._cfg._liveness is None:
+            routine._cfg._live_summary = summary.get("liveness")

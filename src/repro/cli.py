@@ -34,6 +34,12 @@ def _add_obs_flags(subparser):
                            help="write the repro.obs JSON report to PATH")
 
 
+def _add_jobs_flag(subparser):
+    subparser.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="fan cold-cache routine analysis across N "
+                                "worker processes (default: 1, serial)")
+
+
 def _obs_begin(args):
     """Enable telemetry when any obs flag is present; returns True if so."""
     wanted = getattr(args, "trace", False) \
@@ -118,7 +124,8 @@ def _cmd_disasm(args):
 
 
 def _cmd_routines(args):
-    exe = Executable(read_image(args.executable)).read_contents()
+    exe = Executable(read_image(args.executable)) \
+        .read_contents(jobs=args.jobs)
     for routine in sorted(exe.all_routines(), key=lambda r: r.start):
         cfg = routine.control_flow_graph()
         flags = []
@@ -136,7 +143,7 @@ def _cmd_profile(args):
     from repro.tools.qpt import QptProfiler
 
     image = read_image(args.executable)
-    tool = QptProfiler(image, mode=args.mode).run()
+    tool = QptProfiler(image, mode=args.mode, jobs=args.jobs).run()
     edited = tool.edited_image()
     write_image(edited, args.output)
     simulator = run_image(edited, stdin_text=args.stdin or "")
@@ -154,7 +161,8 @@ def _cmd_cachesim(args):
     from repro.tools.active_memory import ActiveMemory
 
     image = read_image(args.executable)
-    tool = ActiveMemory(image, cache_size=args.cache_size).instrument()
+    tool = ActiveMemory(image, cache_size=args.cache_size,
+                        jobs=args.jobs).instrument()
     simulator, cache = tool.run(stdin_text=args.stdin or "")
     _emit_program_output(simulator)
     print("%d misses / %d handled accesses (cache %dB, %d sites)"
@@ -178,7 +186,8 @@ def _cmd_stats(args):
     obs.enable()
     try:
         with obs.span("stats", executable=str(args.executable)):
-            exe = Executable(read_image(args.executable)).read_contents()
+            exe = Executable(read_image(args.executable)) \
+                .read_contents(jobs=args.jobs)
             with obs.span("stats.cfg_walk") as sp:
                 routines = sorted(exe.all_routines(), key=lambda r: r.start)
                 for routine in routines:
@@ -224,6 +233,7 @@ def main(argv=None):
     routines = sub.add_parser("routines",
                               help="list routines found by refinement")
     routines.add_argument("executable")
+    _add_jobs_flag(routines)
     routines.set_defaults(func=_cmd_routines)
 
     profile = sub.add_parser("profile", help="instrument with qpt2")
@@ -232,6 +242,7 @@ def main(argv=None):
     profile.add_argument("--mode", choices=("block", "edge"),
                          default="edge")
     profile.add_argument("--stdin", default="")
+    _add_jobs_flag(profile)
     _add_obs_flags(profile)
     profile.set_defaults(func=_cmd_profile)
 
@@ -240,6 +251,7 @@ def main(argv=None):
     cachesim.add_argument("executable")
     cachesim.add_argument("--cache-size", type=int, default=8192)
     cachesim.add_argument("--stdin", default="")
+    _add_jobs_flag(cachesim)
     _add_obs_flags(cachesim)
     cachesim.set_defaults(func=_cmd_cachesim)
 
@@ -249,6 +261,7 @@ def main(argv=None):
     stats.add_argument("--stdin", default="")
     stats.add_argument("--no-run", action="store_true",
                        help="skip the simulation pass")
+    _add_jobs_flag(stats)
     _add_obs_flags(stats)
     stats.set_defaults(func=_cmd_stats, obs_managed=True)
 

@@ -58,14 +58,44 @@ _SPARC_WINDOW_REGS = frozenset(range(8, 32))
 class LivenessAnalysis:
     """Per-block live-in/live-out, with point queries inside blocks."""
 
-    def __init__(self, cfg):
+    def __init__(self, cfg, _summary=None):
         self.cfg = cfg
         self.live_in = {}
         self.live_out = {}
         self._block_effects = {}
+        if _summary is not None:
+            self._restore(_summary)
+            return
         self._solve()
         self._pre_window_in = self._solve_pre_window() \
             if cfg.codec.arch == "sparc" else {}
+
+    # ------------------------------------------------------------------
+    # Summaries: persistable solution for repro.cache
+    # ------------------------------------------------------------------
+    def to_summary(self):
+        """JSON-ready per-block solution, dense by block id."""
+        blocks = self.cfg.blocks
+        summary = {
+            "live_in": [sorted(self.live_in[b.id]) for b in blocks],
+            "live_out": [sorted(self.live_out[b.id]) for b in blocks],
+        }
+        if self._pre_window_in:
+            summary["pre_window"] = [
+                1 if self._pre_window_in.get(b.id) else 0 for b in blocks
+            ]
+        return summary
+
+    def _restore(self, summary):
+        """Adopt a cached solution; point queries work unchanged."""
+        self.live_in = {i: frozenset(regs)
+                        for i, regs in enumerate(summary["live_in"])}
+        self.live_out = {i: frozenset(regs)
+                         for i, regs in enumerate(summary["live_out"])}
+        pre_window = summary.get("pre_window")
+        self._pre_window_in = {
+            i: bool(flag) for i, flag in enumerate(pre_window)
+        } if pre_window else {}
 
     def _solve_pre_window(self):
         """Forward dataflow: can this point execute before any `save`?"""

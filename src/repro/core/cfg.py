@@ -24,6 +24,7 @@ from repro.obs import metrics as _metrics
 from repro.obs.trace import span as _span
 
 _C_BUILDS = _metrics.counter("cfg.builds")
+_C_RESTORES = _metrics.counter("cache.restored_cfgs")
 _C_BLOCKS = _metrics.counter("cfg.blocks")
 _C_EDGES = _metrics.counter("cfg.edges")
 _C_DELAY_HOISTS = _metrics.counter("cfg.delay_hoists")
@@ -191,7 +192,7 @@ class IndirectJumpInfo:
 class CFG:
     """CFG of one routine, with analyses and batch editing."""
 
-    def __init__(self, routine):
+    def __init__(self, routine, summary=None):
         self.routine = routine
         self.executable = routine.executable
         self.codec = routine.executable.codec
@@ -204,7 +205,13 @@ class CFG:
         self.incomplete = False  # some control flow unresolved statically
         self.unreached = set()  # valid, never-reached addresses in extent
         self._edge_count = 0
-        self._build()
+        self._edge_order = []  # edges in creation order (see to_summary)
+        self._liveness = None  # memoized LivenessAnalysis
+        self._live_summary = None  # cached liveness summary to restore from
+        if summary is None:
+            self._build()
+        else:
+            self._restore(summary)
 
     # ------------------------------------------------------------------
     # Construction
@@ -223,6 +230,7 @@ class CFG:
         src.succ.append(edge)
         dst.pred.append(edge)
         self._edge_count += 1
+        self._edge_order.append(edge)
         return edge
 
     def _build(self):
@@ -231,9 +239,12 @@ class CFG:
             sp.set(blocks=len(self.blocks), edges=self._edge_count)
         self._record_metrics()
 
-    def _record_metrics(self):
+    def _record_metrics(self, built=True):
         editable_blocks, blocks, editable_edges, edges = self.editable_stats()
-        _C_BUILDS.inc()
+        if built:
+            _C_BUILDS.inc()
+        else:
+            _C_RESTORES.inc()
         _C_BLOCKS.inc(blocks)
         _C_EDGES.inc(edges)
         _C_EDITABLE_BLOCKS.inc(editable_blocks)
@@ -282,6 +293,7 @@ class CFG:
         self.blocks = []
         self.block_at = {}
         self._edge_count = 0
+        self._edge_order = []
         self.data_addrs = set(discovery.table_data)
 
         self.entry = self._new_block(BK_ENTRY)
@@ -477,6 +489,90 @@ class CFG:
             addr += 4
 
     # ------------------------------------------------------------------
+    # Summaries: persistable CFG shape for repro.cache
+    # ------------------------------------------------------------------
+    def to_summary(self):
+        """JSON-ready description of this CFG (blocks, edges, analyses).
+
+        Edges are serialized in creation order: succ/pred list order is
+        semantically significant (layout assumes ``succ[0]`` is the
+        delay edge of a call, for instance), and replaying creation
+        order through :meth:`_connect` reproduces it exactly.
+        """
+        blocks = [
+            [block.kind, block.start, block.addresses(),
+             1 if block.editable else 0, block.cti_addr]
+            for block in self.blocks
+        ]
+        edges = [
+            [edge.src.id, edge.dst.id, edge.kind,
+             1 if edge.editable else 0, edge.escape_target]
+            for edge in self._edge_order
+        ]
+        indirect = [
+            {"block": info.block.id, "status": info.status,
+             "table_addr": info.table_addr, "targets": list(info.targets),
+             "literal": info.literal,
+             "patch_sites": [list(site) for site in info.patch_sites],
+             "index_bound": info.index_bound}
+            for info in self.indirect_jumps
+        ]
+        return {
+            "blocks": blocks,
+            "edges": edges,
+            "entry": self.entry.id,
+            "exit": self.exit.id,
+            "indirect": indirect,
+            "data_addrs": sorted(self.data_addrs),
+            "unreached": sorted(self.unreached),
+            "incomplete": 1 if self.incomplete else 0,
+        }
+
+    def _restore(self, summary):
+        """Rebuild the CFG from a summary instead of re-analyzing.
+
+        Counters for graph *shape* (blocks, edges, hoists, indirect
+        outcomes) are recorded as on a fresh build so warm-cache reports
+        stay comparable, but ``cfg.builds`` is not incremented and the
+        span is ``cfg.restore`` — the analysis itself did not run.
+        """
+        from repro.core.analysis.indirect import record_indirect_outcome
+
+        with _span("cfg.restore", routine=self.routine.name) as sp:
+            for kind, start, addrs, editable, cti_addr in summary["blocks"]:
+                block = self._new_block(kind, start)
+                block.editable = bool(editable)
+                block.cti_addr = cti_addr
+                for addr in addrs:
+                    block.instructions.append((addr,
+                                               self._instruction(addr)))
+                if kind == BK_NORMAL:
+                    self.block_at[start] = block
+            self.entry = self.blocks[summary["entry"]]
+            self.exit = self.blocks[summary["exit"]]
+            for src, dst, kind, editable, escape_target in summary["edges"]:
+                self._connect(self.blocks[src], self.blocks[dst], kind,
+                              editable=bool(editable),
+                              escape_target=escape_target)
+            for entry in summary["indirect"]:
+                info = IndirectJumpInfo(
+                    self.blocks[entry["block"]], entry["status"],
+                    table_addr=entry["table_addr"],
+                    targets=entry["targets"],
+                    literal=entry["literal"],
+                    patch_sites=[tuple(site)
+                                 for site in entry["patch_sites"]],
+                    index_bound=entry["index_bound"],
+                )
+                self.indirect_jumps.append(info)
+                record_indirect_outcome(info)
+            self.data_addrs = set(summary["data_addrs"])
+            self.unreached = set(summary["unreached"])
+            self.incomplete = bool(summary["incomplete"])
+            sp.set(blocks=len(self.blocks), edges=self._edge_count)
+        self._record_metrics(built=False)
+
+    # ------------------------------------------------------------------
     # Queries and statistics
     # ------------------------------------------------------------------
     def normal_blocks(self):
@@ -523,7 +619,10 @@ class CFG:
     def live_registers(self):
         from repro.core.analysis.liveness import LivenessAnalysis
 
-        return LivenessAnalysis(self)
+        if self._liveness is None:
+            self._liveness = LivenessAnalysis(self,
+                                              _summary=self._live_summary)
+        return self._liveness
 
     def backward_slice(self, block, index, reg):
         from repro.core.analysis.slicing import backward_slice

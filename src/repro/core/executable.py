@@ -99,16 +99,33 @@ class Executable:
     # ------------------------------------------------------------------
     # Reading and analysis
     # ------------------------------------------------------------------
-    def read_contents(self):
-        """Analyze the symbol table and program to find all routines."""
+    def read_contents(self, jobs=1):
+        """Analyze the symbol table and program to find all routines.
+
+        With a warm analysis cache (see :mod:`repro.cache`) the refined
+        routine set and per-routine analyses restore from disk instead
+        of being recomputed.  On a cold cache, *jobs* > 1 fans the
+        per-routine analysis out across worker processes.
+        """
+        from repro import cache
         from repro.core.symtab_refine import refine_symbol_table
 
         with _span("exe.read_contents", arch=self.arch) as sp:
+            restored = cache.load_analysis(self)
+            if restored is not None:
+                routines, hidden = restored
+                self._routines = RoutineList(routines)
+                self._hidden = RoutineList(hidden)
+                self._read = True
+                sp.set(routines=len(routines), hidden=len(hidden),
+                       cached=True)
+                return self
             routines, hidden = refine_symbol_table(self)
             sp.set(routines=len(routines), hidden=len(hidden))
-        self._routines = RoutineList(routines)
-        self._hidden = RoutineList(hidden)
-        self._read = True
+            self._routines = RoutineList(routines)
+            self._hidden = RoutineList(hidden)
+            self._read = True
+            cache.store_analysis(self, jobs=jobs)
         return self
 
     def routines(self):

@@ -39,7 +39,14 @@ _C_BRANCH_FIXUPS = _metrics.counter("layout.branch_stub_fixups")
 _C_RUNTIME_XLATE = _metrics.counter("layout.runtime_translations")
 _C_TABLE_PATCHES = _metrics.counter("layout.table_patches")
 _C_TRAMPOLINES = _metrics.counter("layout.trampolines")
+_C_LONG_BRANCHES = _metrics.counter("layout.long_branches")
 _C_BYTES = _metrics.counter("layout.edited_bytes")
+
+# Long-branch relaxation never needs more passes than there are jump
+# items (each pass either converges or promotes at least one more jump
+# to its long form, and promotions are monotone), but cap the fixpoint
+# anyway so a placement bug cannot hang finalization.
+_MAX_RELAX_PASSES = 64
 
 
 class LayoutError(Exception):
@@ -50,7 +57,7 @@ class Item:
     """One unit of the edited routine's emission stream."""
 
     __slots__ = ("kind", "word", "label", "target", "orig_addr", "snippet",
-                 "role", "orig_target")
+                 "role", "orig_target", "long")
 
     def __init__(self, kind, word=None, label=None, target=None,
                  orig_addr=None, snippet=None, role=None, orig_target=None):
@@ -62,6 +69,11 @@ class Item:
         self.snippet = snippet
         self.role = role
         self.orig_target = orig_target
+        # Set by the finalizer's relaxation pass when a jump/jumpxfer
+        # target is out of direct-jump span: emit the multi-word
+        # long-branch stub instead (sethi/jmpl on SPARC, lui/ori/jr on
+        # MIPS), nop-padded to a fixed size so placement stays stable.
+        self.long = False
 
     def size(self, arch):
         if self.kind == "label":
@@ -69,6 +81,8 @@ class Item:
         if self.kind == "snippet":
             return 4 * len(self.snippet.words)
         if self.kind in ("jump", "jumpxfer"):
+            if self.long:
+                return 12 if arch == "sparc" else 16
             return 4 if arch == "sparc" else 8
         return 4
 
@@ -546,16 +560,14 @@ class _ImageFinalizer:
         self.labels = {}  # label name -> address
         self.addr_map = {}  # original addr -> edited addr
         self._label_map = {}  # block-start mappings (take priority)
+        self._jump_sites = []  # (item, placed addr) for short jumps
 
     def run(self):
         executable = self.executable
         with _span("layout.place"):
-            cursor = binlayout.align_up(executable._added_cursor, 4)
-            # Phase A: assign addresses.
-            for routine in self.edited:
-                routine.edited.base = cursor
-                cursor = self._place(routine.edited, cursor)
-            self.addr_map.update(self._label_map)
+            # Phase A: assign addresses, relaxing out-of-span jumps to
+            # long-branch stubs until placement reaches a fixpoint.
+            self._place_all(executable)
         with _span("layout.materialize"):
             # Phase B: materialize words.
             words = []
@@ -572,6 +584,32 @@ class _ImageFinalizer:
         return FinalizedImage(image, self.addr_map)
 
     # ------------------------------------------------------------------
+    def _place_all(self, executable):
+        """Fixpoint placement with long-branch relaxation.
+
+        Each pass assigns addresses from scratch, then re-checks every
+        still-short jump at its placed address.  Any whose target falls
+        outside the direct-jump span is promoted to its long form
+        (which grows the item and shifts later addresses), so placement
+        repeats until no promotion happens.  Promotions are monotone —
+        an item never shrinks back — so the loop terminates; the final
+        pass has verified every remaining short jump in place.
+        """
+        for _ in range(_MAX_RELAX_PASSES):
+            self.labels = {}
+            self.addr_map = {}
+            self._label_map = {}
+            self._jump_sites = []
+            cursor = binlayout.align_up(executable._added_cursor, 4)
+            for routine in self.edited:
+                routine.edited.base = cursor
+                cursor = self._place(routine.edited, cursor)
+            self.addr_map.update(self._label_map)
+            if not self._relax_jumps():
+                return
+        raise LayoutError("long-branch relaxation did not converge after "
+                          "%d passes" % _MAX_RELAX_PASSES)
+
     def _place(self, edited, cursor):
         for item in edited.items:
             if item.kind == "label":
@@ -584,8 +622,35 @@ class _ImageFinalizer:
                 if item.orig_addr is not None \
                         and item.orig_addr not in self.addr_map:
                     self.addr_map[item.orig_addr] = cursor
+                if not item.long and item.kind in ("jump", "jumpxfer"):
+                    self._jump_sites.append((item, cursor))
                 cursor += item.size(self.arch)
         return cursor
+
+    def _relax_jumps(self):
+        """Promote out-of-span short jumps to long form; returns count."""
+        grown = 0
+        for item, addr in self._jump_sites:
+            if item.kind == "jump":
+                target = self._resolve_target(item.target)
+            else:
+                target = self._resolve_orig(item.orig_target)
+            if not self._short_jump_fits(addr, target):
+                item.long = True
+                grown += 1
+        if grown:
+            _C_LONG_BRANCHES.inc(grown)
+        return grown
+
+    def _short_jump_fits(self, addr, target):
+        try:
+            if self.arch == "sparc":
+                self.conventions.direct_jump_annulled(addr, target)
+            else:
+                self.conventions.direct_jump(addr, target)
+        except SpanError:
+            return False
+        return True
 
     def _resolve_target(self, target):
         kind, value = target
@@ -629,21 +694,38 @@ class _ImageFinalizer:
             return [_apply_patch_role(codec, item.word, item.role, target)]
         if item.kind == "jump":
             target = self._resolve_target(item.target)
-            return self._jump_words(addr, target)
+            return self._jump_words(addr, target, long=item.long)
         if item.kind == "jumpxfer":
             target = self._resolve_orig(item.orig_target)
-            return self._jump_words(addr, target)
+            return self._jump_words(addr, target, long=item.long)
         raise LayoutError("unknown item kind %r" % item.kind)
 
-    def _jump_words(self, addr, target):
+    def _jump_words(self, addr, target, long=False):
         conventions = self.conventions
-        if self.arch == "sparc":
-            try:
+        if long:
+            return self._long_jump_words(addr, target)
+        # Relaxation verified every remaining short jump in place, so a
+        # SpanError here means placement and materialization disagree.
+        try:
+            if self.arch == "sparc":
                 return [conventions.direct_jump_annulled(addr, target)]
-            except SpanError:
-                raise LayoutError("jump span overflow: 0x%x -> 0x%x"
-                                  % (addr, target))
-        return [conventions.direct_jump(addr, target), self.codec.nop_word]
+            return [conventions.direct_jump(addr, target),
+                    self.codec.nop_word]
+        except SpanError:
+            raise LayoutError("jump span overflow after relaxation: "
+                              "0x%x -> 0x%x" % (addr, target))
+
+    def _long_jump_words(self, addr, target):
+        """The long-branch stub, nop-padded to the fixed long item size."""
+        scratch = getattr(self.conventions, "assembler_temp", 1)
+        words = list(self.conventions.long_jump(scratch, target))
+        slots = (12 if self.arch == "sparc" else 16) // 4
+        if len(words) > slots:
+            raise LayoutError("long-branch stub at 0x%x needs %d words "
+                              "(max %d)" % (addr, len(words), slots))
+        while len(words) < slots:
+            words.append(self.codec.nop_word)
+        return words
 
     # ------------------------------------------------------------------
     def _build_image(self, new_text_words):
@@ -713,15 +795,36 @@ class _ImageFinalizer:
                 if new_addr == entry or not text.contains(entry):
                     continue
                 _C_TRAMPOLINES.inc()
-                if self.arch == "sparc":
-                    word = self.conventions.direct_jump_annulled(entry,
-                                                                 new_addr)
-                    text.set_word(entry, word)
-                else:
-                    text.set_word(entry, self.conventions.direct_jump(
-                        entry, new_addr))
-                    if text.contains(entry + 4):
-                        text.set_word(entry + 4, self.codec.nop_word)
+                try:
+                    if self.arch == "sparc":
+                        word = self.conventions.direct_jump_annulled(
+                            entry, new_addr)
+                        text.set_word(entry, word)
+                    else:
+                        text.set_word(entry, self.conventions.direct_jump(
+                            entry, new_addr))
+                        if text.contains(entry + 4):
+                            text.set_word(entry + 4, self.codec.nop_word)
+                except SpanError:
+                    self._install_long_trampoline(text, routine, entry,
+                                                  new_addr)
+
+    def _install_long_trampoline(self, text, routine, entry, new_addr):
+        """Multi-word trampoline when the edited copy is out of direct
+        span.  It overwrites the original instructions after *entry* —
+        dead code once the routine is edited — so it must fit inside
+        both the text section and the routine's own extent."""
+        scratch = getattr(self.conventions, "assembler_temp", 1)
+        words = list(self.conventions.long_jump(scratch, new_addr))
+        limit = entry + 4 * len(words)
+        if limit > routine.end or not text.contains(limit - 4):
+            raise LayoutError(
+                "long-branch trampoline for %s does not fit at 0x%x "
+                "(%d words, routine ends at 0x%x)"
+                % (routine.name, entry, len(words), routine.end))
+        _C_LONG_BRANCHES.inc()
+        for index, word in enumerate(words):
+            text.set_word(entry + 4 * index, word)
 
     def _fill_translation_table(self, image):
         executable = self.executable

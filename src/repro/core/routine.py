@@ -20,6 +20,9 @@ class Routine:
         self.hidden = hidden
         self._cfg = None
         self.edited = None  # EditedRoutine after produce_edited_routine
+        # Cached analysis (CFG + liveness summaries) attached by
+        # repro.cache; honored only while the identity below matches.
+        self.analysis_summary = None
 
     @property
     def entry(self):
@@ -44,12 +47,32 @@ class Routine:
             self.delete_control_flow_graph()
 
     # ------------------------------------------------------------------
+    def _valid_summary(self):
+        """The attached analysis summary, if it still describes us.
+
+        Refinement may move extents or add entry points after a summary
+        was attached (or restored); a stale summary must not be used.
+        """
+        summary = self.analysis_summary
+        if summary is None:
+            return None
+        if (summary.get("start") != self.start
+                or summary.get("end") != self.end
+                or list(summary.get("entries", ())) != self.entries):
+            return None
+        return summary
+
     def control_flow_graph(self):
-        """The routine's CFG, built on first use."""
+        """The routine's CFG, built on first use (or restored from a
+        cached analysis summary when one is attached and still valid)."""
         if self._cfg is None:
             from repro.core.cfg import CFG
 
-            self._cfg = CFG(self)
+            summary = self._valid_summary()
+            self._cfg = CFG(self, summary=summary["cfg"]
+                            if summary is not None else None)
+            if summary is not None:
+                self._cfg._live_summary = summary.get("liveness")
             for info in self._cfg.indirect_jumps:
                 if info.status == "table":
                     size = 4 * len(info.targets)

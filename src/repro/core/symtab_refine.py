@@ -290,6 +290,29 @@ def _split_or_enter(executable, routine, cfg, inbound, hidden):
     return False
 
 
+# ----------------------------------------------------------------------
+# Routine identity summaries (for repro.cache)
+# ----------------------------------------------------------------------
+def routine_identity(routine):
+    """JSON-ready identity of a refined routine."""
+    return {
+        "name": routine.name,
+        "start": routine.start,
+        "end": routine.end,
+        "entries": list(routine.entries),
+        "hidden": 1 if routine.hidden else 0,
+    }
+
+
+def routine_from_identity(executable, identity):
+    """Recreate a refined routine from its identity summary."""
+    from repro.core.routine import Routine
+
+    return Routine(executable, identity["name"], identity["start"],
+                   identity["end"], entries=identity["entries"],
+                   hidden=bool(identity["hidden"]))
+
+
 def _unreached_suffix(routine, cfg):
     """Start of the maximal unreached run ending at the routine's end,
     or None.  Claimed data (dispatch tables) does not count."""

@@ -31,6 +31,9 @@ class MipsConventions(MachineConventions):
     retaddr_reg = REG_RA
     retval_reg = REG_V0
     syscall_num_reg = REG_V0
+    # $at is reserved for the assembler by the MIPS ABI; the layout
+    # engine clobbers it in long-branch stubs (lui/ori/jr).
+    assembler_temp = REG_AT
     arg_regs = (4, 5, 6, 7)  # $a0-$a3
     cc_regs = frozenset()  # MIPS has no condition codes
 

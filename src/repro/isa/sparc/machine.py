@@ -40,6 +40,12 @@ class SparcConventions(MachineConventions):
     retaddr_reg = REG_O7
     retval_reg = 8  # %o0
     syscall_num_reg = 1  # %g1
+    # Scratch register the layout engine may clobber in long-branch
+    # stubs (sethi/jmpl needs a base register).  %g1 is the SPARC ABI
+    # "assembler temporary": dead across control transfers except in
+    # the mov-%g1/ta syscall idiom, where the jump can only land on
+    # the mov (block leaders), never between mov and ta.
+    assembler_temp = 1  # %g1
     arg_regs = (8, 9, 10, 11, 12, 13)  # %o0-%o5
     cc_regs = frozenset({REG_ICC})
 

@@ -13,7 +13,9 @@ Schema ``repro.obs/1``::
       "counters": { name: int },
       "gauges": { name: value },
       "histograms": { name: {count, sum, min, max, mean} },
-      "derived": { name: value }      # ratios computed from counters
+      "derived": { name: value },     # ratios computed from counters
+      "cache": { enabled, dir, hits, misses, stores, invalidations,
+                 evictions, hit_rate }   # analysis-cache state
     }
 
 Benchmark results use schema ``repro.obs.bench/1``::
@@ -28,6 +30,15 @@ key set, so widening the schema is an explicit act).
 import json
 
 from repro.obs import metrics, trace
+
+# Pre-register the cache counters (interned by name — repro.cache gets
+# the same objects) so they are present, zero-valued, in every snapshot
+# even before the cache package loads; otherwise consecutive reports in
+# one process could disagree on the counter key set.
+for _name in ("hits", "misses", "stores", "invalidations", "evictions",
+              "store_errors", "restored_cfgs", "parallel_fallbacks"):
+    metrics.counter("cache." + _name)
+del _name
 
 SCHEMA = "repro.obs/1"
 BENCH_SCHEMA = "repro.obs.bench/1"
@@ -70,6 +81,26 @@ def derived_metrics(counters):
     return derived
 
 
+def cache_section(counters):
+    """Analysis-cache state and counters (tentpole surface)."""
+    # Imported lazily: repro.obs must not depend on repro.cache at
+    # import time (cache.store uses the metrics registry).
+    from repro.cache.store import cache_dir, enabled
+
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    return {
+        "enabled": enabled(),
+        "dir": cache_dir(),
+        "hits": hits,
+        "misses": misses,
+        "stores": counters.get("cache.stores", 0),
+        "invalidations": counters.get("cache.invalidations", 0),
+        "evictions": counters.get("cache.evictions", 0),
+        "hit_rate": _ratio(hits, hits + misses),
+    }
+
+
 def build_report():
     """Snapshot the tracer and metrics registry as one JSON-ready dict."""
     snap = metrics.snapshot()
@@ -80,6 +111,7 @@ def build_report():
         "gauges": snap["gauges"],
         "histograms": snap["histograms"],
         "derived": derived_metrics(snap["counters"]),
+        "cache": cache_section(snap["counters"]),
     }
 
 

@@ -25,7 +25,13 @@ _C_INSTRUCTIONS = _metrics.counter("sim.instructions")
 _C_FLY_HITS = _metrics.counter("sim.flyweight.hits")
 _C_FLY_MISSES = _metrics.counter("sim.flyweight.misses")
 _C_FLY_COMPILES = _metrics.counter("sim.flyweight.compiles")
+_C_FLY_EVICTIONS = _metrics.counter("sim.flyweight.evictions")
 _C_RUNS = _metrics.counter("sim.runs")
+
+# Default cap on prepared-op closures per CPU.  Large enough that a
+# whole program compiles once (hit rates stay ~1), small enough that a
+# long-lived session simulating many binaries cannot grow without bound.
+PREPARED_CACHE_CAP = 4096
 
 
 class SimulationError(Exception):
@@ -37,9 +43,11 @@ class Simulator:
 
     def __init__(self, image, stdin_text="", max_steps=50_000_000,
                  count_pcs=False, mem_hook=None, brk_base=None,
-                 engine="handwritten"):
+                 engine="handwritten", prepared_cache_cap=PREPARED_CACHE_CAP,
+                 strict_memory=False):
         self.image = image
-        self.memory = Memory()
+        self.prepared_cache_cap = prepared_cache_cap
+        self.memory = Memory(strict=strict_memory)
         for section in image.sections.values():
             if section.flags & 4:  # SEC_NOBITS: zero pages materialize lazily
                 continue
@@ -107,6 +115,7 @@ class Simulator:
         _C_FLY_COMPILES.inc(compiles)
         _C_FLY_MISSES.inc(compiles)
         _C_FLY_HITS.inc(max(0, executed - compiles))
+        _C_FLY_EVICTIONS.inc(getattr(self.cpu, "evictions", 0))
         categories = getattr(self.cpu, "category_counts", None)
         if categories:
             for category, count in categories.items():
@@ -133,7 +142,10 @@ class _BaseCPU:
         self.pc = simulator.image.entry
         self.npc = self.pc + 4
         self._prepared = {}
+        self._prepared_cap = getattr(simulator, "prepared_cache_cap",
+                                     PREPARED_CACHE_CAP)
         self.compiles = 0  # flyweight-cache misses (one compile each)
+        self.evictions = 0  # prepared ops dropped by the size cap
         self.category_counts = None  # filled by the telemetry loop
 
     def run(self):
@@ -147,6 +159,7 @@ class _BaseCPU:
         memory = self.memory
         decode = self.codec.decode
         prepared = self._prepared
+        cap = self._prepared_cap
         max_steps = simulator.max_steps
         count_pcs = simulator.count_pcs
         pc_counts = simulator.pc_counts
@@ -162,6 +175,12 @@ class _BaseCPU:
                 op = self._prepare(inst)
                 prepared[inst] = op
                 self.compiles += 1
+                if len(prepared) > cap:
+                    # Evict the oldest entry (insertion order); hits pay
+                    # nothing for the cap, and a re-missed instruction
+                    # simply recompiles and re-enters at the tail.
+                    prepared.pop(next(iter(prepared)))
+                    self.evictions += 1
             steps += 1
             # Kept current so the SYS_CYCLES trap can report it.
             simulator.instructions_executed += 1
@@ -178,6 +197,7 @@ class _BaseCPU:
         memory = self.memory
         decode = self.codec.decode
         prepared = self._prepared
+        cap = self._prepared_cap
         max_steps = simulator.max_steps
         count_pcs = simulator.count_pcs
         pc_counts = simulator.pc_counts
@@ -194,6 +214,12 @@ class _BaseCPU:
                 op = self._prepare(inst)
                 prepared[inst] = op
                 self.compiles += 1
+                if len(prepared) > cap:
+                    # Evict the oldest entry (insertion order); hits pay
+                    # nothing for the cap, and a re-missed instruction
+                    # simply recompiles and re-enters at the tail.
+                    prepared.pop(next(iter(prepared)))
+                    self.evictions += 1
             category = inst.category
             categories[category] = categories.get(category, 0) + 1
             steps += 1

@@ -5,15 +5,27 @@ PAGE_SIZE = 1 << PAGE_SHIFT
 PAGE_MASK = PAGE_SIZE - 1
 
 
+def _sign_extend(value, width):
+    sign_bit = 1 << (width * 8 - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)
+
+
 class MemoryFault(Exception):
     """An access outside mapped pages (when strict) or a misaligned access."""
 
 
 class Memory:
-    """Byte-addressable sparse memory; pages materialize on demand."""
+    """Byte-addressable sparse memory; pages materialize on demand.
 
-    def __init__(self):
+    Misaligned scalar accesses fault only in *strict* mode.  By default
+    they are performed byte-wise, matching how SPARC systems emulate
+    misaligned accesses in the alignment trap handler — the program
+    sees the access succeed, just slowly.
+    """
+
+    def __init__(self, strict=False):
         self._pages = {}
+        self.strict = strict
 
     def _page(self, addr):
         number = addr >> PAGE_SHIFT
@@ -50,7 +62,12 @@ class Memory:
     # -- scalar (big-endian) -----------------------------------------------
     def load(self, addr, width, signed=False):
         if addr & (width - 1):
-            raise MemoryFault("misaligned %d-byte load at 0x%x" % (width, addr))
+            if self.strict:
+                raise MemoryFault(
+                    "misaligned %d-byte load at 0x%x" % (width, addr)
+                )
+            value = int.from_bytes(self.read_bytes(addr, width), "big")
+            return _sign_extend(value, width) if signed else value
         page = self._pages.get(addr >> PAGE_SHIFT)
         if page is None:
             value = 0
@@ -58,18 +75,21 @@ class Memory:
             start = addr & PAGE_MASK
             value = int.from_bytes(page[start : start + width], "big")
         if signed:
-            sign_bit = 1 << (width * 8 - 1)
-            value = (value & (sign_bit - 1)) - (value & sign_bit)
+            value = _sign_extend(value, width)
         return value
 
     def store(self, addr, width, value):
+        masked = value & ((1 << (width * 8)) - 1)
         if addr & (width - 1):
-            raise MemoryFault("misaligned %d-byte store at 0x%x" % (width, addr))
+            if self.strict:
+                raise MemoryFault(
+                    "misaligned %d-byte store at 0x%x" % (width, addr)
+                )
+            self.write_bytes(addr, masked.to_bytes(width, "big"))
+            return
         page = self._page(addr)
         start = addr & PAGE_MASK
-        page[start : start + width] = (value & ((1 << (width * 8)) - 1)).to_bytes(
-            width, "big"
-        )
+        page[start : start + width] = masked.to_bytes(width, "big")
 
     def load_word(self, addr):
         return self.load(addr, 4)

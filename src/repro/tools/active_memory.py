@@ -63,11 +63,11 @@ class DirectMappedCache:
 class ActiveMemory:
     """Instrument a program with inline cache-state tests."""
 
-    def __init__(self, image, cache_size=8192):
+    def __init__(self, image, cache_size=8192, jobs=1):
         if image.arch != "sparc":
             raise ValueError("Active Memory tool currently targets SPARC")
         self.exec = Executable(image)
-        self.exec.read_contents()
+        self.exec.read_contents(jobs=jobs)
         self.cache_size = cache_size
         # All blocks start non-resident (state byte 1).
         self.state_base = self.exec.add_data(

@@ -1,0 +1,252 @@
+"""Content-addressed analysis cache: keys, round-trips, warm restores,
+invalidation, pruning, and the parallel cold-cache pipeline."""
+
+import contextlib
+import glob
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import cache, obs
+from repro.binfmt.serialize import (
+    FormatError,
+    analysis_from_bytes,
+    analysis_to_bytes,
+)
+from repro.core import Executable
+from repro.obs import metrics
+from repro.workloads import build_image, build_mips_image, expected_output
+from repro.workloads.builder import mips_program_names, program_names
+
+CORPUS = sorted(program_names()) + sorted(mips_program_names())
+
+
+def _image_for(name):
+    if name.startswith("mips_"):
+        return build_mips_image(name)
+    return build_image(name)
+
+
+@contextlib.contextmanager
+def _env(**values):
+    saved = {key: os.environ.get(key) for key in values}
+    for key, value in values.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _analysis_of(executable):
+    """{routine name: (cfg summary, liveness summary)} — the comparison
+    surface for fresh-vs-restored equality (CFG edges, liveness sets,
+    and jump-table targets all live in these dicts)."""
+    out = {}
+    for routine in executable.all_routines():
+        cfg = routine.control_flow_graph()
+        out[routine.name] = (cfg.to_summary(),
+                             cfg.live_registers().to_summary())
+    return out
+
+
+@pytest.fixture(autouse=True)
+def _clean_metrics():
+    metrics.reset()
+    yield
+    obs.disable()
+    metrics.reset()
+
+
+# ----------------------------------------------------------------------
+# Keys and the EELA blob format
+# ----------------------------------------------------------------------
+
+def test_cache_key_stable_across_identical_builds():
+    assert cache.image_cache_key(build_image("fib")) == \
+        cache.image_cache_key(build_image("fib"))
+
+
+def test_cache_key_sensitive_to_content():
+    image = build_image("fib")
+    key = cache.image_cache_key(image)
+    text = image.sections[".text"]
+    text.data[0] ^= 0xFF
+    assert cache.image_cache_key(image) != key
+    text.data[0] ^= 0xFF
+    assert cache.image_cache_key(image) == key
+
+
+def test_cache_key_changes_with_analysis_version(monkeypatch):
+    import importlib
+
+    image = build_image("fib")
+    key = cache.image_cache_key(image)
+    # The package re-exports a store() *function*, which shadows the
+    # submodule attribute; import the module itself.
+    store_mod = importlib.import_module("repro.cache.store")
+
+    monkeypatch.setattr(store_mod, "ANALYSIS_VERSION",
+                        store_mod.ANALYSIS_VERSION + 1)
+    assert cache.image_cache_key(image) != key
+
+
+def test_analysis_blob_round_trip():
+    summary = {"arch": "sparc", "routines": [{"name": "f", "start": 4096}],
+               "hidden": [], "claimed": [1, 2, 3]}
+    assert analysis_from_bytes(analysis_to_bytes(summary)) == summary
+
+
+def test_analysis_blob_rejects_corruption():
+    blob = analysis_to_bytes({"a": 1})
+    with pytest.raises(FormatError):
+        analysis_from_bytes(blob[:4])
+    with pytest.raises(FormatError):
+        analysis_from_bytes(b"XXXX" + blob[4:])
+    with pytest.raises(FormatError):
+        analysis_from_bytes(blob[:-3] + b"\x00\x00\x00")
+
+
+# ----------------------------------------------------------------------
+# Round-trip property: restored analysis == fresh analysis
+# ----------------------------------------------------------------------
+
+@settings(max_examples=10, deadline=None)
+@given(name=st.sampled_from(CORPUS))
+def test_cached_analysis_equals_fresh(name):
+    with _env(REPRO_CACHE="off"):
+        fresh = _analysis_of(Executable(_image_for(name)).read_contents())
+    # Cold run stores; second run restores from disk through the EELA
+    # blob, exercising serialization for every routine shape the
+    # workload corpus can produce, on both architectures.
+    with _env(REPRO_CACHE="on"):
+        Executable(_image_for(name)).read_contents()
+        warm_exe = Executable(_image_for(name)).read_contents()
+    assert warm_exe._read
+    assert _analysis_of(warm_exe) == fresh
+
+
+# ----------------------------------------------------------------------
+# Warm runs skip analysis
+# ----------------------------------------------------------------------
+
+def test_warm_run_restores_instead_of_building():
+    with _env(REPRO_CACHE="on"):
+        image = build_image("interp")
+        Executable(build_image("interp")).read_contents()  # populate
+
+        metrics.reset()
+        obs.enable()
+        warm = Executable(image).read_contents()
+        for routine in warm.all_routines():
+            routine.control_flow_graph()
+        obs.disable()
+    counters = metrics.snapshot()["counters"]
+    assert counters["cache.hits"] == 1
+    assert counters["cache.misses"] == 0
+    assert counters["cache.restored_cfgs"] > 0
+    assert counters.get("cfg.builds", 0) == 0
+    # No cfg.build span anywhere: routine analysis was skipped entirely.
+    from repro.obs import trace
+
+    def names(nodes):
+        out = set()
+        for node in nodes:
+            out.add(node["name"])
+            out |= names(node["children"])
+        return out
+
+    seen = names(trace.TRACER.tree())
+    assert "cfg.build" not in seen
+    assert "cache.restore" in seen
+
+
+def test_warm_edit_produces_identical_image():
+    from repro.binfmt.serialize import image_to_bytes
+
+    def identity(image):
+        exe = Executable(image).read_contents()
+        for routine in exe.all_routines():
+            routine.produce_edited_routine()
+        out = exe.edited_image()
+        out.entry = exe.edited_addr(exe.start_address())
+        return out
+
+    with _env(REPRO_CACHE="off"):
+        cold = identity(build_image("interp"))
+    with _env(REPRO_CACHE="on"):
+        Executable(build_image("interp")).read_contents()  # populate
+        warm = identity(build_image("interp"))
+    assert image_to_bytes(warm) == image_to_bytes(cold)
+    from repro.sim import run_image
+
+    assert run_image(warm).output == expected_output("interp")
+
+
+# ----------------------------------------------------------------------
+# Disable, invalidation, pruning
+# ----------------------------------------------------------------------
+
+def test_disabled_cache_writes_nothing(tmp_path):
+    with _env(REPRO_CACHE="off", REPRO_CACHE_DIR=str(tmp_path / "c")):
+        Executable(build_image("fib")).read_contents()
+        assert not os.path.exists(str(tmp_path / "c"))
+
+
+def test_corrupt_entry_invalidated_and_reanalyzed(tmp_path):
+    with _env(REPRO_CACHE="on", REPRO_CACHE_DIR=str(tmp_path)):
+        exe = Executable(build_image("fib")).read_contents()
+        entries = glob.glob(str(tmp_path / "*.eela"))
+        assert len(entries) == 1
+        with open(entries[0], "wb") as handle:
+            handle.write(b"EELAgarbage")
+
+        metrics.reset()
+        warm = Executable(build_image("fib")).read_contents()
+        counters = metrics.snapshot()["counters"]
+        assert counters["cache.invalidations"] == 1
+        assert counters["cache.misses"] == 1
+        assert counters["cache.hits"] == 0
+        # Reanalysis succeeded and re-stored a valid entry.
+        assert counters["cache.stores"] == 1
+        assert _analysis_of(warm) == _analysis_of(exe)
+
+
+def test_prune_caps_entry_count(tmp_path):
+    with _env(REPRO_CACHE_DIR=str(tmp_path), REPRO_CACHE_MAX="2"):
+        for index in range(4):
+            cache.store("k%d" % index, {"index": index})
+        remaining = sorted(os.path.basename(p)
+                           for p in glob.glob(str(tmp_path / "*.eela")))
+        assert len(remaining) == 2
+        counters = metrics.snapshot()["counters"]
+        assert counters["cache.evictions"] == 2
+
+
+# ----------------------------------------------------------------------
+# Parallel cold-cache analysis
+# ----------------------------------------------------------------------
+
+def test_parallel_summaries_match_serial():
+    with _env(REPRO_CACHE="off"):
+        serial_exe = Executable(build_image("interp")).read_contents()
+        serial = cache.executable_to_summary(serial_exe, jobs=1)
+        parallel_exe = Executable(build_image("interp")).read_contents()
+        parallel = cache.executable_to_summary(parallel_exe, jobs=2)
+    assert parallel == serial
+
+
+def test_jobs_flag_reaches_read_contents():
+    with _env(REPRO_CACHE="off"):
+        exe = Executable(build_image("fib")).read_contents(jobs=2)
+    assert exe._read
+    assert len(list(exe.all_routines())) > 0

@@ -75,6 +75,43 @@ def test_stats_reports_pipeline_counters(tmp_path, capsys):
     assert "stats" in span_names
 
 
+def test_stats_warm_run_skips_routine_analysis(tmp_path, capsys, monkeypatch):
+    """Second stats run of the same binary restores from the analysis
+    cache: cache.hits > 0 and zero cfg.build work (acceptance check)."""
+    import json
+
+    monkeypatch.setenv("REPRO_CACHE", "on")
+    out = str(tmp_path / "interp.eelf")
+    main(["build", "interp", out])
+    capsys.readouterr()
+    assert main(["stats", out, "--no-run"]) == 0  # populates the cache
+    first = json.loads(capsys.readouterr().out)
+    assert main(["stats", out, "--no-run", "--jobs", "2"]) == 0
+    warm = json.loads(capsys.readouterr().out)
+
+    counters = warm["counters"]
+    assert counters["cache.hits"] == 1
+    assert counters["cache.misses"] == 0
+    assert counters["cfg.builds"] == 0
+    assert counters["cache.restored_cfgs"] > 0
+    assert warm["cache"]["enabled"] is True
+    assert warm["cache"]["hit_rate"] == 1.0
+    # Restored counters match what the first run reported.
+    assert counters["cfg.blocks"] == first["counters"]["cfg.blocks"]
+    assert counters["cfg.edges"] == first["counters"]["cfg.edges"]
+
+    def span_names(nodes):
+        names = set()
+        for node in nodes:
+            names.add(node["name"])
+            names |= span_names(node["children"])
+        return names
+
+    names = span_names(warm["spans"])
+    assert "cfg.build" not in names
+    assert "cache.restore" in names
+
+
 def test_run_stats_json_and_trace(tmp_path, capsys):
     import json
 

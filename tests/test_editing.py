@@ -259,3 +259,83 @@ def test_runtime_translation_fallback():
     exe, out = identity_edit(image)
     assert out.has_section("__eel_translation")
     assert run_image(out).output == "7"
+
+
+# ----------------------------------------------------------------------
+# Long-branch relaxation (jump-span overflow becomes a stub, not an error)
+# ----------------------------------------------------------------------
+
+def _far_edit(image, routine_name, base=0x2000_0000):
+    """Edit one routine with the new-text region far from the original
+    text, so short direct jumps back and forth are out of span."""
+    from repro.core import Executable as _Executable
+
+    exe = _Executable(image).read_contents()
+    exe._new_text_base = base
+    exe._added_cursor = base
+    exe.routine(routine_name).produce_edited_routine()
+    return exe, exe.edited_image()
+
+
+def test_long_trampoline_sparc_far_text():
+    from repro.isa import get_codec
+    from repro.obs import metrics
+
+    before = metrics.counter("layout.long_branches").value
+    image = build_image("fib")
+    exe, out = _far_edit(image, "fib")
+    # The edited program still runs correctly through the stub.
+    simulator = run_image(out)
+    assert simulator.output == expected_output("fib")
+    assert simulator.exit_code == 0
+    assert metrics.counter("layout.long_branches").value > before
+    # The trampoline at fib's original entry is the multi-word
+    # sethi/jmpl long form (a disp22 branch cannot reach 0x20000000).
+    codec = get_codec("sparc")
+    fib = exe.routine("fib")
+    text = out.get_section(".text")
+    assert codec.decode(text.word_at(fib.start)).name == "sethi"
+    assert codec.decode(text.word_at(fib.start + 4)).name == "jmpl"
+
+
+def test_long_trampoline_mips_far_region():
+    from repro.isa import get_codec
+    from repro.workloads.mips_programs import MIPS_PROGRAMS
+
+    image = build_mips_image("mips_fib")
+    # 0x20000000 is outside the j instruction's 256MB region.
+    exe, out = _far_edit(image, "fib")
+    simulator = run_image(out)
+    assert simulator.output == MIPS_PROGRAMS["mips_fib"][1]
+    codec = get_codec("mips")
+    fib = exe.routine("fib")
+    text = out.get_section(".text")
+    assert codec.decode(text.word_at(fib.start)).name == "lui"
+    names = {codec.decode(text.word_at(fib.start + 4 * i)).name
+             for i in range(3)}
+    assert "jr" in names
+
+
+def test_jump_item_relaxed_to_long_form():
+    """A jump/jumpxfer item whose target is out of direct span grows to
+    the long stub during placement instead of raising LayoutError."""
+    from repro.core import Executable as _Executable
+    from repro.core.layout import Item
+    from repro.obs import metrics
+
+    image = build_image("fib")
+    exe = _Executable(image).read_contents()
+    exe._new_text_base = 0x2000_0000
+    exe._added_cursor = exe._new_text_base
+    fib = exe.routine("fib")
+    fib.produce_edited_routine()
+    # Synthetic escape back to unedited main: from 0x20000000 this is
+    # far outside the ±8MB disp22 span.
+    main_start = exe.routine("main").start
+    fib.edited.items.append(Item("jumpxfer", orig_target=main_start))
+    before = metrics.counter("layout.long_branches").value
+    out = exe.edited_image()
+    assert metrics.counter("layout.long_branches").value >= before + 2
+    # The appended item is dead code; the program still runs.
+    simulator = run_image(out)
+    assert simulator.output == expected_output("fib")

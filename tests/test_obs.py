@@ -116,9 +116,14 @@ def test_report_schema_stability(tmp_path):
     built = report.build_report()
     # Top-level key set is the schema contract: widen deliberately only.
     assert sorted(built) == [
-        "counters", "derived", "gauges", "histograms", "schema", "spans",
+        "cache", "counters", "derived", "gauges", "histograms", "schema",
+        "spans",
     ]
     assert built["schema"] == "repro.obs/1"
+    assert sorted(built["cache"]) == [
+        "dir", "enabled", "evictions", "hit_rate", "hits", "invalidations",
+        "misses", "stores",
+    ]
     assert built["derived"]["sim.flyweight.hit_rate"] == 0.9
     assert built["derived"]["indirect.resolved"] == 3
     assert built["derived"]["indirect.fallback"] == 1
@@ -148,11 +153,14 @@ def test_bench_results_schema(tmp_path):
 # End-to-end: the pipeline populates the report
 # ----------------------------------------------------------------------
 
-def test_stats_pipeline_populates_required_counters():
+def test_stats_pipeline_populates_required_counters(monkeypatch):
     from repro.core import Executable
     from repro.sim import run_image
     from repro.workloads import build_image
 
+    # Force a fresh analysis: a cache hit would replace the refinement
+    # stage spans this test asserts on with a single cache.restore span.
+    monkeypatch.setenv("REPRO_CACHE", "off")
     image = build_image("interp")  # has a switch -> dispatch table
     obs.enable()
     exe = Executable(image).read_contents()

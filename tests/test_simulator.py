@@ -220,16 +220,43 @@ def test_runaway_guard():
         Simulator(image, max_steps=1000).run()
 
 
-def test_misaligned_load_faults():
-    image = link([assemble("""
+def _misaligned_load_image():
+    return link([assemble("""
         .text
         .global _start
     _start:
         mov 3, %l0
         ld [%l0], %l1
     """, "sparc")])
+
+
+def test_misaligned_load_faults_in_strict_mode():
     with pytest.raises(MemoryFault):
-        Simulator(image).run()
+        Simulator(_misaligned_load_image(), strict_memory=True).run()
+
+
+def test_misaligned_access_byte_wise_by_default():
+    """Non-strict mode performs misaligned accesses byte-wise, matching
+    how SPARC systems emulate them in the alignment trap handler."""
+    memory = Memory()
+    memory.write_bytes(0x1000, bytes(range(1, 9)))
+    assert memory.load(0x1001, 4) == 0x02030405
+    assert memory.load(0x1001, 2) == 0x0203
+    memory.store(0x1003, 4, 0xAABBCCDD)
+    assert memory.read_bytes(0x1000, 8) == \
+        bytes([1, 2, 3, 0xAA, 0xBB, 0xCC, 0xDD, 8])
+    # Signed reassembly and page-boundary straddling both work.
+    memory.store(0xFFE, 4, 0x8899AABB)
+    assert memory.load(0xFFE, 4, signed=True) == -0x77665545
+    assert memory.load(0xFFF, 2) == 0x99AA
+
+
+def test_misaligned_strict_memory_store_faults():
+    memory = Memory(strict=True)
+    with pytest.raises(MemoryFault):
+        memory.store(0x1002, 4, 1)
+    with pytest.raises(MemoryFault):
+        memory.load(0x1001, 2)
 
 
 def test_syscalls_io():
@@ -322,6 +349,45 @@ def test_cstring():
     memory = Memory()
     memory.write_bytes(0x500, b"hello\x00junk")
     assert memory.read_cstring(0x500) == "hello"
+
+
+def test_flyweight_cache_cap_and_eviction():
+    """The prepared-op cache stays bounded; eviction keeps hit/miss
+    accounting consistent (a re-missed instruction recompiles and is
+    counted as a miss again)."""
+    source = """
+        .text
+        .global _start
+    _start:
+        mov 100, %l0
+        clr %l7
+    loop:
+        add %l7, 1, %l7
+        subcc %l0, 1, %l0
+        bne loop
+        nop
+        mov %l7, %o0
+        mov 2, %g1
+        ta 0
+        clr %o0
+        mov 1, %g1
+        ta 0
+    """
+    image = link([assemble(source, "sparc")])
+    simulator = Simulator(image, prepared_cache_cap=4)
+    simulator.run()
+    assert simulator.output == "100"
+    cpu = simulator.cpu
+    assert len(cpu._prepared) <= 4
+    assert cpu.evictions > 0
+    # Every execution is either a hit or a compile, even after eviction.
+    assert cpu.compiles <= simulator.instructions_executed
+    assert cpu.compiles > 4  # the loop body re-misses after eviction
+
+    # An uncapped run of the same program never evicts.
+    simulator = Simulator(image)
+    simulator.run()
+    assert simulator.cpu.evictions == 0
 
 
 # -- MIPS ---------------------------------------------------------------
