@@ -3,8 +3,14 @@
 from repro.isa import get_codec
 
 
-def disassemble_section(image, section_name=".text", symbols=True):
-    """Yield formatted lines for every word in *section_name*."""
+def disassemble_section(image, section_name=".text", symbols=True,
+                        annotations=None):
+    """Yield formatted lines for every word in *section_name*.
+
+    *annotations* maps addresses to extra comment lines emitted before
+    the word at that address (the CLI uses it to mark routine starts
+    found by analysis, including hidden routines with no symbol).
+    """
     codec = get_codec(image.arch)
     section = image.get_section(section_name)
     by_addr = {}
@@ -14,6 +20,8 @@ def disassemble_section(image, section_name=".text", symbols=True):
                 by_addr.setdefault(symbol.value, []).append(symbol.name)
     pc = section.vaddr
     for word in section.words():
+        if annotations is not None and pc in annotations:
+            yield annotations[pc]
         for name in by_addr.get(pc, ()):
             yield "%s:" % name
         yield "  0x%06x:  %08x  %s" % (pc, word, codec.disassemble(word, pc))

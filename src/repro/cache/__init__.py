@@ -23,8 +23,10 @@ from repro.cache.store import (
     enabled,
     image_cache_key,
     load,
+    load_verdict,
     max_entries,
     store,
+    store_verdict,
 )
 from repro.cache.summary import (
     analyze_routines,
@@ -41,10 +43,12 @@ __all__ = [
     "image_cache_key",
     "load",
     "load_analysis",
+    "load_verdict",
     "max_entries",
     "restore_executable",
     "store",
     "store_analysis",
+    "store_verdict",
     "summarize_routine",
 ]
 

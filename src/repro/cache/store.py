@@ -20,8 +20,10 @@ into a miss (or a dropped store) plus a counter, not an exception.
 """
 
 import hashlib
+import json
 import os
 import struct
+import zlib
 
 from repro.binfmt.image import SEC_NOBITS
 from repro.binfmt.serialize import (
@@ -41,6 +43,8 @@ _C_EVICTIONS = _metrics.counter("cache.evictions")
 _C_ERRORS = _metrics.counter("cache.store_errors")
 
 _SUFFIX = ".eela"
+_VERDICT_SUFFIX = ".eelv"
+_VERDICT_MAGIC = b"EELV"
 _OFF_VALUES = ("off", "0", "false", "no")
 
 
@@ -130,6 +134,54 @@ def store(key, summary):
     _prune(directory)
 
 
+def _verdict_path(key):
+    return os.path.join(cache_dir(), key + _VERDICT_SUFFIX)
+
+
+def load_verdict(key):
+    """Verified-image verdict dict for *key*, or None.
+
+    Verdicts memoize ``repro.verify`` results: the key covers both the
+    original and the edited image, so any byte change in either side
+    misses.  Like analysis entries, corrupt verdicts are deleted and
+    read as misses — the verifier then simply re-verifies.
+    """
+    path = _verdict_path(key)
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError:
+        return None
+    try:
+        if blob[:4] != _VERDICT_MAGIC:
+            raise ValueError("bad verdict magic")
+        verdict = json.loads(zlib.decompress(blob[4:]).decode("utf-8"))
+        if not isinstance(verdict, dict):
+            raise ValueError("verdict is not a dict")
+    except (ValueError, zlib.error, UnicodeDecodeError):
+        _invalidate(path)
+        return None
+    return verdict
+
+
+def store_verdict(key, verdict):
+    """Persist a verify verdict (atomic write; errors are dropped)."""
+    directory = cache_dir()
+    path = _verdict_path(key)
+    try:
+        os.makedirs(directory, exist_ok=True)
+        blob = _VERDICT_MAGIC + zlib.compress(
+            json.dumps(verdict, sort_keys=True).encode("utf-8"))
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp, path)
+    except OSError:
+        _C_ERRORS.inc()
+        return
+    _prune(directory, _VERDICT_SUFFIX)
+
+
 def _invalidate(path):
     _C_INVALIDATIONS.inc()
     try:
@@ -138,11 +190,11 @@ def _invalidate(path):
         pass
 
 
-def _prune(directory):
+def _prune(directory, suffix=_SUFFIX):
     """Drop the oldest entries once the directory exceeds the cap."""
     cap = max_entries()
     try:
-        names = [n for n in os.listdir(directory) if n.endswith(_SUFFIX)]
+        names = [n for n in os.listdir(directory) if n.endswith(suffix)]
         if len(names) <= cap:
             return
         entries = []

@@ -1,16 +1,18 @@
 """Command-line interface: inspect, run, and instrument EELF executables.
 
     python -m repro.cli build  <workload> <out.eelf> [--sunpro]
-    python -m repro.cli run    <exe.eelf> [--stdin TEXT]
-    python -m repro.cli disasm <exe.eelf>
+    python -m repro.cli run    <exe.eelf> [--stdin TEXT] [--max-steps N]
+    python -m repro.cli disasm <exe.eelf> [--jobs N]
     python -m repro.cli routines <exe.eelf>
     python -m repro.cli profile <exe.eelf> <out.eelf> [--mode block|edge]
     python -m repro.cli cachesim <exe.eelf>
     python -m repro.cli stats  <exe.eelf> [--no-run]
+    python -m repro.cli verify <workload> [--all] [--tool qpt|sfi|elsie]
 
-``run``, ``profile``, ``cachesim``, and ``stats`` accept telemetry
-flags: ``--trace`` prints the span tree and counters to stderr, and
-``--stats-json PATH`` writes the full ``repro.obs/1`` JSON report.
+``run``, ``profile``, ``cachesim``, ``stats``, and ``verify`` accept
+telemetry flags: ``--trace`` prints the span tree and counters to
+stderr, and ``--stats-json PATH`` writes the full ``repro.obs/1`` JSON
+report.
 """
 
 import argparse
@@ -104,8 +106,16 @@ def _cmd_build(args):
 
 
 def _cmd_run(args):
-    simulator = run_image(read_image(args.executable),
-                          stdin_text=args.stdin or "")
+    from repro.sim.machine import SimulationError
+
+    try:
+        simulator = run_image(read_image(args.executable),
+                              stdin_text=args.stdin or "",
+                              max_steps=args.max_steps,
+                              strict_memory=args.strict_memory)
+    except SimulationError as error:
+        print("simulation error: %s" % error, file=sys.stderr)
+        return 1
     _emit_program_output(simulator)
     print("[exit %d after %d instructions]"
           % (simulator.exit_code, simulator.instructions_executed),
@@ -115,10 +125,20 @@ def _cmd_run(args):
 
 def _cmd_disasm(args):
     image = read_image(args.executable)
+    annotations = {}
+    try:
+        exe = Executable(image).read_contents(jobs=args.jobs)
+        for routine in exe.all_routines():
+            annotations[routine.start] = "; routine %s%s" % (
+                routine.name, " (hidden)" if routine.hidden else "")
+    except Exception:
+        # Disassembly must work even on images analysis chokes on.
+        annotations = {}
     for name, section in image.sections.items():
         if section.is_exec:
             print("section %s @ 0x%x" % (name, section.vaddr))
-            for line in disassemble_section(image, name):
+            for line in disassemble_section(image, name,
+                                            annotations=annotations):
                 print(line)
     return 0
 
@@ -209,6 +229,67 @@ def _cmd_stats(args):
     return 0
 
 
+def _cmd_verify(args):
+    """Differential verification (lints + cosim) of instrumented
+    workloads; see DESIGN.md section 5e."""
+    from repro.verify import _verify_worker, corpus_names
+
+    from repro.workloads.builder import program_names
+
+    available = corpus_names() if args.tool == "qpt" else \
+        list(program_names())  # sfi/elsie are SPARC-only
+    if args.all:
+        names = available
+    else:
+        if not args.workload:
+            print("verify: a workload name (or --all) is required",
+                  file=sys.stderr)
+            return 1
+        if args.workload not in available:
+            print("unknown workload for tool %s; available: %s"
+                  % (args.tool, ", ".join(available)), file=sys.stderr)
+            return 1
+        names = [args.workload]
+
+    use_memo = not args.no_memo
+    payloads = [(name, args.tool, args.mode, use_memo, args.stdin or "")
+                for name in names]
+    results = None
+    if args.jobs > 1 and len(payloads) > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+                results = list(pool.map(_verify_worker, payloads))
+        except Exception:
+            # Same contract as the analysis cache: --jobs is always
+            # safe, pools that die fall back to the serial path.
+            from repro.obs import metrics as _metrics
+
+            _metrics.counter("verify.parallel_fallbacks").inc()
+            results = None
+        if results is not None:
+            # Pool children counted in their own processes; fold their
+            # deltas in so --stats-json reflects the whole run.
+            from repro.obs import metrics as _metrics
+
+            for _name, _ok, _text, deltas in results:
+                for key, value in deltas.items():
+                    _metrics.counter(key).inc(value)
+    if results is None:
+        results = [_verify_worker(payload) for payload in payloads]
+
+    failures = 0
+    for _name, ok, text, _deltas in results:
+        print(text)
+        if not ok:
+            failures += 1
+    print("[verified %d/%d workloads with %s]"
+          % (len(results) - failures, len(results), args.tool),
+          file=sys.stderr)
+    return 0 if failures == 0 else 1
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(prog="repro",
                                      description=__doc__.splitlines()[0])
@@ -223,11 +304,19 @@ def main(argv=None):
     run = sub.add_parser("run", help="run an executable in the simulator")
     run.add_argument("executable")
     run.add_argument("--stdin", default="")
+    run.add_argument("--max-steps", type=int, default=50_000_000,
+                     metavar="N",
+                     help="abort with a timeout after N instructions "
+                          "(default: 50M)")
+    run.add_argument("--strict-memory", action="store_true",
+                     help="fault on misaligned memory accesses instead "
+                          "of byte-wise emulation")
     _add_obs_flags(run)
     run.set_defaults(func=_cmd_run)
 
     disasm = sub.add_parser("disasm", help="disassemble text sections")
     disasm.add_argument("executable")
+    _add_jobs_flag(disasm)
     disasm.set_defaults(func=_cmd_disasm)
 
     routines = sub.add_parser("routines",
@@ -264,6 +353,26 @@ def main(argv=None):
     _add_jobs_flag(stats)
     _add_obs_flags(stats)
     stats.set_defaults(func=_cmd_stats, obs_managed=True)
+
+    verify = sub.add_parser("verify",
+                            help="differential verification of an "
+                                 "instrumented workload (lints + cosim)")
+    verify.add_argument("workload", nargs="?", default=None)
+    verify.add_argument("--all", action="store_true",
+                        help="verify the whole workload corpus")
+    verify.add_argument("--tool", choices=("qpt", "sfi", "elsie"),
+                        default="qpt",
+                        help="instrumentation tool to verify (default: qpt)")
+    verify.add_argument("--mode", choices=("block", "edge"), default="edge",
+                        help="qpt instrumentation mode (default: edge)")
+    verify.add_argument("--stdin", default="")
+    verify.add_argument("--no-memo", action="store_true",
+                        help="ignore memoized verdicts; always re-verify")
+    verify.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="verify N workloads in parallel worker "
+                             "processes (default: 1, serial)")
+    _add_obs_flags(verify)
+    verify.set_defaults(func=_cmd_verify)
 
     args = parser.parse_args(argv)
     if getattr(args, "obs_managed", False):

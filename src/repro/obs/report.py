@@ -38,6 +38,13 @@ from repro.obs import metrics, trace
 for _name in ("hits", "misses", "stores", "invalidations", "evictions",
               "store_errors", "restored_cfgs", "parallel_fallbacks"):
     metrics.counter("cache." + _name)
+
+# Same for the verify subsystem: lints, cosimulation, and verdict
+# memoization report through these whether or not a verify ever runs.
+for _name in ("runs", "passed", "failed", "lints_run", "findings",
+              "cosim_syncs", "cosim_divergences", "memo_hits",
+              "memo_misses", "parallel_fallbacks"):
+    metrics.counter("verify." + _name)
 del _name
 
 SCHEMA = "repro.obs/1"

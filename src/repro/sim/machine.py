@@ -38,6 +38,21 @@ class SimulationError(Exception):
     """Illegal instruction, window underflow, runaway program, etc."""
 
 
+class SimulationTimeout(SimulationError):
+    """The step budget ran out before the program exited.
+
+    Distinct from other simulation errors so callers (notably the
+    verify cosimulation oracle) can tell "diverged" from "ran long",
+    and carries where execution was when the budget expired.
+    """
+
+    def __init__(self, pc, steps):
+        super().__init__(
+            "program ran %d steps without exiting (pc 0x%x)" % (steps, pc))
+        self.pc = pc
+        self.steps = steps
+
+
 class Simulator:
     """Load an EELF executable and execute it."""
 
@@ -103,8 +118,7 @@ class Simulator:
                     return exit_request.code
         finally:
             self._record_telemetry()
-        raise SimulationError("program ran %d steps without exiting"
-                              % self.max_steps)
+        raise SimulationTimeout(self.cpu.pc, self.max_steps)
 
     def _record_telemetry(self):
         """Flush per-run flyweight/instruction metrics (once per run)."""
@@ -124,10 +138,11 @@ class Simulator:
                 ).inc(count)
 
 
-def run_image(image, stdin_text="", max_steps=50_000_000, count_pcs=False):
+def run_image(image, stdin_text="", max_steps=50_000_000, count_pcs=False,
+              strict_memory=False):
     """Convenience: simulate *image* and return the finished Simulator."""
     simulator = Simulator(image, stdin_text=stdin_text, max_steps=max_steps,
-                          count_pcs=count_pcs)
+                          count_pcs=count_pcs, strict_memory=strict_memory)
     simulator.run()
     return simulator
 
@@ -185,6 +200,41 @@ class _BaseCPU:
             # Kept current so the SYS_CYCLES trap can report it.
             simulator.instructions_executed += 1
             op()
+
+    def run_until(self, stop_pcs, budget):
+        """Execute until the next fetch pc lands in *stop_pcs*.
+
+        The lockstep stepping hook for the verify cosimulation oracle:
+        the caller advances two simulators sync point to sync point and
+        compares architectural state between calls.  At least one
+        instruction always executes (the current pc is typically itself
+        a stop).  Raises :class:`SimulationTimeout` when *budget*
+        instructions run without reaching a stop; ``ExitProgram``
+        propagates to the caller.  Returns the instructions executed.
+        """
+        simulator = self.simulator
+        memory = self.memory
+        decode = self.codec.decode
+        prepared = self._prepared
+        cap = self._prepared_cap
+        steps = 0
+        while steps < budget:
+            word = memory.load(self.pc, 4)
+            inst = decode(word)
+            op = prepared.get(inst)
+            if op is None:
+                op = self._prepare(inst)
+                prepared[inst] = op
+                self.compiles += 1
+                if len(prepared) > cap:
+                    prepared.pop(next(iter(prepared)))
+                    self.evictions += 1
+            steps += 1
+            simulator.instructions_executed += 1
+            op()
+            if self.pc in stop_pcs:
+                return steps
+        raise SimulationTimeout(self.pc, steps)
 
     def _run_counting(self):
         """The dispatch loop with per-category instruction accounting.

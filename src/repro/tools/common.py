@@ -37,8 +37,13 @@ def counter_snippet(executable, counter_addr, tag=None):
 
     Uses the conventions' placeholder registers; EEL's register
     allocator rebinds them to dead registers at the insertion point.
+    Every snippet carries a provenance tag (the verify subsystem
+    surfaces it when a divergence points into instrumented code);
+    callers that don't pass one get the counter address as a fallback.
     """
     conventions = executable.conventions
     p0, p1 = conventions.placeholder_regs[0], conventions.placeholder_regs[1]
     words = conventions.counter_increment(counter_addr, p0, p1)
+    if tag is None:
+        tag = ("counter", counter_addr)
     return TaggedCodeSnippet(words, alloc_regs=(p0, p1), tag=tag)

@@ -34,7 +34,7 @@ class ElsieSimulatorBuilder:
         self.replaced = 0
 
     # ------------------------------------------------------------------
-    def _load_snippet(self, instruction):
+    def _load_snippet(self, instruction, addr=None):
         codec = self.exec.codec
         sp = self.exec.conventions.sp_reg
         rd = instruction.field("rd")
@@ -65,9 +65,10 @@ class ElsieSimulatorBuilder:
         for reg, slot in ((9, SPILL_O1), (1, SPILL_G1), (8, SPILL_O0)):
             if reg != rd:
                 words.append(codec.encode("ld", rd=reg, rs1=sp, simm13=slot))
-        return CodeSnippet(words, alloc_regs=(t_ea,), clobbers_cc=True)
+        return CodeSnippet(words, alloc_regs=(t_ea,), clobbers_cc=True,
+                           tag=("elsie.load", addr))
 
-    def _store_snippet(self, instruction):
+    def _store_snippet(self, instruction, addr=None):
         codec = self.exec.codec
         sp = self.exec.conventions.sp_reg
         value_reg = instruction.field("rd")
@@ -99,7 +100,7 @@ class ElsieSimulatorBuilder:
             codec.encode("ld", rd=1, rs1=sp, simm13=SPILL_G1),
         ]
         return CodeSnippet(words, alloc_regs=(t_ea, t_val),
-                           clobbers_cc=True)
+                           clobbers_cc=True, tag=("elsie.store", addr))
 
     # ------------------------------------------------------------------
     def instrument(self):
@@ -114,9 +115,9 @@ class ElsieSimulatorBuilder:
                     if not instruction.is_memory:
                         continue
                     if instruction.is_load:
-                        snippet = self._load_snippet(instruction)
+                        snippet = self._load_snippet(instruction, addr)
                     else:
-                        snippet = self._store_snippet(instruction)
+                        snippet = self._store_snippet(instruction, addr)
                     block.add_code_before(index, snippet)
                     block.delete_instruction(index)
                     self.replaced += 1
@@ -130,16 +131,16 @@ class ElsieSimulatorBuilder:
         return image
 
     # ------------------------------------------------------------------
-    def run(self, stdin_text=""):
-        """Run inside the memory-system model; returns (simulator, stats)."""
-        from repro.binfmt import layout as binlayout
+    def configure_simulator(self, simulator):
+        """Install the memory-model traps on *simulator*.
+
+        Shared between :meth:`run` and the verify cosimulation oracle,
+        which must equip the edited side with the same host-side hooks
+        the tool itself would use.  Returns the stats dict the hooks
+        accumulate into.
+        """
         from repro.tools.active_memory import DirectMappedCache
 
-        image = self.edited_image()
-        brk = binlayout.align_up(
-            self.exec.image.address_limit() + binlayout.HEAP_GAP, 16
-        )
-        simulator = Simulator(image, stdin_text=stdin_text, brk_base=brk)
         cache = DirectMappedCache()
         stats = {"loads": 0, "stores": 0, "memory_cycles": 0}
         memory = simulator.memory
@@ -166,5 +167,17 @@ class ElsieSimulatorBuilder:
 
         simulator.syscalls.tool_hooks[SYS_SIM_LOAD] = sim_load
         simulator.syscalls.tool_hooks[SYS_SIM_STORE] = sim_store
+        return stats
+
+    def run(self, stdin_text=""):
+        """Run inside the memory-system model; returns (simulator, stats)."""
+        from repro.binfmt import layout as binlayout
+
+        image = self.edited_image()
+        brk = binlayout.align_up(
+            self.exec.image.address_limit() + binlayout.HEAP_GAP, 16
+        )
+        simulator = Simulator(image, stdin_text=stdin_text, brk_base=brk)
+        stats = self.configure_simulator(simulator)
         simulator.run()
         return simulator, stats

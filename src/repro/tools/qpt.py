@@ -78,7 +78,9 @@ class QptProfiler:
             index = self.counters.allocate((routine.name, block.start))
             self.block_counters[(routine.name, block.start)] = index
             block.add_code_before(
-                0, counter_snippet(self.exec, self.counters.address(index))
+                0, counter_snippet(self.exec, self.counters.address(index),
+                                   tag=("qpt.block", routine.name,
+                                        block.start))
             )
 
     # -- edge mode ---------------------------------------------------------
@@ -106,7 +108,9 @@ class QptProfiler:
             )
             profile.measured[position] = index
             edge.add_code_along(
-                counter_snippet(self.exec, self.counters.address(index))
+                counter_snippet(self.exec, self.counters.address(index),
+                                tag=("qpt.edge", routine.name,
+                                     edge.src.id, edge.dst.id))
             )
         self.profiles[routine.name] = profile
 

@@ -33,7 +33,7 @@ class Sandboxer:
         self.check_loads = check_loads
         self.sites = 0
 
-    def _check_snippet(self, instruction):
+    def _check_snippet(self, instruction, addr=None):
         codec = self.exec.codec
         sp = self.exec.conventions.sp_reg
         avoid = instruction.reads() | {8, 1, sp}
@@ -65,7 +65,8 @@ class Sandboxer:
             codec.encode("ld", rd=8, rs1=sp, simm13=SPILL_O0),
             codec.encode("ld", rd=1, rs1=sp, simm13=SPILL_G1),
         ]
-        return CodeSnippet(words, alloc_regs=(t_ea, t_seg), clobbers_cc=True)
+        return CodeSnippet(words, alloc_regs=(t_ea, t_seg), clobbers_cc=True,
+                           tag=("sfi.store_check", addr))
 
     def instrument(self):
         for routine in self.exec.all_routines():
@@ -81,7 +82,7 @@ class Sandboxer:
                     )
                     if wanted:
                         block.add_code_before(
-                            index, self._check_snippet(instruction)
+                            index, self._check_snippet(instruction, addr)
                         )
                         self.sites += 1
             routine.produce_edited_routine()

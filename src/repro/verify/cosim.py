@@ -1,0 +1,456 @@
+"""Co-simulation oracle: original vs. edited image in lockstep.
+
+Both images run in the existing simulator, advancing from control-
+transfer point to control-transfer point (basic-block entries of the
+original program, their mapped addresses in the edited one).  At each
+synchronization the oracle compares:
+
+* the stop pair itself — the edited side must be at the address the
+  finalizer mapped the original block to;
+* the registers *live* at that block entry (dead registers legally
+  differ: snippets scavenge them, so comparing everything would flag
+  every instrumented binary);
+* the observable syscall trace so far (exit/putint/putchar/putstr/
+  getint/getchar/sbrk — SYS_CYCLES is answered with a per-side call
+  index so instruction-count drift stays invisible);
+
+and at program exit also the exit codes, accumulated output, and final
+memory over the original image's writable sections plus the heap.
+
+Instrumentation snippets are transparent by construction: they live
+*between* sync points, never contain one, and only the live-register
+filter ever looks at state they may have scavenged.  A register that
+holds a code address is compared modulo the finalizer's address map —
+return addresses legitimately point at edited call sites.
+
+On divergence the oracle emits a minimized :class:`Divergence` — first
+divergent PC pair, register/memory delta, and the edit placement
+covering that address — instead of a bare assert.
+"""
+
+from repro.binfmt.image import SEC_WRITE
+from repro.core import cfg as cfg_mod
+from repro.obs import metrics as _metrics
+from repro.sim import syscalls as sc
+from repro.sim.machine import SimulationError, SimulationTimeout, Simulator
+from repro.sim.memory import MemoryFault
+
+M32 = 0xFFFFFFFF
+
+# How much memory past the heap base the exit comparison will diff.
+_HEAP_DIFF_CAP = 4 * 1024 * 1024
+
+_C_SYNCS = _metrics.counter("verify.cosim_syncs")
+_C_DIVERGENCES = _metrics.counter("verify.cosim_divergences")
+
+
+class Divergence:
+    """A minimized report of the first behavioral difference."""
+
+    def __init__(self, kind, message, orig_pc=None, edited_pc=None,
+                 registers=(), edits=(), syscalls=None):
+        self.kind = kind
+        self.message = message
+        self.orig_pc = orig_pc  # pc in the original image
+        self.edited_pc = edited_pc  # pc in the edited image
+        self.registers = list(registers)  # (name, original, edited)
+        self.edits = list(edits)  # human-readable covering edits
+        self.syscalls = syscalls  # (original entry, edited entry) or None
+
+    def render(self):
+        lines = ["divergence (%s): %s" % (self.kind, self.message)]
+        if self.orig_pc is not None or self.edited_pc is not None:
+            lines.append("  first divergent pc pair: original=%s edited=%s"
+                         % tuple("0x%x" % pc if pc is not None else "?"
+                                 for pc in (self.orig_pc, self.edited_pc)))
+        for name, vo, ve in self.registers:
+            lines.append("  %s: original=%s edited=%s"
+                         % (name, _fmt(vo), _fmt(ve)))
+        if self.syscalls is not None:
+            lines.append("  syscall trace: original=%r edited=%r"
+                         % self.syscalls)
+        for edit in self.edits:
+            lines.append("  edit: %s" % edit)
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.render()
+
+
+def _fmt(value):
+    return "0x%x" % value if isinstance(value, int) else repr(value)
+
+
+class CosimReport:
+    """Outcome of one lockstep run."""
+
+    def __init__(self, divergence, syncs, orig_instructions,
+                 edited_instructions):
+        self.divergence = divergence
+        self.syncs = syncs
+        self.orig_instructions = orig_instructions
+        self.edited_instructions = edited_instructions
+
+    @property
+    def ok(self):
+        return self.divergence is None
+
+    @property
+    def overhead(self):
+        """Edited/original instruction-count ratio."""
+        if not self.orig_instructions:
+            return 0.0
+        return self.edited_instructions / self.orig_instructions
+
+
+class _Side:
+    def __init__(self, name, simulator, stops):
+        self.name = name
+        self.sim = simulator
+        self.stops = stops
+        self.log = []  # observable syscall entries
+        self.exit_code = None
+
+
+def _wrap_syscalls(simulator, log):
+    """Record observable syscalls into *log*; answer SYS_CYCLES with a
+    per-side call index so instruction-count drift stays invisible."""
+    handler = simulator.syscalls
+    inner = handler.dispatch  # bound class method, before shadowing
+    memory = simulator.memory
+    calls = [0]
+
+    def dispatch(number, args):
+        if number == sc.SYS_CYCLES:
+            calls[0] += 1
+            return calls[0]
+        entry = None
+        if number == sc.SYS_EXIT:
+            entry = ("exit", args[0] & M32)
+        elif number == sc.SYS_PUTINT:
+            entry = ("putint", args[0] & M32)
+        elif number == sc.SYS_PUTCHAR:
+            entry = ("putchar", args[0] & 0xFF)
+        elif number == sc.SYS_PUTSTR:
+            entry = ("putstr", memory.read_cstring(args[0]))
+        elif number == sc.SYS_GETINT:
+            entry = ("getint",)
+        elif number == sc.SYS_GETCHAR:
+            entry = ("getchar",)
+        elif number == sc.SYS_SBRK:
+            entry = ("sbrk", args[0] & M32)
+        if entry is not None:
+            log.append(entry)
+        return inner(number, args)
+
+    handler.dispatch = dispatch
+
+
+class CosimOracle:
+    """Lockstep differential execution of one verify context."""
+
+    def __init__(self, context, stdin_text="", configure_original=None,
+                 configure_edited=None, sync_budget=5_000_000,
+                 max_syncs=10_000_000):
+        self.context = context
+        self.stdin_text = stdin_text
+        self.configure_original = configure_original
+        self.configure_edited = configure_edited
+        self.sync_budget = sync_budget
+        self.max_syncs = max_syncs
+        self._build_sync_points()
+
+    # ------------------------------------------------------------------
+    def _build_sync_points(self):
+        """Block entries of the original program, minus delay-slot
+        addresses (duplicated delay words map ambiguously) — and their
+        images under the finalizer's address map."""
+        context = self.context
+        conventions = context.conventions
+        # Registers meaningful across a call boundary.  Liveness at a
+        # routine entry is interprocedurally conservative (a contained
+        # call or jmpl makes *everything* live), while the producer
+        # scavenges with the caller's intraprocedural liveness — so at
+        # entry blocks only the convention's call inputs can be
+        # compared without false positives.
+        boundary = frozenset(conventions.arg_regs) | frozenset(
+            (conventions.sp_reg, conventions.retaddr_reg))
+        starts = {}
+        delay_addrs = set()
+        for routine, cfg in context.cfgs():
+            liveness = cfg.live_registers()
+            for block in cfg.blocks:
+                if block.kind == cfg_mod.BK_DELAY:
+                    delay_addrs.add(block.start)
+                # A delay-slot word is duplicated across the layout's
+                # taken/fall paths, so its address maps ambiguously —
+                # even when it doubles as a jump target (a block start
+                # in its own right).  Never synchronize on one.
+                for addr, instruction in block.instructions:
+                    if instruction.is_delayed:
+                        delay_addrs.add(addr + 4)
+            for block in cfg.normal_blocks():
+                live = frozenset(liveness.live_before(block, 0))
+                if block.start == routine.start:
+                    live &= boundary
+                starts[block.start] = live
+        for addr in delay_addrs:
+            starts.pop(addr, None)
+        self.live_at = starts
+        self.edited_of = {addr: context.edited_addr(addr) for addr in starts}
+        self.orig_stops = frozenset(starts)
+        # The edited image retains the original text: an unanalyzable
+        # indirect jump legitimately lands there and execution continues
+        # at original addresses until the next entry trampoline bounces
+        # it back (paper section 3.3).  So the edited side may sync at
+        # either the mapped address or the original one — but only where
+        # the original word is untouched (a patched word is a trampoline
+        # and the mapped copy is the canonical stop).
+        edited_stops = set(self.edited_of.values())
+        for addr in starts:
+            if self._retained(addr):
+                edited_stops.add(addr)
+        self.edited_stops = frozenset(edited_stops)
+
+    def _retained(self, addr):
+        """True when the edited image still holds the original word at
+        *addr* (i.e. the location was not patched with a trampoline)."""
+        section = self.context.edited_image.section_at(addr)
+        if section is None or not section.is_exec:
+            return False
+        original = self.context.original_image.section_at(addr)
+        return (original is not None
+                and section.word_at(addr) == original.word_at(addr))
+
+    # ------------------------------------------------------------------
+    def run(self):
+        context = self.context
+        original = Simulator(context.original_image,
+                             stdin_text=self.stdin_text)
+        edited = Simulator(context.edited_image, stdin_text=self.stdin_text,
+                           brk_base=original.brk)
+        orig = _Side("original", original, self.orig_stops)
+        edit = _Side("edited", edited, self.edited_stops)
+        _wrap_syscalls(original, orig.log)
+        _wrap_syscalls(edited, edit.log)
+        if self.configure_original is not None:
+            self.configure_original(original)
+        if self.configure_edited is not None:
+            self.configure_edited(edited)
+
+        self._heap_base = original.brk
+        syncs = 0
+        divergence = None
+        while True:
+            event_o = self._advance(orig)
+            event_e = self._advance(edit)
+            if event_o[0] == "sync" and event_e[0] == "sync":
+                syncs += 1
+                divergence = self._compare_sync(orig, edit,
+                                                event_o[1], event_e[1])
+                if divergence is None and syncs >= self.max_syncs:
+                    divergence = Divergence(
+                        "timeout", "exceeded %d synchronizations without "
+                        "exiting" % self.max_syncs,
+                        orig_pc=event_o[1], edited_pc=event_e[1])
+                if divergence is not None:
+                    break
+                continue
+            if event_o[0] == "exit" and event_e[0] == "exit":
+                divergence = self._compare_exit(orig, edit)
+                break
+            divergence = self._mismatched_events(orig, edit,
+                                                 event_o, event_e)
+            break
+
+        _C_SYNCS.inc(syncs)
+        if divergence is not None:
+            _C_DIVERGENCES.inc()
+        original._record_telemetry()
+        edited._record_telemetry()
+        return CosimReport(divergence, syncs,
+                           original.instructions_executed,
+                           edited.instructions_executed)
+
+    # ------------------------------------------------------------------
+    def _advance(self, side):
+        """Run one side to its next sync point.  Returns an event tuple:
+        ("sync", pc) | ("exit", code) | ("timeout", exc) | ("crash", exc).
+        """
+        try:
+            side.sim.cpu.run_until(side.stops, self.sync_budget)
+            return ("sync", side.sim.cpu.pc)
+        except sc.ExitProgram as program_exit:
+            side.exit_code = program_exit.code
+            side.sim.syscalls.exit_code = program_exit.code
+            return ("exit", program_exit.code)
+        except SimulationTimeout as timeout:
+            return ("timeout", timeout)
+        except (SimulationError, MemoryFault, sc.ProtectionFault,
+                ValueError, KeyError) as error:
+            return ("crash", error)
+
+    def _covering_edits(self, edited_pc, since=None):
+        """Human-readable edits covering *edited_pc* (and, for state
+        drift, any snippets placed in the straight-line interval since
+        the previous sync)."""
+        placement = self.context.placement
+        edits = []
+        placed = placement.covering(edited_pc)
+        if placed is not None:
+            edits.append(placed.describe())
+        if since is not None and since < edited_pc:
+            for entry in placement.in_range(since, edited_pc):
+                if entry.item.kind == "snippet":
+                    text = entry.describe()
+                    if text not in edits:
+                        edits.append(text)
+                if len(edits) >= 4:
+                    break
+        return edits
+
+    def _compare_sync(self, orig, edit, orig_pc, edited_pc):
+        expected = self.edited_of.get(orig_pc)
+        previous = getattr(self, "_last_edited_pc", None)
+        self._last_edited_pc = edited_pc
+        # The edited side is at the mapped copy — or at the original
+        # address itself when execution flowed through retained text
+        # after an unanalyzable indirect jump.
+        if edited_pc == orig_pc and edited_pc in self.edited_stops:
+            expected = edited_pc
+        if expected is None or edited_pc != expected:
+            _mapped = ("0x%x" % expected) if expected is not None else "?"
+            return Divergence(
+                "control",
+                "original stopped at 0x%x (maps to %s) but edited "
+                "stopped at 0x%x" % (orig_pc, _mapped, edited_pc),
+                orig_pc=orig_pc, edited_pc=edited_pc,
+                edits=self._covering_edits(edited_pc))
+        deltas = self._register_deltas(orig.sim, edit.sim, orig_pc)
+        if deltas:
+            return Divergence(
+                "state",
+                "%d live register(s) differ at block 0x%x" % (len(deltas),
+                                                              orig_pc),
+                orig_pc=orig_pc, edited_pc=edited_pc, registers=deltas,
+                edits=self._covering_edits(edited_pc, since=previous))
+        return self._compare_syscall_logs(orig, edit, orig_pc, edited_pc)
+
+    def _register_deltas(self, original, edited, orig_pc):
+        context = self.context
+        regs = context.codec.regs
+        addr_map = context.addr_map
+        cpu_o, cpu_e = original.cpu, edited.cpu
+        deltas = []
+        for reg in sorted(self.live_at.get(orig_pc, ())):
+            vo = self._read_register(cpu_o, reg)
+            ve = self._read_register(cpu_e, reg)
+            if vo == ve:
+                continue
+            # Code addresses are compared modulo the address map: a
+            # return address legitimately points at the edited call site.
+            if isinstance(vo, int) and addr_map.get(vo) == ve:
+                continue
+            deltas.append((regs.name(reg), vo, ve))
+        if context.arch == "sparc":
+            depth_o = len(cpu_o.windows)
+            depth_e = len(cpu_e.windows)
+            if depth_o != depth_e:
+                deltas.append(("window-depth", depth_o, depth_e))
+        return deltas
+
+    def _read_register(self, cpu, reg):
+        if reg < 32:
+            return cpu.r[reg]
+        if self.context.arch == "sparc":
+            return cpu.icc if reg == 32 else cpu.y
+        return cpu.hi if reg == 32 else cpu.lo
+
+    def _compare_syscall_logs(self, orig, edit, orig_pc=None,
+                              edited_pc=None, at_exit=False):
+        log_o, log_e = orig.log, edit.log
+        if log_o == log_e:
+            return None
+        length = min(len(log_o), len(log_e))
+        index = next((i for i in range(length)
+                      if log_o[i] != log_e[i]), length)
+        entry_o = log_o[index] if index < len(log_o) else None
+        entry_e = log_e[index] if index < len(log_e) else None
+        return Divergence(
+            "syscall",
+            "syscall traces differ at call %d%s"
+            % (index, " (at exit)" if at_exit else ""),
+            orig_pc=orig_pc, edited_pc=edited_pc,
+            syscalls=(entry_o, entry_e),
+            edits=self._covering_edits(edited_pc) if edited_pc else ())
+
+    def _mismatched_events(self, orig, edit, event_o, event_e):
+        def describe(side, event):
+            kind = event[0]
+            if kind == "sync":
+                return "%s synchronized at 0x%x" % (side.name, event[1])
+            if kind == "exit":
+                return "%s exited with code %d" % (side.name, event[1])
+            if kind == "timeout":
+                return ("%s ran %d instructions without reaching a sync "
+                        "point (pc 0x%x)"
+                        % (side.name, event[1].steps, event[1].pc))
+            return "%s crashed: %s" % (side.name, event[1])
+
+        kind = "timeout" if "timeout" in (event_o[0], event_e[0]) else (
+            "crash" if "crash" in (event_o[0], event_e[0]) else "exit")
+        orig_pc = orig.sim.cpu.pc
+        edited_pc = edit.sim.cpu.pc
+        return Divergence(
+            kind, "%s; %s" % (describe(orig, event_o),
+                              describe(edit, event_e)),
+            orig_pc=orig_pc, edited_pc=edited_pc,
+            edits=self._covering_edits(edited_pc))
+
+    # ------------------------------------------------------------------
+    def _compare_exit(self, orig, edit):
+        if orig.exit_code != edit.exit_code:
+            return Divergence(
+                "exit", "exit codes differ: original=%r edited=%r"
+                % (orig.exit_code, edit.exit_code))
+        if orig.sim.output != edit.sim.output:
+            return Divergence(
+                "output", "program output differs: original=%r edited=%r"
+                % (orig.sim.output, edit.sim.output))
+        divergence = self._compare_syscall_logs(orig, edit, at_exit=True)
+        if divergence is not None:
+            return divergence
+        return self._compare_memory(orig, edit)
+
+    def _compare_memory(self, orig, edit):
+        image = self.context.original_image
+        for name, section in sorted(image.sections.items()):
+            if not section.flags & SEC_WRITE:
+                continue
+            bytes_o = orig.sim.memory.read_bytes(section.vaddr, section.size)
+            bytes_e = edit.sim.memory.read_bytes(section.vaddr, section.size)
+            divergence = self._first_byte_delta(
+                name, section.vaddr, bytes_o, bytes_e)
+            if divergence is not None:
+                return divergence
+        top = max(orig.sim.brk, edit.sim.brk)
+        span = min(top - self._heap_base, _HEAP_DIFF_CAP)
+        if span > 0:
+            bytes_o = orig.sim.memory.read_bytes(self._heap_base, span)
+            bytes_e = edit.sim.memory.read_bytes(self._heap_base, span)
+            divergence = self._first_byte_delta(
+                "heap", self._heap_base, bytes_o, bytes_e)
+            if divergence is not None:
+                return divergence
+        return None
+
+    def _first_byte_delta(self, region, base, bytes_o, bytes_e):
+        if bytes_o == bytes_e:
+            return None
+        index = next(i for i in range(min(len(bytes_o), len(bytes_e)))
+                     if bytes_o[i] != bytes_e[i])
+        return Divergence(
+            "memory",
+            "final %s contents differ at 0x%x: original=0x%02x "
+            "edited=0x%02x" % (region, base + index,
+                               bytes_o[index], bytes_e[index]))

@@ -1,0 +1,270 @@
+"""Structural lints: machine-independent invariants of a rewritten image.
+
+Each lint re-checks one promise the editing pipeline makes (paper
+sections in parentheses; see DESIGN.md section 5e for the mapping):
+
+* every emitted word still decodes, and re-encodes to the same bits;
+* delay slots are refolded or hoisted *and materialized* — a delayed
+  CTI is never followed by garbage or another CTI (section 3.3);
+* every CFG edge of the original program lands on an instruction
+  boundary inside executable text of the edited image;
+* rewritten dispatch-table entries point into edited text, never at
+  stale original addresses (section 3.3);
+* snippet spill wrappers are balanced — every register the allocator
+  spilled is restored in the epilogue (section 3.5).
+
+The lints deliberately work from a *fresh* analysis of the original
+image plus the raw bytes of the edited one: they must not trust the
+producer's bookkeeping, only the artifacts.
+"""
+
+from repro.isa.base import Category
+from repro.obs import metrics as _metrics
+from repro.verify.context import Finding
+
+_C_LINTS = _metrics.counter("verify.lints_run")
+_C_FINDINGS = _metrics.counter("verify.findings")
+
+
+def run_lints(context):
+    """Run every lint over *context*; returns the list of Findings."""
+    findings = []
+    for lint in LINTS:
+        findings.extend(lint(context))
+        _C_LINTS.inc()
+    _C_FINDINGS.inc(len(findings))
+    return findings
+
+
+def _provenance(context, addr):
+    """(routine, block) provenance for an edited-image address."""
+    placed = context.placement.covering(addr)
+    if placed is None:
+        return None, None
+    return placed.routine, placed.block
+
+
+# ----------------------------------------------------------------------
+def lint_word_encoding(context):
+    """encode(decode(x)) round-trips on every word of ``.text.edited``."""
+    findings = []
+    section = context.new_text()
+    if section is None:
+        return findings
+    codec = context.codec
+    addr = section.vaddr
+    for word in section.words():
+        inst = codec.decode(word)
+        routine, block = _provenance(context, addr)
+        if not inst.is_valid:
+            findings.append(Finding(
+                "invalid-word",
+                "emitted word 0x%08x does not decode" % word,
+                routine=routine, block=block, addr=addr))
+        else:
+            try:
+                encoded = codec.encode(inst.name, **inst.f)
+            except Exception as error:
+                encoded = None
+                reason = str(error)
+            if encoded != word:
+                findings.append(Finding(
+                    "encode-roundtrip",
+                    "0x%08x (%s) re-encodes to %s" % (
+                        word, inst.name,
+                        "0x%08x" % encoded if encoded is not None
+                        else "error: %s" % reason),
+                    routine=routine, block=block, addr=addr))
+        addr += 4
+    return findings
+
+
+def lint_delay_slots(context):
+    """Every delayed CTI in edited text is followed by a materialized,
+    non-control delay instruction (refolded or hoisted, section 3.3)."""
+    findings = []
+    section = context.new_text()
+    if section is None:
+        return findings
+    codec = context.codec
+    words = list(section.words())
+    for index, word in enumerate(words):
+        inst = codec.decode(word)
+        if not inst.is_valid or not inst.is_delayed:
+            continue
+        if inst.annul_untaken and inst.cond == "a":
+            continue  # ba,a executes no delay slot at all
+        addr = section.vaddr + 4 * index
+        routine, block = _provenance(context, addr)
+        if index + 1 >= len(words):
+            findings.append(Finding(
+                "missing-delay-slot",
+                "%s at end of section has no delay word" % inst.name,
+                routine=routine, block=block, addr=addr))
+            continue
+        slot = codec.decode(words[index + 1])
+        if not slot.is_valid:
+            findings.append(Finding(
+                "missing-delay-slot",
+                "delay slot of %s holds invalid word 0x%08x"
+                % (inst.name, words[index + 1]),
+                routine=routine, block=block, addr=addr + 4))
+        elif slot.category.is_control and slot.category is not Category.SYSTEM:
+            # A trap in a delay slot is legitimate (the runtime's
+            # syscall stubs do ``retl; ta``); a branch or jump is not.
+            findings.append(Finding(
+                "cti-in-delay-slot",
+                "delay slot of %s holds control transfer %s"
+                % (inst.name, slot.name),
+                routine=routine, block=block, addr=addr + 4))
+    return findings
+
+
+def _exec_section_at(image, addr):
+    section = image.section_at(addr)
+    if section is not None and section.is_exec:
+        return section
+    return None
+
+
+def lint_edge_boundaries(context):
+    """Every CFG block start maps to an instruction boundary inside
+    executable text of the edited image."""
+    findings = []
+    image = context.edited_image
+    codec = context.codec
+    for routine, cfg in context.cfgs():
+        for block in cfg.normal_blocks():
+            mapped = context.edited_addr(block.start)
+            if mapped % 4:
+                findings.append(Finding(
+                    "misaligned-edge-target",
+                    "block 0x%x maps to unaligned 0x%x"
+                    % (block.start, mapped),
+                    routine=routine.name, block=block.start, addr=mapped))
+                continue
+            section = _exec_section_at(image, mapped)
+            if section is None:
+                findings.append(Finding(
+                    "edge-outside-text",
+                    "block 0x%x maps to 0x%x outside executable text"
+                    % (block.start, mapped),
+                    routine=routine.name, block=block.start, addr=mapped))
+                continue
+            if not codec.decode(section.word_at(mapped)).is_valid:
+                findings.append(Finding(
+                    "edge-lands-on-data",
+                    "block 0x%x maps to 0x%x which does not decode"
+                    % (block.start, mapped),
+                    routine=routine.name, block=block.start, addr=mapped))
+    return findings
+
+
+def lint_dispatch_tables(context):
+    """Rewritten dispatch-table entries point at valid instruction
+    boundaries in edited text (never at stale original targets)."""
+    findings = []
+    image = context.edited_image
+    codec = context.codec
+    edited_names = set(context.edited_routine_names())
+    for routine, cfg in context.cfgs():
+        for info in cfg.indirect_jumps:
+            if info.status != "table":
+                continue
+            for index, target in enumerate(info.targets):
+                entry_addr = info.table_addr + 4 * index
+                table_section = image.section_at(entry_addr)
+                if table_section is None:
+                    findings.append(Finding(
+                        "dispatch-table-unmapped",
+                        "table entry at 0x%x is unmapped" % entry_addr,
+                        routine=routine.name, block=info.block.start,
+                        addr=entry_addr))
+                    continue
+                value = table_section.word_at(entry_addr)
+                if value % 4 or _exec_section_at(image, value) is None:
+                    findings.append(Finding(
+                        "dispatch-entry-invalid",
+                        "table entry %d at 0x%x holds 0x%x, not an "
+                        "instruction boundary in text"
+                        % (index, entry_addr, value),
+                        routine=routine.name, block=info.block.start,
+                        addr=entry_addr))
+                    continue
+                if routine.name not in edited_names:
+                    continue
+                expected = context.edited_addr(target)
+                if value != expected and not context.in_new_text(value):
+                    findings.append(Finding(
+                        "stale-dispatch-entry",
+                        "table entry %d at 0x%x still points at 0x%x "
+                        "(expected 0x%x in edited text)"
+                        % (index, entry_addr, value, expected),
+                        routine=routine.name, block=info.block.start,
+                        addr=entry_addr))
+    return findings
+
+
+def _find_sequence(words, sequence, start=0):
+    """Index of *sequence* as a contiguous run in *words*, or -1."""
+    if not sequence:
+        return -1
+    limit = len(words) - len(sequence)
+    for index in range(start, limit + 1):
+        if words[index : index + len(sequence)] == sequence:
+            return index
+    return -1
+
+
+def spill_findings(allocated, conventions, routine=None, block=None,
+                   addr=None):
+    """Findings for an unbalanced spill wrapper on one allocated snippet.
+
+    Every register the allocator spilled in the prologue must be
+    restored by a matching unspill later in the snippet (section 3.5).
+    Exposed separately so the fault injector can check a synthetic
+    snippet without an image.
+    """
+    findings = []
+    words = list(allocated.words)
+    for reg, slot in allocated.spilled:
+        spill = list(conventions.spill(reg, slot))
+        unspill = list(conventions.unspill(reg, slot))
+        spill_at = _find_sequence(words, spill)
+        if spill_at < 0:
+            findings.append(Finding(
+                "missing-spill",
+                "snippet spills register %d (slot %d) but the spill "
+                "sequence is absent" % (reg, slot),
+                routine=routine, block=block, addr=addr))
+            continue
+        if _find_sequence(words, unspill, spill_at + len(spill)) < 0:
+            findings.append(Finding(
+                "unbalanced-spill",
+                "register %d spilled to slot %d is never restored"
+                % (reg, slot),
+                routine=routine, block=block, addr=addr))
+    return findings
+
+
+def lint_spill_balance(context):
+    """Spill wrappers of every placed snippet are balanced."""
+    findings = []
+    conventions = context.conventions
+    for placed in context.placement.snippets():
+        allocated = placed.item.snippet
+        if allocated is None or not getattr(allocated, "spilled", None):
+            continue
+        findings.extend(spill_findings(
+            allocated, conventions, routine=placed.routine,
+            block=placed.block, addr=placed.start))
+    return findings
+
+
+LINTS = (
+    lint_word_encoding,
+    lint_delay_slots,
+    lint_edge_boundaries,
+    lint_dispatch_tables,
+    lint_spill_balance,
+)

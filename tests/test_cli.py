@@ -136,3 +136,37 @@ def test_cachesim(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "sieve 303" in captured.out
     assert "misses" in captured.err
+
+
+def test_run_max_steps_reports_timeout(tmp_path, capsys):
+    exe = str(tmp_path / "fib.eelf")
+    main(["build", "fib", exe])
+    capsys.readouterr()
+    assert main(["run", exe, "--max-steps", "100"]) == 1
+    captured = capsys.readouterr()
+    assert "simulation error" in captured.err
+    assert "100 steps" in captured.err
+
+
+def test_disasm_annotates_routines(tmp_path, capsys):
+    exe = str(tmp_path / "fib.eelf")
+    main(["build", "fib", exe])
+    capsys.readouterr()
+    assert main(["disasm", exe, "--jobs", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "; routine fib" in captured.out
+
+
+def test_verify_subcommand(capsys):
+    assert main(["verify", "mips_sum", "--no-memo"]) == 0
+    captured = capsys.readouterr()
+    assert "mips_sum[qpt]: PASS" in captured.out
+    assert "verified 1/1" in captured.err
+
+
+def test_verify_rejects_bad_usage(capsys):
+    assert main(["verify"]) == 1
+    assert main(["verify", "nonesuch"]) == 1
+    assert main(["verify", "mips_sum", "--tool", "sfi"]) == 1
+    captured = capsys.readouterr()
+    assert "available" in captured.err
