@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""CI smoke test for the edit-serving daemon.
+
+Starts a real ``repro serve`` daemon, points 8 concurrent clients at it
+across two workloads (one SPARC, one MIPS) mixing run/routines/verify
+requests, then SIGTERMs it and checks the contract the README promises:
+
+* zero dropped requests — every request gets a well-formed answer;
+* clean drain — exit code 0, ``drained cleanly`` on stderr, socket
+  removed, no orphaned daemon process;
+* a well-formed ``--stats-json`` report carrying ``serve.*`` counters
+  that agree with what the clients observed.
+
+Exits non-zero (with a diagnostic) on any violation; CI runs it as a
+dedicated step.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(ROOT, "src")
+sys.path.insert(0, SRC)
+
+from repro.serve.client import ServeClient, wait_for_daemon  # noqa: E402
+
+CLIENTS = 8
+WORKLOADS = ["fib", "mips_sum"]  # one per architecture
+EXPECTED = {"fib": "fib 1597\n", "mips_sum": "5050\n"}
+
+
+def fail(message):
+    print("ci-serve-smoke: FAIL: %s" % message, file=sys.stderr)
+    sys.exit(1)
+
+
+def client_session(socket_path, index, outcomes, errors):
+    workload = WORKLOADS[index % len(WORKLOADS)]
+    try:
+        with ServeClient(socket_path, retries=8) as client:
+            run = client.run_workload(workload)
+            if run["output"] != EXPECTED[workload]:
+                raise AssertionError("wrong output for %s: %r"
+                                     % (workload, run["output"]))
+            routines = client.request("routines", workload=workload)
+            if not routines["routines"]:
+                raise AssertionError("no routines for %s" % workload)
+            verify = client.request("verify", workload=workload, tool="qpt")
+            if not verify["ok"]:
+                raise AssertionError("verify failed for %s:\n%s"
+                                     % (workload, verify["text"]))
+            outcomes.append(index)
+    except Exception as error:  # noqa: BLE001 - reported, then fatal
+        errors.append("client %d (%s): %s" % (index, workload, error))
+
+
+def main():
+    sock = os.path.join(ROOT, "serve-smoke.sock")
+    stats = os.path.join(ROOT, "serve-smoke-stats.json")
+    env = dict(os.environ, PYTHONPATH=os.pathsep.join(
+        filter(None, [SRC, os.environ.get("PYTHONPATH")])))
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--socket", sock,
+         "--jobs", "4", "--stats-json", stats],
+        env=env, stderr=subprocess.PIPE)
+    try:
+        if not wait_for_daemon(sock, timeout=60.0):
+            fail("daemon did not come up within 60s")
+
+        outcomes, errors = [], []
+        threads = [threading.Thread(target=client_session,
+                                    args=(sock, index, outcomes, errors))
+                   for index in range(CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(300)
+        if errors:
+            fail("dropped/failed requests:\n  " + "\n  ".join(errors))
+        if len(outcomes) != CLIENTS:
+            fail("only %d/%d clients completed" % (len(outcomes), CLIENTS))
+
+        daemon.send_signal(signal.SIGTERM)
+        _out, err = daemon.communicate(timeout=60)
+        err = err.decode()
+        if daemon.returncode != 0:
+            fail("daemon exited %d:\n%s" % (daemon.returncode, err))
+        if "drained cleanly" not in err:
+            fail("no clean-drain confirmation in daemon stderr:\n%s" % err)
+        if os.path.exists(sock):
+            fail("daemon left a stale socket behind")
+
+        with open(stats) as handle:
+            report = json.load(handle)
+        if report.get("schema") != "repro.obs/1":
+            fail("stats JSON has wrong schema: %r" % report.get("schema"))
+        serve = report.get("serve")
+        if not serve:
+            fail("stats JSON is missing the serve section")
+        # 3 requests per client, plus the wait_for_daemon pings.
+        if serve["requests"] < CLIENTS * 3:
+            fail("serve.requests=%d, expected >= %d"
+                 % (serve["requests"], CLIENTS * 3))
+        if serve["ok"] < CLIENTS * 3:
+            fail("serve.ok=%d, expected >= %d" % (serve["ok"], CLIENTS * 3))
+        counters = report.get("counters", {})
+        for name in ("serve.requests", "serve.responses.ok",
+                     "serve.coalesced", "serve.timeouts"):
+            if name not in counters:
+                fail("stats JSON counters are missing %r" % name)
+        print("ci-serve-smoke: OK — %d clients, %d requests "
+              "(%d ok, %d errors, %d rejected, %d coalesced), clean drain"
+              % (CLIENTS, serve["requests"], serve["ok"], serve["errors"],
+                 serve["rejected"], serve["coalesced"]))
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(30)
+        for path in (sock, stats):
+            if os.path.exists(path):
+                os.unlink(path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,8 @@ fallbacks.
 
 from repro.cache.store import (
     cache_dir,
+    disable_memory_layer,
+    enable_memory_layer,
     enabled,
     image_cache_key,
     load,
@@ -38,6 +40,8 @@ from repro.cache.summary import (
 __all__ = [
     "analyze_routines",
     "cache_dir",
+    "disable_memory_layer",
+    "enable_memory_layer",
     "enabled",
     "executable_to_summary",
     "image_cache_key",

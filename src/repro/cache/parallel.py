@@ -11,6 +11,24 @@ the serial path, so ``--jobs N`` is always safe to pass.
 from repro.obs import metrics as _metrics
 
 _C_FALLBACKS = _metrics.counter("cache.parallel_fallbacks")
+_C_SUPPRESSED = _metrics.counter("cache.parallel_suppressed")
+
+# Forking a process pool from a multi-threaded parent (the serve
+# daemon's worker threads) can deadlock the children on locks the fork
+# snapshotted mid-acquire.  Long-lived multi-threaded hosts set this
+# flag once at startup; parallel_summaries then computes serially —
+# same results, no forks — and counts the suppression.
+_POOLS_SUPPRESSED = False
+
+
+def suppress_pools(suppressed=True):
+    """Disable process-pool fan-out in this process (daemon safety)."""
+    global _POOLS_SUPPRESSED
+    _POOLS_SUPPRESSED = suppressed
+
+
+def pools_suppressed():
+    return _POOLS_SUPPRESSED
 
 
 def _analyze_chunk(payload):
@@ -38,6 +56,10 @@ def parallel_summaries(executable, routines, jobs):
     """Summaries for *routines* in original order, or None on failure."""
     from repro.binfmt.serialize import image_to_bytes
     from repro.core.symtab_refine import routine_identity
+
+    if _POOLS_SUPPRESSED:
+        _C_SUPPRESSED.inc()
+        return None
 
     blob = image_to_bytes(executable.image)
     claimed = sorted(executable._claimed)

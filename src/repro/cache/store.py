@@ -23,9 +23,11 @@ import hashlib
 import json
 import os
 import struct
+import threading
 import zlib
 
 from repro.binfmt.image import SEC_NOBITS
+from repro.env import env_int
 from repro.binfmt.serialize import (
     ANALYSIS_VERSION,
     FormatError,
@@ -41,6 +43,8 @@ _C_STORES = _metrics.counter("cache.stores")
 _C_INVALIDATIONS = _metrics.counter("cache.invalidations")
 _C_EVICTIONS = _metrics.counter("cache.evictions")
 _C_ERRORS = _metrics.counter("cache.store_errors")
+_C_PRUNE_RACES = _metrics.counter("cache.prune_races")
+_C_MEMORY_HITS = _metrics.counter("cache.memory_hits")
 
 _SUFFIX = ".eela"
 _VERDICT_SUFFIX = ".eelv"
@@ -62,10 +66,8 @@ def cache_dir():
 
 
 def max_entries():
-    try:
-        return int(os.environ.get("REPRO_CACHE_MAX", "512"))
-    except ValueError:
-        return 512
+    """Entry cap per suffix; malformed values warn once and default."""
+    return env_int("REPRO_CACHE_MAX", 512, minimum=0)
 
 
 def image_cache_key(image):
@@ -95,9 +97,73 @@ def _entry_path(key):
     return os.path.join(cache_dir(), key + _SUFFIX)
 
 
+# ----------------------------------------------------------------------
+# In-process warm layer (the serve daemon's shared state)
+#
+# A long-lived process serving many requests against the same few
+# binaries should not pay a file read + prune pass per request.  When
+# enabled (``repro serve`` turns it on at startup), validated entry
+# blobs are also kept in a bounded in-memory dict keyed by entry
+# filename; hits skip the filesystem entirely.  Blobs — not decoded
+# summaries — are cached, so a memory hit decodes fresh objects exactly
+# like a disk hit and requests can never share mutable analysis state.
+# ----------------------------------------------------------------------
+
+_MEMORY_LOCK = threading.Lock()
+_MEMORY = None  # None = disabled; {filename: blob} when enabled
+_MEMORY_CAP = 0
+
+
+def enable_memory_layer(cap=64):
+    """Keep up to *cap* validated blobs warm in this process."""
+    global _MEMORY, _MEMORY_CAP
+    with _MEMORY_LOCK:
+        _MEMORY = {}
+        _MEMORY_CAP = max(1, cap)
+
+
+def disable_memory_layer():
+    global _MEMORY, _MEMORY_CAP
+    with _MEMORY_LOCK:
+        _MEMORY = None
+        _MEMORY_CAP = 0
+
+
+def _memory_get(name):
+    with _MEMORY_LOCK:
+        if _MEMORY is None:
+            return None
+        return _MEMORY.get(name)
+
+
+def _memory_put(name, blob):
+    with _MEMORY_LOCK:
+        if _MEMORY is None:
+            return
+        _MEMORY.pop(name, None)
+        _MEMORY[name] = blob
+        while len(_MEMORY) > _MEMORY_CAP:
+            _MEMORY.pop(next(iter(_MEMORY)))
+
+
+def _memory_drop(name):
+    with _MEMORY_LOCK:
+        if _MEMORY is not None:
+            _MEMORY.pop(name, None)
+
+
 def load(key):
     """Summary dict for *key*, or None on miss/invalidation."""
     path = _entry_path(key)
+    name = key + _SUFFIX
+    blob = _memory_get(name)
+    if blob is not None:
+        with _span("cache.load", key=key[:12], bytes=len(blob),
+                   memory=True):
+            summary = analysis_from_bytes(blob)  # validated at insert
+        _C_MEMORY_HITS.inc()
+        _C_HITS.inc()
+        return summary
     try:
         with open(path, "rb") as handle:
             blob = handle.read()
@@ -111,6 +177,7 @@ def load(key):
             _invalidate(path)
             _C_MISSES.inc()
             return None
+    _memory_put(name, blob)
     _C_HITS.inc()
     return summary
 
@@ -121,8 +188,9 @@ def store(key, summary):
     path = _entry_path(key)
     with _span("cache.store", key=key[:12]):
         try:
-            os.makedirs(directory, exist_ok=True)
             blob = analysis_to_bytes(summary)
+            _memory_put(key + _SUFFIX, blob)
+            os.makedirs(directory, exist_ok=True)
             tmp = "%s.tmp.%d" % (path, os.getpid())
             with open(tmp, "wb") as handle:
                 handle.write(blob)
@@ -147,6 +215,11 @@ def load_verdict(key):
     read as misses — the verifier then simply re-verifies.
     """
     path = _verdict_path(key)
+    name = key + _VERDICT_SUFFIX
+    blob = _memory_get(name)
+    if blob is not None:
+        _C_MEMORY_HITS.inc()
+        return json.loads(zlib.decompress(blob[4:]).decode("utf-8"))
     try:
         with open(path, "rb") as handle:
             blob = handle.read()
@@ -161,6 +234,7 @@ def load_verdict(key):
     except (ValueError, zlib.error, UnicodeDecodeError):
         _invalidate(path)
         return None
+    _memory_put(name, blob)
     return verdict
 
 
@@ -169,9 +243,10 @@ def store_verdict(key, verdict):
     directory = cache_dir()
     path = _verdict_path(key)
     try:
-        os.makedirs(directory, exist_ok=True)
         blob = _VERDICT_MAGIC + zlib.compress(
             json.dumps(verdict, sort_keys=True).encode("utf-8"))
+        _memory_put(key + _VERDICT_SUFFIX, blob)
+        os.makedirs(directory, exist_ok=True)
         tmp = "%s.tmp.%d" % (path, os.getpid())
         with open(tmp, "wb") as handle:
             handle.write(blob)
@@ -184,6 +259,7 @@ def store_verdict(key, verdict):
 
 def _invalidate(path):
     _C_INVALIDATIONS.inc()
+    _memory_drop(os.path.basename(path))
     try:
         os.unlink(path)
     except OSError:
@@ -191,19 +267,41 @@ def _invalidate(path):
 
 
 def _prune(directory, suffix=_SUFFIX):
-    """Drop the oldest entries once the directory exceeds the cap."""
+    """Drop the oldest entries once the directory exceeds the cap.
+
+    Several writers (``--jobs`` workers, daemon threads, independent
+    CLI runs) can prune one directory at once, so every per-entry stat
+    or unlink can lose a race with another pruner deleting the same
+    oldest file.  A vanished entry is treated as already evicted —
+    counted in ``cache.prune_races``, never an error, and never a
+    reason to stop pruning the remaining entries.
+    """
     cap = max_entries()
     try:
         names = [n for n in os.listdir(directory) if n.endswith(suffix)]
-        if len(names) <= cap:
-            return
-        entries = []
-        for name in names:
-            path = os.path.join(directory, name)
-            entries.append((os.path.getmtime(path), path))
-        entries.sort()
-        for _, path in entries[: len(entries) - cap]:
-            os.unlink(path)
-            _C_EVICTIONS.inc()
     except OSError:
         _C_ERRORS.inc()
+        return
+    if len(names) <= cap:
+        return
+    entries = []
+    for name in names:
+        path = os.path.join(directory, name)
+        try:
+            entries.append((os.path.getmtime(path), path))
+        except OSError:
+            _C_PRUNE_RACES.inc()  # another pruner beat us to it
+    entries.sort()
+    excess = len(entries) - cap
+    if excess <= 0:
+        return
+    for _, path in entries[:excess]:
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            _C_PRUNE_RACES.inc()
+            continue
+        except OSError:
+            _C_ERRORS.inc()
+            continue
+        _C_EVICTIONS.inc()

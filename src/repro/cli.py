@@ -8,6 +8,8 @@
     python -m repro.cli cachesim <exe.eelf>
     python -m repro.cli stats  <exe.eelf> [--no-run]
     python -m repro.cli verify <workload> [--all] [--tool qpt|sfi|elsie]
+    python -m repro.cli serve  [--socket PATH] [--jobs N] [--queue N]
+    python -m repro.cli client <op> [--workload NAME] [--image PATH]
 
 ``run``, ``profile``, ``cachesim``, ``stats``, and ``verify`` accept
 telemetry flags: ``--trace`` prints the span tree and counters to
@@ -290,6 +292,54 @@ def _cmd_verify(args):
     return 0 if failures == 0 else 1
 
 
+def _cmd_serve(args):
+    """Run the edit-serving daemon in the foreground (see repro.serve)."""
+    from repro.serve import ServeConfig, serve_main
+
+    config = ServeConfig(socket_path=args.socket, jobs=args.jobs,
+                         queue_size=args.queue, timeout_s=args.timeout,
+                         chaos=True if args.chaos else None)
+    return serve_main(config, stats_json=args.stats_json, trace=args.trace)
+
+
+def _cmd_client(args):
+    """One request against a running daemon; prints the JSON result."""
+    import base64
+
+    from repro.serve.client import ServeClient, ServeError
+
+    params = {}
+    if args.workload:
+        params["workload"] = args.workload
+    if args.image:
+        from repro.binfmt.serialize import image_to_bytes
+
+        params["image"] = base64.b64encode(
+            image_to_bytes(read_image(args.image))).decode("ascii")
+    if args.op in ("instrument", "verify"):
+        params["tool"] = args.tool
+        params["mode"] = args.mode
+    if args.op == "instrument":
+        params["run"] = args.run
+        params["return_image"] = False
+    if args.stdin:
+        params["stdin"] = args.stdin
+    client = ServeClient(args.socket, io_timeout=args.timeout,
+                         retries=args.retries)
+    try:
+        with client:
+            result = client.request(args.op, **params)
+    except ServeError as error:
+        print("client error: %s" % error, file=sys.stderr)
+        return 1
+    except OSError as error:
+        print("cannot reach daemon at %s: %s"
+              % (client.socket_path, error), file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(prog="repro",
                                      description=__doc__.splitlines()[0])
@@ -373,6 +423,49 @@ def main(argv=None):
                              "processes (default: 1, serial)")
     _add_obs_flags(verify)
     verify.set_defaults(func=_cmd_verify)
+
+    serve = sub.add_parser("serve",
+                           help="run the edit-serving daemon (foreground; "
+                                "SIGTERM drains gracefully)")
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="unix socket to listen on "
+                            "(default: $REPRO_SERVE_SOCKET or a per-user "
+                            "path under the temp dir)")
+    serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker threads (default: $REPRO_SERVE_JOBS "
+                            "or 2)")
+    serve.add_argument("--queue", type=int, default=None, metavar="N",
+                       help="admission-queue bound; full means "
+                            "reject-with-retry-after (default: "
+                            "$REPRO_SERVE_QUEUE or 32)")
+    serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-request timeout in seconds (default: "
+                            "$REPRO_SERVE_TIMEOUT or 60)")
+    serve.add_argument("--chaos", action="store_true",
+                       help="enable deliberate-failure ops (testing)")
+    _add_obs_flags(serve)
+    serve.set_defaults(func=_cmd_serve, obs_managed=True)
+
+    client = sub.add_parser("client",
+                            help="send one request to a running daemon")
+    client.add_argument("op", choices=("ping", "run", "routines", "disasm",
+                                       "instrument", "verify", "stats",
+                                       "shutdown"))
+    client.add_argument("--socket", default=None, metavar="PATH")
+    client.add_argument("--workload", default=None)
+    client.add_argument("--image", default=None, metavar="PATH",
+                        help="send this .eelf file as the request image")
+    client.add_argument("--tool", choices=("qpt", "sfi", "elsie",
+                                           "active_memory"), default="qpt")
+    client.add_argument("--mode", choices=("block", "edge"), default="edge")
+    client.add_argument("--run", action="store_true",
+                        help="run the edited image after instrumenting")
+    client.add_argument("--stdin", default="")
+    client.add_argument("--timeout", type=float, default=120.0,
+                        help="client-side I/O timeout (seconds)")
+    client.add_argument("--retries", type=int, default=5,
+                        help="max retries on overloaded/timeout responses")
+    client.set_defaults(func=_cmd_client)
 
     args = parser.parse_args(argv)
     if getattr(args, "obs_managed", False):

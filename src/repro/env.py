@@ -1,0 +1,62 @@
+"""Defensive environment-variable parsing shared across subsystems.
+
+Configuration knobs (``REPRO_CACHE_MAX``, the ``REPRO_SERVE_*``
+family) arrive as strings from whatever shell or service manager
+launched the process.  A malformed value must never crash an entry
+point — the contract here is: parse strictly, and on any failure fall
+back to the documented default with a one-line warning on stderr
+(warned once per variable per process, so a daemon does not spam).
+"""
+
+import os
+import sys
+
+_WARNED = set()
+
+
+def _warn(name, raw, default):
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    print("repro: ignoring invalid %s=%r (using default %s)"
+          % (name, raw, default), file=sys.stderr)
+
+
+def env_int(name, default, minimum=None):
+    """Integer value of ``$name``, or *default* on absence/garbage.
+
+    Values below *minimum* (when given) count as garbage: a negative
+    queue bound or worker count is a configuration error, not a mode.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        if raw is not None:
+            _warn(name, raw, default)
+        return default
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        _warn(name, raw, default)
+        return default
+    if minimum is not None and value < minimum:
+        _warn(name, raw, default)
+        return default
+    return value
+
+
+def env_float(name, default, minimum=None):
+    """Float value of ``$name`` with the same fallback contract."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        if raw is not None:
+            _warn(name, raw, default)
+        return default
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        _warn(name, raw, default)
+        return default
+    if value != value or minimum is not None and value < minimum:
+        _warn(name, raw, default)
+        return default
+    return value

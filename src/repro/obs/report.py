@@ -15,7 +15,9 @@ Schema ``repro.obs/1``::
       "histograms": { name: {count, sum, min, max, mean} },
       "derived": { name: value },     # ratios computed from counters
       "cache": { enabled, dir, hits, misses, stores, invalidations,
-                 evictions, hit_rate }   # analysis-cache state
+                 evictions, hit_rate },  # analysis-cache state
+      "serve": { requests, ok, errors, rejected, timeouts, retries,
+                 coalesced, degraded, worker_deaths, ok_rate }
     }
 
 Benchmark results use schema ``repro.obs.bench/1``::
@@ -36,8 +38,17 @@ from repro.obs import metrics, trace
 # even before the cache package loads; otherwise consecutive reports in
 # one process could disagree on the counter key set.
 for _name in ("hits", "misses", "stores", "invalidations", "evictions",
-              "store_errors", "restored_cfgs", "parallel_fallbacks"):
+              "store_errors", "restored_cfgs", "parallel_fallbacks",
+              "memory_hits", "prune_races", "parallel_suppressed"):
     metrics.counter("cache." + _name)
+
+# And the serve daemon: a drained daemon flushes these through
+# --stats-json, and a report taken in a process that never served
+# still carries the full, zero-valued key set.
+for _name in ("requests", "responses.ok", "responses.error",
+              "rejected.queue_full", "rejected.draining", "timeouts",
+              "retries", "coalesced", "degraded", "worker_deaths"):
+    metrics.counter("serve." + _name)
 
 # Same for the verify subsystem: lints, cosimulation, and verdict
 # memoization report through these whether or not a verify ever runs.
@@ -108,6 +119,26 @@ def cache_section(counters):
     }
 
 
+def serve_section(counters):
+    """Edit-serving daemon state: admission, outcomes, resilience."""
+    requests = counters.get("serve.requests", 0)
+    ok = counters.get("serve.responses.ok", 0)
+    rejected = (counters.get("serve.rejected.queue_full", 0)
+                + counters.get("serve.rejected.draining", 0))
+    return {
+        "requests": requests,
+        "ok": ok,
+        "errors": counters.get("serve.responses.error", 0),
+        "rejected": rejected,
+        "timeouts": counters.get("serve.timeouts", 0),
+        "retries": counters.get("serve.retries", 0),
+        "coalesced": counters.get("serve.coalesced", 0),
+        "degraded": counters.get("serve.degraded", 0),
+        "worker_deaths": counters.get("serve.worker_deaths", 0),
+        "ok_rate": _ratio(ok, requests),
+    }
+
+
 def build_report():
     """Snapshot the tracer and metrics registry as one JSON-ready dict."""
     snap = metrics.snapshot()
@@ -119,6 +150,7 @@ def build_report():
         "histograms": snap["histograms"],
         "derived": derived_metrics(snap["counters"]),
         "cache": cache_section(snap["counters"]),
+        "serve": serve_section(snap["counters"]),
     }
 
 

@@ -14,6 +14,7 @@ arbitrary per-span attributes.  The finished forest is exported by
 :mod:`repro.obs.report` in a stable JSON schema.
 """
 
+import threading
 from time import perf_counter
 
 
@@ -88,7 +89,19 @@ class Tracer:
     def __init__(self):
         self.enabled = False
         self.roots = []
-        self._stack = []
+        # The open-span stack is per thread: the serve daemon records
+        # spans from many worker threads at once, and a shared stack
+        # would interleave their hierarchies (and strand entries, since
+        # __exit__ only pops its own span).  Each thread's outermost
+        # spans root in the shared forest; appends are GIL-atomic.
+        self._tls = threading.local()
+
+    @property
+    def _stack(self):
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
 
     def span(self, name, **attrs):
         if not self.enabled:
@@ -104,7 +117,7 @@ class Tracer:
     def reset(self):
         """Drop all recorded spans (keeps the enabled flag)."""
         self.roots = []
-        self._stack = []
+        self._tls = threading.local()
 
     def tree(self):
         """The completed span forest as plain dicts."""

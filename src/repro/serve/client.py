@@ -1,0 +1,149 @@
+"""Client side of the serve protocol: one connection, sync requests.
+
+``ServeClient`` keeps a persistent connection and issues one request
+at a time (concurrency comes from multiple clients/connections, which
+is how the daemon's admission queue is meant to be exercised).  The
+client honors the daemon's backpressure contract: ``overloaded`` and
+``timeout`` errors carry ``retry_after`` and are retried with that
+delay up to a bounded attempt count; everything else raises
+:class:`ServeError` immediately.
+"""
+
+import itertools
+import socket
+import time
+
+from repro.serve.config import ServeConfig, default_socket_path
+from repro.serve.protocol import (
+    RETRYABLE,
+    LineReader,
+    ProtocolError,
+    encode,
+)
+
+
+class ServeError(Exception):
+    """A request failed with a daemon-reported error."""
+
+    def __init__(self, code, message, retry_after=None):
+        super().__init__("%s: %s" % (code, message))
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Line-protocol client for a running edit daemon."""
+
+    def __init__(self, socket_path=None, connect_timeout=5.0,
+                 io_timeout=120.0, retries=5, max_retry_after=2.0):
+        self.socket_path = socket_path or default_socket_path()
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+        self.retries = retries
+        self.max_retry_after = max_retry_after
+        self._ids = itertools.count(1)
+        self._sock = None
+        self._reader = None
+
+    # ------------------------------------------------------------------
+    def connect(self):
+        if self._sock is not None:
+            return self
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.connect_timeout)
+        sock.connect(self.socket_path)
+        sock.settimeout(self.io_timeout)
+        self._sock = sock
+        self._reader = LineReader(sock)
+        return self
+
+    def close(self):
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._reader = None
+
+    def __enter__(self):
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    def request(self, op, **params):
+        """Result dict of *op*; retries backpressure, raises ServeError."""
+        attempt = 0
+        while True:
+            response = self._roundtrip(op, params)
+            if response.get("ok"):
+                return response.get("result")
+            error = response.get("error") or {}
+            code = error.get("code", "internal")
+            retry_after = response.get("retry_after")
+            if code in RETRYABLE and attempt < self.retries:
+                attempt += 1
+                delay = min(retry_after if retry_after is not None else 0.1,
+                            self.max_retry_after)
+                time.sleep(delay)
+                continue
+            raise ServeError(code, error.get("message", "request failed"),
+                             retry_after)
+
+    def _roundtrip(self, op, params):
+        self.connect()
+        request_id = next(self._ids)
+        message = {"id": request_id, "op": op}
+        message.update(params)
+        self._sock.sendall(encode(message))
+        while True:
+            response = self._reader.next_message()
+            if response is None:
+                raise ServeError("connection_closed",
+                                 "daemon closed the connection mid-request")
+            if response.get("id") in (request_id, None):
+                return response
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers (the ops the CLI and tests speak)
+    # ------------------------------------------------------------------
+
+    def ping(self):
+        return self.request("ping")
+
+    def run_workload(self, workload, stdin="", **params):
+        return self.request("run", workload=workload, stdin=stdin, **params)
+
+    def stats(self):
+        return self.request("stats")
+
+    def shutdown(self):
+        return self.request("shutdown")
+
+
+def daemon_running(socket_path=None, timeout=1.0):
+    """True when a daemon answers a ping at *socket_path*."""
+    client = ServeClient(socket_path, connect_timeout=timeout,
+                         io_timeout=timeout, retries=0)
+    try:
+        with client:
+            return bool(client.ping().get("pong"))
+    except (OSError, ServeError, ProtocolError):
+        return False
+
+
+def wait_for_daemon(socket_path=None, timeout=20.0, interval=0.05):
+    """Poll until a daemon answers; True on success within *timeout*."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if daemon_running(socket_path, timeout=1.0):
+            return True
+        time.sleep(interval)
+    return False
+
+
+__all__ = ["ServeClient", "ServeError", "ServeConfig", "daemon_running",
+           "wait_for_daemon"]

@@ -1,0 +1,465 @@
+"""The edit server: admission, workers, drain, and degradation.
+
+Concurrency model — one thread per accepted connection parses requests
+and waits for their results; a bounded :class:`queue.Queue` is the
+admission queue (its bound *is* the backpressure: a full queue turns
+into an ``overloaded`` response with ``retry_after``, never into
+unbounded growth); ``jobs`` worker threads execute requests with
+bounded retry-with-backoff for transient failures.  A worker killed by
+:class:`~repro.serve.ops.WorkerDeath` is replaced from a finite
+restart budget; once the budget is spent and no normal worker
+survives, a single immortal fallback worker serves the queue serially
+— degraded, but never dark.
+
+The daemon process itself stays single-address-space: analysis fan-out
+pools are suppressed (forking from a threaded parent can deadlock the
+children) and the cache's in-memory warm layer is enabled, so all
+requests share one warm analysis state under one lock discipline.
+"""
+
+import os
+import queue
+import socket
+import sys
+import threading
+import time
+
+from repro.obs import metrics as _metrics
+from repro.serve import ops, protocol
+from repro.serve.config import ServeConfig
+
+_C_REQUESTS = _metrics.counter("serve.requests")
+_C_OK = _metrics.counter("serve.responses.ok")
+_C_ERRORS = _metrics.counter("serve.responses.error")
+_C_QUEUE_FULL = _metrics.counter("serve.rejected.queue_full")
+_C_DRAINING = _metrics.counter("serve.rejected.draining")
+_C_TIMEOUTS = _metrics.counter("serve.timeouts")
+_C_RETRIES = _metrics.counter("serve.retries")
+_C_DEGRADED = _metrics.counter("serve.degraded")
+_C_DEATHS = _metrics.counter("serve.worker_deaths")
+
+_STOP = object()  # queue sentinel: worker exits cleanly
+
+
+class _Job:
+    """One admitted request travelling from connection to worker."""
+
+    __slots__ = ("id", "op", "params", "attempts", "done", "response",
+                 "abandoned")
+
+    def __init__(self, request_id, op, params):
+        self.id = request_id
+        self.op = op
+        self.params = params
+        self.attempts = 0
+        self.done = threading.Event()
+        self.response = None
+        self.abandoned = False  # requester gave up (timeout); drop result
+
+    def finish(self, response):
+        self.response = response
+        self.done.set()
+
+
+class EditServer:
+    """Long-lived server over a Unix stream socket.
+
+    Lifecycle: ``start()`` binds and spawns threads; ``request_drain()``
+    (SIGTERM, the ``shutdown`` op, or a test) begins graceful shutdown;
+    ``wait_drained()`` blocks until in-flight work finished and every
+    worker exited.
+    """
+
+    def __init__(self, config=None):
+        self.config = config or ServeConfig()
+        self.started_at = None
+        self._listener = None
+        self._queue = queue.Queue(maxsize=self.config.queue_size)
+        self._lock = threading.Lock()
+        self._threads = []            # acceptor + drainer (joinable)
+        self._workers = {}            # thread -> True while alive
+        self._restarts_used = 0
+        self._fallback_started = False
+        self._in_flight = 0
+        self._inflight_zero = threading.Condition(self._lock)
+        self._coalesce_lock = threading.Lock()
+        self._coalescing = {}         # key -> Event of the leading request
+        self._chaos_lock = threading.Lock()
+        self._chaos_counts = {}
+        self._drain_requested = threading.Event()
+        self.drained = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self):
+        """Bind the socket, warm the caches, spawn the thread pool."""
+        from repro.cache import enable_memory_layer
+        from repro.cache.parallel import suppress_pools
+
+        enable_memory_layer(self.config.warm_cap)
+        suppress_pools()
+        path = self.config.socket_path
+        if os.path.exists(path):
+            os.unlink(path)  # stale socket from a killed daemon
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(path)
+        self._listener.listen(64)
+        self._listener.settimeout(0.2)
+        self.started_at = time.monotonic()
+        for _ in range(self.config.jobs):
+            self._spawn_worker()
+        for target, name in ((self._accept_loop, "serve-accept"),
+                             (self._drain_loop, "serve-drain")):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def request_drain(self):
+        """Begin graceful shutdown (idempotent, signal-safe)."""
+        self._drain_requested.set()
+
+    def wait_drained(self, timeout=None):
+        return self.drained.wait(timeout)
+
+    def describe(self):
+        with self._lock:
+            alive = len(self._workers)
+            degraded = self._fallback_started
+        return {
+            "pid": os.getpid(),
+            "socket": self.config.socket_path,
+            "jobs": self.config.jobs,
+            "workers_alive": alive,
+            "degraded": degraded,
+            "draining": self._drain_requested.is_set(),
+            "queue_depth": self._queue.qsize(),
+            "uptime_s": time.monotonic() - self.started_at
+            if self.started_at is not None else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Shared warm-state helpers (used by ops)
+    # ------------------------------------------------------------------
+
+    def coalesce(self, key, fn):
+        """Run *fn* once per concurrent burst of *key*.
+
+        The first requester becomes the leader and computes; everyone
+        arriving while the leader runs waits, then recomputes against
+        the warm state the leader left (memoized verdicts, in-memory
+        summaries), which is the cheap path.  Leader failure just
+        releases the waiters to try themselves.
+        """
+        with self._coalesce_lock:
+            event = self._coalescing.get(key)
+            if event is None:
+                self._coalescing[key] = event = threading.Event()
+                leader = True
+            else:
+                leader = False
+        if leader:
+            try:
+                return fn()
+            finally:
+                with self._coalesce_lock:
+                    self._coalescing.pop(key, None)
+                event.set()
+        ops._C_COALESCED.inc()
+        event.wait(self.config.timeout_s)
+        return fn()
+
+    def chaos_attempts(self, key):
+        with self._chaos_lock:
+            self._chaos_counts[key] = self._chaos_counts.get(key, 0) + 1
+            return self._chaos_counts[key]
+
+    # ------------------------------------------------------------------
+    # Accept / connection handling
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self):
+        while not self._drain_requested.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed underneath us
+            thread = threading.Thread(target=self._serve_connection,
+                                      args=(conn,), daemon=True)
+            thread.start()
+
+    def _serve_connection(self, conn):
+        reader = protocol.LineReader(conn)
+        try:
+            while True:
+                try:
+                    message = reader.next_message()
+                except protocol.ProtocolError as error:
+                    conn.sendall(protocol.encode(protocol.error_response(
+                        None, protocol.E_BAD_REQUEST, str(error))))
+                    return
+                if message is None:
+                    return
+                response = self._handle_request(message)
+                if response is not None:
+                    conn.sendall(protocol.encode(response))
+        except OSError:
+            pass  # peer went away; nothing to tell it
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle_request(self, message):
+        request_id = message.get("id")
+        op = message.get("op")
+        _C_REQUESTS.inc()
+        if not isinstance(op, str):
+            _C_ERRORS.inc()
+            return protocol.error_response(request_id,
+                                           protocol.E_BAD_REQUEST,
+                                           "request needs a string 'op'")
+        if op == "shutdown":
+            self.request_drain()
+            _C_OK.inc()
+            return protocol.ok_response(request_id, {"draining": True})
+        if self._drain_requested.is_set():
+            _C_DRAINING.inc()
+            return protocol.error_response(request_id, protocol.E_DRAINING,
+                                           "daemon is draining")
+        params = {key: value for key, value in message.items()
+                  if key not in ("id", "op")}
+        job = _Job(request_id, op, params)
+        # Count the job in flight *before* it is visible to workers: a
+        # worker finishing it instantly must never see the count at 0.
+        with self._lock:
+            self._in_flight += 1
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            self._job_finished(job)
+            _C_QUEUE_FULL.inc()
+            return protocol.error_response(
+                request_id, protocol.E_OVERLOADED,
+                "admission queue is full (%d waiting)"
+                % self.config.queue_size,
+                retry_after=self.config.retry_after_s)
+        if not job.done.wait(self.config.timeout_s):
+            job.abandoned = True
+            _C_TIMEOUTS.inc()
+            return protocol.error_response(
+                request_id, protocol.E_TIMEOUT,
+                "request exceeded %.1fs" % self.config.timeout_s,
+                retry_after=self.config.retry_after_s)
+        return job.response
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    def _spawn_worker(self, fallback=False):
+        name = "serve-fallback" if fallback else \
+            "serve-worker-%d" % len(self._workers)
+        thread = threading.Thread(
+            target=self._fallback_loop if fallback else self._worker_loop,
+            name=name, daemon=True)
+        with self._lock:
+            self._workers[thread] = True
+        thread.start()
+        return thread
+
+    def _worker_loop(self):
+        while True:
+            job = self._queue.get()
+            if job is _STOP:
+                self._remove_worker()
+                return
+            try:
+                self._execute(job)
+                self._job_finished(job)
+            except ops.WorkerDeath as death:
+                _C_DEATHS.inc()
+                self._reschedule_after_death(job, death)
+                self._remove_worker()
+                self._replace_worker()
+                return
+
+    def _fallback_loop(self):
+        """Serial in-process execution once the pool is unhealthy.
+
+        Catches WorkerDeath instead of dying: with the restart budget
+        spent, staying alive serially beats going dark.
+        """
+        while True:
+            job = self._queue.get()
+            if job is _STOP:
+                self._remove_worker()
+                return
+            _C_DEGRADED.inc()
+            try:
+                self._execute(job)
+            except ops.WorkerDeath as death:
+                _C_DEATHS.inc()
+                job.finish(protocol.error_response(
+                    job.id, protocol.E_INTERNAL,
+                    "worker death in degraded mode: %s" % death))
+                _C_ERRORS.inc()
+            self._job_finished(job)
+
+    def _execute(self, job):
+        """Run one job to a response, retrying transient failures."""
+        if job.abandoned:
+            job.finish(None)
+            return
+        while True:
+            try:
+                result = ops.dispatch(self, job.op, job.params)
+            except ops.OpError as error:
+                _C_ERRORS.inc()
+                job.finish(protocol.error_response(job.id, error.code,
+                                                   error.message))
+                return
+            except ops.TransientOpError as error:
+                if job.attempts < self.config.retries:
+                    job.attempts += 1
+                    _C_RETRIES.inc()
+                    time.sleep(self.config.backoff_for(job.attempts))
+                    continue
+                _C_ERRORS.inc()
+                job.finish(protocol.error_response(
+                    job.id, protocol.E_INTERNAL,
+                    "retries exhausted: %s" % error))
+                return
+            _C_OK.inc()
+            job.finish(protocol.ok_response(job.id, result))
+            return
+
+    def _reschedule_after_death(self, job, death):
+        """Worker death mid-job is transient: requeue within budget."""
+        if job.attempts < self.config.retries:
+            job.attempts += 1
+            _C_RETRIES.inc()
+            try:
+                self._queue.put_nowait(job)
+                return  # stays in flight; a surviving worker picks it up
+            except queue.Full:
+                pass
+        _C_ERRORS.inc()
+        job.finish(protocol.error_response(
+            job.id, protocol.E_INTERNAL, "worker died: %s" % death))
+        self._job_finished(job)
+
+    def _job_finished(self, job):
+        if not job.done.is_set():
+            job.finish(None)
+        with self._lock:
+            self._in_flight -= 1
+            if self._in_flight <= 0:
+                self._inflight_zero.notify_all()
+
+    def _remove_worker(self):
+        with self._lock:
+            self._workers.pop(threading.current_thread(), None)
+
+    def _replace_worker(self):
+        with self._lock:
+            if self._restarts_used < self.config.restarts:
+                self._restarts_used += 1
+                fallback = False
+            elif not self._workers and not self._fallback_started:
+                self._fallback_started = True
+                fallback = True
+            else:
+                return  # budget spent; surviving workers carry the load
+        self._spawn_worker(fallback=fallback)
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+
+    def _drain_loop(self):
+        self._drain_requested.wait()
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        # 1. Stop accepting: the accept loop exits on the drain flag;
+        #    closing the listener unblocks it immediately.
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        # 2. Finish in-flight work (admitted jobs; open connections are
+        #    already getting 'draining' rejections for anything new).
+        with self._lock:
+            while self._in_flight > 0 and time.monotonic() < deadline:
+                self._inflight_zero.wait(timeout=0.1)
+        # 3. Dismiss workers and join them: no orphans.
+        with self._lock:
+            workers = list(self._workers)
+        for _ in workers:
+            try:
+                self._queue.put(_STOP, timeout=1.0)
+            except queue.Full:
+                break
+        for thread in workers:
+            thread.join(max(0.1, deadline - time.monotonic()))
+        try:
+            os.unlink(self.config.socket_path)
+        except OSError:
+            pass
+        self.drained.set()
+
+
+# ----------------------------------------------------------------------
+# CLI entry point
+# ----------------------------------------------------------------------
+
+def serve_main(config, stats_json=None, trace=False):
+    """Run a daemon in the foreground until SIGTERM/SIGINT/shutdown.
+
+    On drain the full ``repro.obs`` report — ``serve.*`` counters and,
+    when tracing, the span forest — is flushed to *stats_json* and a
+    one-line summary goes to stderr.  Returns the process exit code.
+    """
+    import json
+    import signal
+
+    from repro import obs
+    from repro.obs import report as obs_report
+
+    if stats_json or trace:
+        obs.enable()
+    server = EditServer(config).start()
+    print("repro-serve: listening on %s (%d workers, queue %d, pid %d)"
+          % (config.socket_path, config.jobs, config.queue_size,
+             os.getpid()), file=sys.stderr, flush=True)
+
+    def _request_drain(_signum=None, _frame=None):
+        server.request_drain()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _request_drain)
+        except ValueError:
+            pass  # not the main thread (embedded use)
+    # Chunked waits keep the main thread responsive to signals.
+    while not server.wait_drained(timeout=0.2):
+        pass
+    obs.disable()
+    report = obs_report.build_report()
+    if stats_json:
+        with open(stats_json, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if trace:
+        obs_report.render(report)
+    serve = report["serve"]
+    print("repro-serve: drained cleanly (%d requests: %d ok, %d errors, "
+          "%d rejected, %d timeouts)"
+          % (serve["requests"], serve["ok"], serve["errors"],
+             serve["rejected"], serve["timeouts"]),
+          file=sys.stderr, flush=True)
+    return 0

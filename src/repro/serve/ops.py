@@ -1,0 +1,279 @@
+"""Request handlers: what the daemon can do, dispatched by op name.
+
+Handlers take ``(server, params)`` and return a JSON-ready result
+dict.  Client mistakes raise :class:`OpError` (mapped to an error
+response, never retried); infrastructure hiccups raise
+:class:`TransientOpError` (retried by the worker with backoff);
+:class:`WorkerDeath` kills the executing worker thread — it exists so
+the chaos op and the tests can exercise the restart/degradation path,
+and so a genuinely fatal handler bug takes out one worker rather than
+wedging it.
+
+Requests reference executables either by ``workload`` name (built
+through the in-process corpus, warm after first use) or by ``image``
+— a base64 serialized image.  Either way the daemon coalesces
+concurrent analyses of the same *content*: requests racing on one
+content hash produce a single cold analysis, and the losers restore
+from the warm summary it leaves behind.
+"""
+
+import base64
+import time
+
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
+from repro.serve.protocol import (
+    E_BAD_REQUEST,
+    E_INTERNAL,
+    E_UNAVAILABLE,
+    E_UNKNOWN_OP,
+    PROTOCOL,
+)
+
+_C_COALESCED = _metrics.counter("serve.coalesced")
+
+
+class OpError(Exception):
+    """Client-visible request failure (not retried)."""
+
+    def __init__(self, code, message):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+class TransientOpError(Exception):
+    """Infrastructure failure worth retrying with backoff."""
+
+
+class WorkerDeath(Exception):
+    """Kills the executing worker thread (restart/degrade path)."""
+
+
+# ----------------------------------------------------------------------
+# Request inputs
+# ----------------------------------------------------------------------
+
+def _workload_image(name):
+    from repro.workloads import builder
+
+    if name in builder.mips_program_names():
+        return builder.build_mips_image(name)
+    if name in builder.program_names():
+        return builder.build_image(name)
+    raise OpError(E_BAD_REQUEST, "unknown workload %r" % (name,))
+
+
+def _resolve_image(params):
+    """The Image a request names, via workload or inline base64."""
+    name = params.get("workload")
+    if name is not None:
+        return _workload_image(name)
+    blob = params.get("image")
+    if blob is not None:
+        from repro.binfmt.serialize import FormatError, image_from_bytes
+
+        try:
+            return image_from_bytes(base64.b64decode(blob, validate=True))
+        except (ValueError, FormatError) as error:
+            raise OpError(E_BAD_REQUEST, "bad image payload: %s" % error)
+    raise OpError(E_BAD_REQUEST, "request needs 'workload' or 'image'")
+
+
+def _analyzed(server, image):
+    """An analyzed Executable for *image*, coalescing cold analyses.
+
+    The leader for a content hash performs the one real analysis
+    (which also populates the cache's in-memory warm layer); every
+    concurrent loser waits, then restores from the warm summary into
+    its own private Executable — requests never share mutable
+    analysis state.
+    """
+    from repro.cache import image_cache_key
+    from repro.core import Executable
+
+    key = image_cache_key(image)
+    return server.coalesce("analysis:" + key,
+                           lambda: Executable(image).read_contents())
+
+
+def _encode_image(image):
+    from repro.binfmt.serialize import image_to_bytes
+
+    return base64.b64encode(image_to_bytes(image)).decode("ascii")
+
+
+# ----------------------------------------------------------------------
+# Handlers
+# ----------------------------------------------------------------------
+
+def _op_ping(server, params):
+    import os
+
+    return {"pong": True, "protocol": PROTOCOL, "pid": os.getpid()}
+
+
+def _op_routines(server, params):
+    exe = _analyzed(server, _resolve_image(params))
+    rows = []
+    for routine in sorted(exe.all_routines(), key=lambda r: r.start):
+        cfg = routine.control_flow_graph()
+        rows.append({
+            "name": routine.name,
+            "start": routine.start,
+            "end": routine.end,
+            "hidden": routine.hidden,
+            "blocks": len(cfg.blocks),
+            "edges": len(cfg.all_edges()),
+        })
+    return {"routines": rows}
+
+
+def _op_disasm(server, params):
+    from repro.asm.disassembler import disassemble_section
+
+    image = _resolve_image(params)
+    annotations = {}
+    try:
+        exe = _analyzed(server, image)
+        for routine in exe.all_routines():
+            annotations[routine.start] = "; routine %s%s" % (
+                routine.name, " (hidden)" if routine.hidden else "")
+    except Exception:
+        annotations = {}  # disassembly survives unanalyzable images
+    lines = []
+    for name, section in image.sections.items():
+        if section.is_exec:
+            lines.append("section %s @ 0x%x" % (name, section.vaddr))
+            lines.extend(disassemble_section(image, name,
+                                             annotations=annotations))
+    return {"lines": lines}
+
+
+def _run_simulation(image, params, configure=None):
+    from repro.sim.machine import SimulationError, Simulator
+
+    simulator = Simulator(image, stdin_text=params.get("stdin", ""),
+                          max_steps=int(params.get("max_steps",
+                                                   50_000_000)))
+    if configure is not None:
+        configure(simulator)
+    try:
+        simulator.run()
+    except SimulationError as error:
+        return {"output": simulator.output, "exit_code": None,
+                "instructions": simulator.instructions_executed,
+                "simulation_error": str(error)}
+    return {"output": simulator.output, "exit_code": simulator.exit_code,
+            "instructions": simulator.instructions_executed}
+
+
+def _op_run(server, params):
+    return _run_simulation(_resolve_image(params), params)
+
+
+def _op_instrument(server, params):
+    from repro.tools import instrument_image, tool_names
+
+    tool = params.get("tool", "qpt")
+    if tool not in tool_names():
+        raise OpError(E_BAD_REQUEST, "unknown tool %r (have: %s)"
+                      % (tool, ", ".join(tool_names())))
+    image = _resolve_image(params)
+    _analyzed(server, image)  # coalesce the cold analysis across requests
+    try:
+        session = instrument_image(
+            image, tool, mode=params.get("mode", "edge"),
+            cache_size=int(params.get("cache_size", 8192)))
+    except ValueError as error:
+        raise OpError(E_BAD_REQUEST, str(error))
+    result = {"tool": tool}
+    if params.get("return_image", True):
+        result["edited_image"] = _encode_image(session.edited_image)
+    if params.get("run"):
+        result["run"] = _run_simulation(session.edited_image, params,
+                                        configure=session.configure_edited)
+    return result
+
+
+def _op_verify(server, params):
+    from repro.verify import TOOLS, corpus_names, verify_workload
+
+    name = params.get("workload")
+    tool = params.get("tool", "qpt")
+    mode = params.get("mode", "edge")
+    if name not in corpus_names():
+        raise OpError(E_BAD_REQUEST, "unknown workload %r" % (name,))
+    if tool not in TOOLS:
+        raise OpError(E_BAD_REQUEST, "unknown tool %r" % (tool,))
+    # Identical concurrent verifies coalesce: the leader runs the full
+    # lints+cosim pass (memoizing a clean verdict), losers re-check and
+    # land on the warm verdict.
+    def _verify():
+        result = verify_workload(name, tool=tool, mode=mode,
+                                 stdin_text=params.get("stdin", ""),
+                                 use_memo=params.get("use_memo", True))
+        return {"ok": result.ok, "memoized": result.memoized,
+                "text": result.render()}
+
+    return server.coalesce("verify:%s:%s:%s" % (name, tool, mode), _verify)
+
+
+def _op_stats(server, params):
+    from repro.obs import report as obs_report
+
+    return {"report": obs_report.build_report(),
+            "server": server.describe()}
+
+
+def _op_chaos(server, params):
+    """Deliberate failures for the lifecycle tests (config-gated)."""
+    if not server.config.chaos:
+        raise OpError(E_UNAVAILABLE, "chaos ops are disabled "
+                                     "(set REPRO_SERVE_CHAOS=1)")
+    kind = params.get("kind")
+    if kind == "sleep":
+        seconds = float(params.get("seconds", 0.1))
+        time.sleep(seconds)
+        return {"slept": seconds}
+    if kind == "die":
+        raise WorkerDeath("chaos-requested worker death")
+    if kind == "flaky":
+        fails = int(params.get("fails", 1))
+        attempts = server.chaos_attempts(params.get("key", "flaky"))
+        if attempts <= fails:
+            raise TransientOpError("chaos flake %d/%d" % (attempts, fails))
+        return {"attempts": attempts}
+    raise OpError(E_BAD_REQUEST, "unknown chaos kind %r" % (kind,))
+
+
+HANDLERS = {
+    "ping": _op_ping,
+    "routines": _op_routines,
+    "disasm": _op_disasm,
+    "run": _op_run,
+    "instrument": _op_instrument,
+    "verify": _op_verify,
+    "stats": _op_stats,
+    "chaos": _op_chaos,
+}
+
+
+def dispatch(server, op, params):
+    """Execute *op*; the worker's single entry point."""
+    handler = HANDLERS.get(op)
+    if handler is None:
+        raise OpError(E_UNKNOWN_OP, "unknown op %r (have: %s)"
+                      % (op, ", ".join(sorted(HANDLERS))))
+    with _span("serve.op", op=op):
+        try:
+            return handler(server, params)
+        except (OpError, TransientOpError, WorkerDeath):
+            raise
+        except OSError as error:
+            # Cache-directory races and other filesystem flakes are the
+            # canonical transient class; a clean retry usually lands.
+            raise TransientOpError("transient I/O failure: %s" % error)
+        except Exception as error:
+            raise OpError(E_INTERNAL, "%s: %s"
+                          % (type(error).__name__, error))

@@ -1,0 +1,95 @@
+"""Wire format: line-delimited JSON over a local stream socket.
+
+One request object per line, one response object per line, UTF-8,
+``\\n``-terminated.  Requests carry a client-chosen ``id`` that the
+matching response echoes, an ``op`` name, and op-specific parameters;
+responses are either::
+
+    {"id": ..., "ok": true,  "result": {...}}
+    {"id": ..., "ok": false, "error": {"code": "...", "message": "..."},
+     "retry_after": seconds?}
+
+``retry_after`` appears only on errors worth retrying (``overloaded``,
+``timeout``): it is the daemon telling the client when the attempt is
+likely to succeed.  Lines are capped at :data:`MAX_LINE` bytes so a
+corrupt or hostile peer cannot grow a read buffer without bound.
+"""
+
+import json
+
+PROTOCOL = "repro.serve/1"
+MAX_LINE = 32 << 20  # images travel base64-encoded inside one line
+
+# Error codes (the failure-semantics vocabulary in README "Serving").
+E_BAD_REQUEST = "bad_request"    # unparseable or malformed request
+E_UNKNOWN_OP = "unknown_op"      # op name not in the registry
+E_OVERLOADED = "overloaded"      # admission queue full; retry later
+E_DRAINING = "draining"          # daemon shutting down; do not retry
+E_TIMEOUT = "timeout"            # per-request deadline expired
+E_UNAVAILABLE = "unavailable"    # op needs state the daemon lacks
+E_INTERNAL = "internal"          # handler raised; retries exhausted
+
+RETRYABLE = (E_OVERLOADED, E_TIMEOUT)
+
+
+class ProtocolError(Exception):
+    """The byte stream violated the framing contract."""
+
+
+def encode(message):
+    """One wire line (bytes, newline-terminated) for *message*."""
+    return json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def ok_response(request_id, result):
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id, code, message, retry_after=None):
+    response = {"id": request_id, "ok": False,
+                "error": {"code": code, "message": message}}
+    if retry_after is not None:
+        response["retry_after"] = retry_after
+    return response
+
+
+class LineReader:
+    """Incremental reader turning a socket into parsed JSON messages."""
+
+    def __init__(self, sock, max_line=MAX_LINE):
+        self._sock = sock
+        self._max_line = max_line
+        self._buffer = b""
+        self._eof = False
+
+    def next_message(self):
+        """The next decoded message, or None at end of stream.
+
+        Raises :class:`ProtocolError` on oversized lines or JSON that
+        does not decode to an object.
+        """
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = self._buffer[:newline]
+                self._buffer = self._buffer[newline + 1:]
+                if not line.strip():
+                    continue
+                try:
+                    message = json.loads(line.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError) as error:
+                    raise ProtocolError("undecodable line: %s" % error)
+                if not isinstance(message, dict):
+                    raise ProtocolError("message is not an object")
+                return message
+            if self._eof:
+                if self._buffer.strip():
+                    raise ProtocolError("stream ended mid-line")
+                return None
+            if len(self._buffer) > self._max_line:
+                raise ProtocolError("line exceeds %d bytes" % self._max_line)
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                self._eof = True
+            else:
+                self._buffer += chunk

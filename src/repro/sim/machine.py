@@ -75,6 +75,13 @@ class Simulator:
             )
         self.max_steps = max_steps
         self.instructions_executed = 0
+        # High-water marks of what _record_telemetry already merged into
+        # the process-wide counters (the simulator's own totals stay
+        # cumulative; the registry only ever receives deltas).
+        self._reported_instructions = 0
+        self._reported_compiles = 0
+        self._reported_evictions = 0
+        self._reported_categories = {}
         self.count_pcs = count_pcs
         self.pc_counts = {}
         self.mem_hook = mem_hook
@@ -121,21 +128,38 @@ class Simulator:
         raise SimulationTimeout(self.cpu.pc, self.max_steps)
 
     def _record_telemetry(self):
-        """Flush per-run flyweight/instruction metrics (once per run)."""
-        executed = self.instructions_executed
+        """Flush flyweight/instruction metrics accrued since last flush.
+
+        ``instructions_executed``, ``compiles``, and ``evictions`` are
+        cumulative over the simulator's lifetime, but a simulator can
+        be flushed more than once — the cosim oracle flushes after its
+        stepping loop, a timed-out run can be resumed and re-run, and
+        the serve daemon reuses nothing but still funnels many runs
+        through one metrics registry.  Merging the raw totals would
+        re-count everything already reported, so only the delta since
+        the previous flush is merged.
+        """
+        executed = self.instructions_executed - self._reported_instructions
         compiles = getattr(self.cpu, "compiles", 0)
+        evictions = getattr(self.cpu, "evictions", 0)
+        compiles_delta = compiles - self._reported_compiles
+        evictions_delta = evictions - self._reported_evictions
+        self._reported_instructions += executed
+        self._reported_compiles = compiles
+        self._reported_evictions = evictions
         _C_RUNS.inc()
         _C_INSTRUCTIONS.inc(executed)
-        _C_FLY_COMPILES.inc(compiles)
-        _C_FLY_MISSES.inc(compiles)
-        _C_FLY_HITS.inc(max(0, executed - compiles))
-        _C_FLY_EVICTIONS.inc(getattr(self.cpu, "evictions", 0))
+        _C_FLY_COMPILES.inc(compiles_delta)
+        _C_FLY_MISSES.inc(compiles_delta)
+        _C_FLY_HITS.inc(max(0, executed - compiles_delta))
+        _C_FLY_EVICTIONS.inc(evictions_delta)
         categories = getattr(self.cpu, "category_counts", None)
         if categories:
             for category, count in categories.items():
-                _metrics.counter(
-                    "sim.category.%s" % category.name.lower()
-                ).inc(count)
+                name = "sim.category.%s" % category.name.lower()
+                reported = self._reported_categories.get(name, 0)
+                self._reported_categories[name] = count
+                _metrics.counter(name).inc(count - reported)
 
 
 def run_image(image, stdin_text="", max_steps=50_000_000, count_pcs=False,
@@ -251,7 +275,11 @@ class _BaseCPU:
         max_steps = simulator.max_steps
         count_pcs = simulator.count_pcs
         pc_counts = simulator.pc_counts
-        categories = self.category_counts = {}
+        # Cumulative across resumed runs, like compiles/evictions: the
+        # telemetry flush merges deltas, so the totals must only grow.
+        categories = self.category_counts
+        if categories is None:
+            categories = self.category_counts = {}
         steps = 0
         while steps < max_steps:
             pc = self.pc

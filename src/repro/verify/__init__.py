@@ -174,29 +174,20 @@ def _workload_image(name):
 
 def instrument_workload(name, tool="qpt", mode="edge", jobs=1):
     """Build *name*, instrument it with *tool*, and return
-    (executable session, edited image, configure_edited hook)."""
-    image, arch = _workload_image(name)
-    if tool == "qpt":
-        from repro.tools.qpt import QptProfiler
+    (executable session, edited image, configure_edited hook).
 
-        profiler = QptProfiler(image, mode=mode, jobs=jobs).run()
-        return profiler.exec, profiler.edited_image(), None
-    if arch != "sparc":
-        raise ValueError("tool %r supports only sparc workloads" % tool)
-    if tool == "sfi":
-        from repro.tools.sfi import Sandboxer
+    Tool dispatch lives in :func:`repro.tools.instrument_image`; this
+    wrapper only resolves the workload name and narrows the error
+    message to the verify vocabulary.
+    """
+    from repro.tools import instrument_image
 
-        sandboxer = Sandboxer(image)
-        sandboxer.instrument()
-        return sandboxer.exec, sandboxer.edited_image(), None
-    if tool == "elsie":
-        from repro.tools.elsie import ElsieSimulatorBuilder
-
-        builder = ElsieSimulatorBuilder(image)
-        builder.instrument()
-        return (builder.exec, builder.edited_image(),
-                builder.configure_simulator)
-    raise ValueError("unknown tool %r (have: %s)" % (tool, ", ".join(TOOLS)))
+    image, _arch = _workload_image(name)
+    if tool not in TOOLS:
+        raise ValueError("unknown tool %r (have: %s)"
+                         % (tool, ", ".join(TOOLS)))
+    session = instrument_image(image, tool, mode=mode, jobs=jobs)
+    return session.executable, session.edited_image, session.configure_edited
 
 
 def verify_workload(name, tool="qpt", mode="edge", stdin_text="",

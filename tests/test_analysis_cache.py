@@ -250,3 +250,92 @@ def test_jobs_flag_reaches_read_contents():
         exe = Executable(build_image("fib")).read_contents(jobs=2)
     assert exe._read
     assert len(list(exe.all_routines())) > 0
+
+
+# ----------------------------------------------------------------------
+# Concurrent pruning, defensive env parsing, and the in-memory layer
+# ----------------------------------------------------------------------
+
+_PRUNE_HAMMER = r"""
+import os, sys
+import repro.cache.store
+store = sys.modules["repro.cache.store"]
+
+directory = os.environ["REPRO_CACHE_DIR"]
+os.makedirs(directory, exist_ok=True)
+for index in range(150):
+    path = os.path.join(directory, "k_%d_%d.eela" % (os.getpid(), index))
+    with open(path, "wb") as handle:
+        handle.write(b"x")
+    store._prune(directory)
+sys.stdout.write("%d %d" % (store._C_ERRORS.value,
+                            store._C_PRUNE_RACES.value))
+"""
+
+
+def test_prune_survives_concurrent_writers(tmp_path):
+    """Two processes creating and pruning in one REPRO_CACHE_DIR race on
+    the same oldest entries; a lost race must read as 'already evicted',
+    never as a store error (regression: concurrent --jobs workers)."""
+    import subprocess
+    import sys
+
+    env = dict(os.environ, REPRO_CACHE_DIR=str(tmp_path),
+               REPRO_CACHE_MAX="2",
+               PYTHONPATH=os.pathsep.join(
+                   filter(None, [os.path.join(os.path.dirname(__file__),
+                                              os.pardir, "src"),
+                                 os.environ.get("PYTHONPATH")])))
+    procs = [subprocess.Popen([sys.executable, "-c", _PRUNE_HAMMER],
+                              env=env, stdout=subprocess.PIPE,
+                              stderr=subprocess.PIPE)
+             for _ in range(2)]
+    for proc in procs:
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err.decode()
+        errors, _races = (int(field) for field in out.split())
+        assert errors == 0, "prune counted a lost race as a store error"
+    remaining = glob.glob(str(tmp_path / "*.eela"))
+    assert len(remaining) <= 2
+
+
+def test_malformed_cache_max_falls_back_with_warning(capsys):
+    from repro import env as repro_env
+
+    for bad in ("1e3", "", "banana", "-5"):
+        with _env(REPRO_CACHE_MAX=bad):
+            repro_env._WARNED.discard("REPRO_CACHE_MAX")
+            assert cache.max_entries() == 512
+    warning = capsys.readouterr().err
+    assert "REPRO_CACHE_MAX" in warning
+    assert "default" in warning
+
+
+def test_malformed_cache_max_does_not_crash_cli(tmp_path, capsys):
+    from repro import cli
+
+    image_path = str(tmp_path / "fib.eelf")
+    assert cli.main(["build", "fib", image_path]) == 0
+    with _env(REPRO_CACHE_MAX="1e3", REPRO_CACHE_DIR=str(tmp_path / "c")):
+        assert cli.main(["routines", image_path]) == 0
+    capsys.readouterr()
+
+
+def test_memory_layer_serves_hits_without_disk(tmp_path):
+    """With the warm layer on (the serve daemon's mode), a second load
+    hits memory even after the on-disk entry disappears."""
+    with _env(REPRO_CACHE="on", REPRO_CACHE_DIR=str(tmp_path)):
+        cache.enable_memory_layer(cap=8)
+        try:
+            exe = Executable(build_image("fib")).read_contents()
+            for path in glob.glob(str(tmp_path / "*.eela")):
+                os.unlink(path)
+            metrics.reset()
+            warm = Executable(build_image("fib")).read_contents()
+            counters = metrics.snapshot()["counters"]
+            assert counters["cache.memory_hits"] == 1
+            assert counters["cache.hits"] == 1
+            assert counters["cache.misses"] == 0
+            assert _analysis_of(warm) == _analysis_of(exe)
+        finally:
+            cache.disable_memory_layer()

@@ -117,12 +117,16 @@ def test_report_schema_stability(tmp_path):
     # Top-level key set is the schema contract: widen deliberately only.
     assert sorted(built) == [
         "cache", "counters", "derived", "gauges", "histograms", "schema",
-        "spans",
+        "serve", "spans",
     ]
     assert built["schema"] == "repro.obs/1"
     assert sorted(built["cache"]) == [
         "dir", "enabled", "evictions", "hit_rate", "hits", "invalidations",
         "misses", "stores",
+    ]
+    assert sorted(built["serve"]) == [
+        "coalesced", "degraded", "errors", "ok", "ok_rate", "rejected",
+        "requests", "retries", "timeouts", "worker_deaths",
     ]
     assert built["derived"]["sim.flyweight.hit_rate"] == 0.9
     assert built["derived"]["indirect.resolved"] == 3

@@ -1,0 +1,420 @@
+"""Edit-serving daemon: protocol, lifecycle, backpressure, resilience.
+
+The in-process tests run a real :class:`EditServer` (real socket, real
+worker threads) against temp-dir sockets; the SIGTERM drain test runs
+the actual ``repro serve`` CLI in a subprocess, because signal-driven
+drain is exactly the part that cannot be faked in-process.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.obs import metrics
+from repro.serve import EditServer, ServeConfig
+from repro.serve.client import ServeClient, ServeError, wait_for_daemon
+from repro.serve import protocol
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def _counter(name):
+    return metrics.counter(name).value
+
+
+@pytest.fixture
+def make_server(tmp_path):
+    """Start real in-process servers; drain them all at teardown."""
+    from repro.cache import disable_memory_layer
+    from repro.cache.parallel import suppress_pools
+
+    started = []
+
+    def _make(**overrides):
+        overrides.setdefault("socket_path",
+                             str(tmp_path / ("s%d.sock" % len(started))))
+        overrides.setdefault("jobs", 2)
+        overrides.setdefault("timeout_s", 20.0)
+        overrides.setdefault("drain_timeout_s", 10.0)
+        server = EditServer(ServeConfig(**overrides)).start()
+        started.append(server)
+        return server
+
+    try:
+        yield _make
+    finally:
+        for server in started:
+            server.request_drain()
+        for server in started:
+            assert server.wait_drained(15.0), "server failed to drain"
+        # The daemon flips process-global switches; un-flip for the
+        # rest of the suite.
+        disable_memory_layer()
+        suppress_pools(False)
+
+
+def _client(server, **kwargs):
+    kwargs.setdefault("retries", 0)
+    return ServeClient(server.config.socket_path, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Protocol framing
+# ----------------------------------------------------------------------
+
+def test_line_reader_reassembles_split_messages():
+    left, right = socket.socketpair()
+    reader = protocol.LineReader(right)
+    payload = protocol.encode({"id": 1, "op": "ping"})
+    left.sendall(payload[:5])
+    left.sendall(payload[5:] + b'{"id": 2, "op"')
+    left.sendall(b': "stats"}\n')
+    left.close()
+    assert reader.next_message() == {"id": 1, "op": "ping"}
+    assert reader.next_message() == {"id": 2, "op": "stats"}
+    assert reader.next_message() is None
+
+
+def test_line_reader_rejects_garbage_and_non_objects():
+    for line in (b"not json\n", b"[1, 2]\n"):
+        left, right = socket.socketpair()
+        left.sendall(line)
+        left.close()
+        with pytest.raises(protocol.ProtocolError):
+            protocol.LineReader(right).next_message()
+
+
+def test_line_reader_caps_line_length():
+    left, right = socket.socketpair()
+    reader = protocol.LineReader(right, max_line=64)
+    threading.Thread(target=left.sendall,
+                     args=(b"x" * 4096,), daemon=True).start()
+    with pytest.raises(protocol.ProtocolError):
+        reader.next_message()
+
+
+# ----------------------------------------------------------------------
+# Defensive REPRO_SERVE_* parsing
+# ----------------------------------------------------------------------
+
+def test_malformed_serve_env_falls_back_with_warning(monkeypatch, capsys):
+    from repro import env as repro_env
+
+    monkeypatch.setenv("REPRO_SERVE_QUEUE", "1e3")
+    monkeypatch.setenv("REPRO_SERVE_TIMEOUT", "lots")
+    monkeypatch.setenv("REPRO_SERVE_JOBS", "-4")
+    for name in ("REPRO_SERVE_QUEUE", "REPRO_SERVE_TIMEOUT",
+                 "REPRO_SERVE_JOBS"):
+        repro_env._WARNED.discard(name)
+    config = ServeConfig()
+    assert config.queue_size == 32
+    assert config.timeout_s == 60.0
+    assert config.jobs == 2
+    warnings = capsys.readouterr().err
+    for name in ("REPRO_SERVE_QUEUE", "REPRO_SERVE_TIMEOUT",
+                 "REPRO_SERVE_JOBS"):
+        assert name in warnings
+
+
+# ----------------------------------------------------------------------
+# Basic service and concurrency
+# ----------------------------------------------------------------------
+
+def test_ping_run_and_stats_roundtrip(make_server):
+    server = make_server()
+    with _client(server) as client:
+        assert client.ping()["pong"] is True
+        result = client.run_workload("fib")
+        assert result["exit_code"] == 0
+        assert result["output"] == "fib 1597\n"
+        stats = client.stats()
+        assert stats["report"]["serve"]["requests"] >= 2
+        assert stats["server"]["degraded"] is False
+
+
+def test_unknown_op_and_unknown_workload_are_clean_errors(make_server):
+    server = make_server()
+    with _client(server) as client:
+        with pytest.raises(ServeError) as err:
+            client.request("frobnicate")
+        assert err.value.code == protocol.E_UNKNOWN_OP
+        with pytest.raises(ServeError) as err:
+            client.request("run", workload="no_such_program")
+        assert err.value.code == protocol.E_BAD_REQUEST
+
+
+def test_eight_concurrent_clients_zero_dropped(make_server):
+    """The acceptance scenario: 8 clients mixing SPARC and MIPS
+    workloads with qpt-instrument and verify requests; every request
+    answers, none are dropped."""
+    server = make_server(jobs=4, queue_size=16)
+    workloads = ["fib", "mips_sum"]
+    failures = []
+    results = []
+
+    def one_client(index):
+        name = workloads[index % len(workloads)]
+        try:
+            with _client(server, retries=8) as client:
+                run = client.run_workload(name)
+                verify = client.request("verify", workload=name,
+                                        tool="qpt")
+                results.append((run["exit_code"], verify["ok"]))
+        except Exception as error:  # noqa: BLE001 - recorded for assert
+            failures.append((index, error))
+
+    threads = [threading.Thread(target=one_client, args=(i,))
+               for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120)
+    assert not failures, failures
+    assert len(results) == 8
+    assert all(code == 0 and ok for code, ok in results)
+
+
+def test_concurrent_same_image_requests_coalesce(make_server, monkeypatch,
+                                                 tmp_path):
+    """Concurrent requests against one content hash share a single cold
+    analysis; the rest restore from the warm summary it left behind."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "fresh-cache"))
+    server = make_server(jobs=4)
+    before = _counter("serve.coalesced")
+    errors = []
+
+    def ask_routines():
+        try:
+            with _client(server) as client:
+                result = client.request("routines", workload="interp")
+                assert len(result["routines"]) > 10
+        except Exception as error:  # noqa: BLE001
+            errors.append(error)
+
+    threads = [threading.Thread(target=ask_routines) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+    assert not errors, errors
+    assert _counter("serve.coalesced") > before
+
+
+# ----------------------------------------------------------------------
+# Backpressure, timeout, retry
+# ----------------------------------------------------------------------
+
+def test_queue_full_rejects_with_retry_after(make_server):
+    server = make_server(jobs=1, queue_size=1, chaos=True,
+                         retry_after_s=0.05)
+    blockers = []
+
+    def blocker():
+        with _client(server) as client:
+            blockers.append(client.request("chaos", kind="sleep",
+                                           seconds=1.0))
+
+    threads = [threading.Thread(target=blocker) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+        time.sleep(0.15)  # one executing, one occupying the queue slot
+    with _client(server) as client:
+        with pytest.raises(ServeError) as err:
+            client.request("chaos", kind="sleep", seconds=0.1)
+    assert err.value.code == protocol.E_OVERLOADED
+    assert err.value.retry_after == pytest.approx(0.05)
+    for thread in threads:
+        thread.join(30)
+    assert len(blockers) == 2  # admitted work still completed
+    assert _counter("serve.rejected.queue_full") >= 1
+
+
+def test_client_retries_through_backpressure(make_server):
+    """Bounded queue + client retry-after loop: every request lands
+    eventually even when the queue is 1 deep."""
+    server = make_server(jobs=1, queue_size=1, chaos=True,
+                         retry_after_s=0.05)
+    outcomes = []
+    errors = []
+
+    def one(index):
+        try:
+            with _client(server, retries=40) as client:
+                outcomes.append(client.request("chaos", kind="sleep",
+                                               seconds=0.1))
+        except Exception as error:  # noqa: BLE001
+            errors.append(error)
+
+    threads = [threading.Thread(target=one, args=(i,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+    assert not errors, errors
+    assert len(outcomes) == 4
+
+
+def test_request_timeout_reported_and_worker_result_dropped(make_server):
+    server = make_server(jobs=1, timeout_s=0.2, chaos=True)
+    with _client(server) as client:
+        with pytest.raises(ServeError) as err:
+            client.request("chaos", kind="sleep", seconds=0.8)
+        assert err.value.code == protocol.E_TIMEOUT
+        # The daemon recovers: the slot frees once the sleeper finishes.
+        time.sleep(0.8)
+        assert client.ping()["pong"] is True
+    assert _counter("serve.timeouts") >= 1
+
+
+def test_transient_failures_retry_with_backoff(make_server):
+    server = make_server(jobs=1, chaos=True, retries=2, backoff_s=0.01)
+    before = _counter("serve.retries")
+    with _client(server) as client:
+        result = client.request("chaos", kind="flaky", fails=2,
+                                key="retry-me")
+    assert result["attempts"] == 3  # failed twice, succeeded on retry 2
+    assert _counter("serve.retries") - before == 2
+    # Exhausted retries surface as a clean internal error, not a hang.
+    with _client(server) as client:
+        with pytest.raises(ServeError) as err:
+            client.request("chaos", kind="flaky", fails=99,
+                           key="never-lands")
+        assert err.value.code == protocol.E_INTERNAL
+
+
+# ----------------------------------------------------------------------
+# Worker death, restart budget, degraded serial fallback
+# ----------------------------------------------------------------------
+
+def test_worker_death_restarts_then_degrades_to_serial(make_server):
+    server = make_server(jobs=1, chaos=True, retries=0, restarts=1)
+    # Each chaos death kills the worker: the first is replaced from the
+    # restart budget, the second exhausts it and flips the daemon into
+    # serial fallback mode.
+    for _ in range(2):
+        with _client(server) as client:
+            with pytest.raises(ServeError) as err:
+                client.request("chaos", kind="die")
+            assert err.value.code == protocol.E_INTERNAL
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if server.describe()["degraded"]:
+            break
+        time.sleep(0.05)
+    assert server.describe()["degraded"] is True
+    # Degraded is degraded, not dark: requests still serve, serially.
+    with _client(server) as client:
+        assert client.ping()["pong"] is True
+        assert client.run_workload("fib")["exit_code"] == 0
+        # Even another death cannot kill the fallback worker.
+        with pytest.raises(ServeError):
+            client.request("chaos", kind="die")
+        assert client.ping()["pong"] is True
+    assert _counter("serve.worker_deaths") >= 3
+    assert _counter("serve.degraded") >= 3
+
+
+# ----------------------------------------------------------------------
+# Drain
+# ----------------------------------------------------------------------
+
+def test_drain_rejects_new_requests_on_open_connections(make_server):
+    server = make_server()
+    with _client(server) as client:
+        assert client.ping()["pong"] is True
+        server.request_drain()
+        with pytest.raises(ServeError) as err:
+            client.ping()
+        assert err.value.code == protocol.E_DRAINING
+    assert server.wait_drained(10.0)
+    assert not os.path.exists(server.config.socket_path)
+
+
+def test_shutdown_op_drains(make_server):
+    server = make_server()
+    with _client(server) as client:
+        assert client.shutdown() == {"draining": True}
+    assert server.wait_drained(10.0)
+    assert server.describe()["workers_alive"] == 0
+
+
+def test_sigterm_drains_cleanly_with_stats_flush(tmp_path):
+    """The real CLI daemon: SIGTERM finishes in-flight work, flushes
+    serve.* counters to --stats-json, exits 0, and leaves no orphaned
+    processes or stale socket."""
+    sock = str(tmp_path / "d.sock")
+    stats = str(tmp_path / "stats.json")
+    env = dict(os.environ, PYTHONPATH=os.pathsep.join(
+        filter(None, [SRC, os.environ.get("PYTHONPATH")])))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--socket", sock,
+         "--jobs", "2", "--chaos", "--stats-json", stats],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    try:
+        assert wait_for_daemon(sock, timeout=30.0), "daemon never came up"
+        with ServeClient(sock) as client:
+            assert client.run_workload("fib")["exit_code"] == 0
+        # Put one request in flight, then SIGTERM while it runs.
+        slow_result = {}
+
+        def slow():
+            with ServeClient(sock) as client:
+                slow_result["result"] = client.request(
+                    "chaos", kind="sleep", seconds=1.0)
+
+        thread = threading.Thread(target=slow)
+        thread.start()
+        time.sleep(0.3)
+        proc.send_signal(signal.SIGTERM)
+        thread.join(30)
+        assert slow_result.get("result") == {"slept": 1.0}, \
+            "in-flight request was not finished during drain"
+        _out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0, err.decode()
+        assert "drained cleanly" in err.decode()
+        assert not os.path.exists(sock)
+        with open(stats) as handle:
+            report = json.load(handle)
+        assert report["schema"] == "repro.obs/1"
+        assert report["serve"]["requests"] >= 3
+        assert report["serve"]["ok"] >= 3
+        assert report["counters"]["serve.requests"] == \
+            report["serve"]["requests"]
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(10)
+
+
+# ----------------------------------------------------------------------
+# CLI client subcommand
+# ----------------------------------------------------------------------
+
+def test_cli_client_roundtrip(make_server, capsys):
+    from repro import cli
+
+    server = make_server()
+    rc = cli.main(["client", "ping", "--socket",
+                   server.config.socket_path])
+    assert rc == 0
+    assert json.loads(capsys.readouterr().out)["pong"] is True
+    rc = cli.main(["client", "run", "--workload", "fib", "--socket",
+                   server.config.socket_path])
+    assert rc == 0
+    assert json.loads(capsys.readouterr().out)["output"] == "fib 1597\n"
+
+
+def test_cli_client_without_daemon_fails_cleanly(tmp_path, capsys):
+    from repro import cli
+
+    rc = cli.main(["client", "ping", "--socket",
+                   str(tmp_path / "nobody-home.sock")])
+    assert rc == 1
+    assert "cannot reach daemon" in capsys.readouterr().err

@@ -477,3 +477,30 @@ def test_mips_jal_ra():
     fin:
     """
     assert mips_result(body) == 77
+
+
+def test_telemetry_flush_reports_deltas_not_totals():
+    """A simulator flushed twice (cosim does this; resumed runs do too)
+    must not re-merge instructions/compiles/evictions it already
+    reported (regression: sim.flyweight.evictions double-counting)."""
+    from repro.obs import metrics
+
+    source = """
+        .text
+        .global _start
+    _start:
+        mov 40, %l0
+        add %l0, 2, %o0
+        mov 1, %g1
+        ta 0
+    """
+    image = link([assemble(source, "sparc")])
+    simulator = Simulator(image, prepared_cache_cap=4)
+    simulator.run()
+    names = ("sim.instructions", "sim.flyweight.compiles",
+             "sim.flyweight.evictions", "sim.flyweight.hits")
+    before = {name: metrics.counter(name).value for name in names}
+    assert before["sim.flyweight.evictions"] > 0  # the cap actually bit
+    simulator._record_telemetry()  # reused simulator, nothing new ran
+    for name in names:
+        assert metrics.counter(name).value == before[name], name
