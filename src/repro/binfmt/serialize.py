@@ -24,7 +24,11 @@ VERSION = 1
 # contents *or* the semantics of any cached analysis change; the version
 # participates in the cache key, so old entries simply stop matching.
 ANALYSIS_MAGIC = b"EELA"
-ANALYSIS_VERSION = 1
+# 2: indirect-jump evaluator folds (sum + const), resolving the MIPS
+#    rodata dispatch idiom (lw off(base_plus_scaled)) as a table.
+# 3: CFG summaries carry the cti_in_slot flag (control transfer in a
+#    delay slot — routines tools must refuse to edit).
+ANALYSIS_VERSION = 3
 
 
 class FormatError(Exception):

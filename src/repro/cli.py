@@ -8,6 +8,7 @@
     python -m repro.cli cachesim <exe.eelf>
     python -m repro.cli stats  <exe.eelf> [--no-run]
     python -m repro.cli verify <workload> [--all] [--tool qpt|sfi|elsie]
+    python -m repro.cli fuzz   [--seeds N] [--jobs N] [--corpus-only]
     python -m repro.cli serve  [--socket PATH] [--jobs N] [--queue N]
     python -m repro.cli client <op> [--workload NAME] [--image PATH]
 
@@ -292,6 +293,52 @@ def _cmd_verify(args):
     return 0 if failures == 0 else 1
 
 
+def _cmd_fuzz(args):
+    """Generative fuzzing campaign (or corpus replay); DESIGN.md §5g."""
+    import os
+
+    from repro.fuzz import campaign as fuzz_campaign
+    from repro.fuzz.corpus import CorpusError
+    from repro.fuzz.gen import GenConfig
+
+    if args.corpus_only:
+        if not os.path.isdir(args.corpus):
+            print("fuzz: corpus directory %r does not exist" % args.corpus,
+                  file=sys.stderr)
+            return 1
+        try:
+            result = fuzz_campaign.replay_corpus(args.corpus)
+        except CorpusError as error:
+            print("fuzz: %s" % error, file=sys.stderr)
+            return 1
+        print(result.render())
+        return 0 if result.ok else 1
+
+    if args.seeds <= 0:
+        print("fuzz: --seeds must be positive", file=sys.stderr)
+        return 1
+    if args.time_budget is not None and args.time_budget <= 0:
+        print("fuzz: --time-budget must be positive", file=sys.stderr)
+        return 1
+    if args.jobs <= 0:
+        print("fuzz: --jobs must be positive", file=sys.stderr)
+        return 1
+    config = GenConfig(arch=args.arch)
+
+    def progress(outcome):
+        if outcome.status != "clean":
+            print("  seed %d: %s %s" % (outcome.seed, outcome.status,
+                                        outcome.detail), file=sys.stderr)
+
+    result = fuzz_campaign.run_campaign(
+        args.seeds, base_seed=args.base_seed, jobs=args.jobs,
+        config=config, time_budget=args.time_budget,
+        corpus_dir=args.corpus, shrink=not args.no_shrink,
+        progress=progress)
+    print(result.render())
+    return 0 if result.ok else 1
+
+
 def _cmd_serve(args):
     """Run the edit-serving daemon in the foreground (see repro.serve)."""
     from repro.serve import ServeConfig, serve_main
@@ -423,6 +470,33 @@ def main(argv=None):
                              "processes (default: 1, serial)")
     _add_obs_flags(verify)
     verify.set_defaults(func=_cmd_verify)
+
+    fuzz = sub.add_parser("fuzz",
+                          help="generative fuzzing: synthesize, edit, "
+                               "verify, shrink what breaks")
+    fuzz.add_argument("--seeds", type=int, default=50, metavar="N",
+                      help="number of seeds to classify (default: 50)")
+    fuzz.add_argument("--base-seed", type=int, default=0, metavar="N",
+                      help="first seed (campaigns are deterministic in "
+                           "base seed and count; default: 0)")
+    fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="classify seeds across N worker processes "
+                           "(default: 1, serial)")
+    fuzz.add_argument("--corpus", default="fuzz-corpus", metavar="DIR",
+                      help="reproducer directory (default: fuzz-corpus)")
+    fuzz.add_argument("--corpus-only", action="store_true",
+                      help="replay stored reproducers instead of "
+                           "generating new seeds (regression mode)")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="S",
+                      help="stop scheduling new seeds after S seconds")
+    fuzz.add_argument("--arch", choices=("sparc", "mips"), default=None,
+                      help="restrict generation to one architecture "
+                           "(default: per-seed choice)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="store unshrunk reproducers (faster triage)")
+    _add_obs_flags(fuzz)
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     serve = sub.add_parser("serve",
                            help="run the edit-serving daemon (foreground; "

@@ -266,6 +266,12 @@ class _Evaluator:
             return _Sum(a, b)
         if isinstance(a, _Scaled) and isinstance(b, _Const):
             return _Sum(b, a)
+        if isinstance(a, _Sum) and isinstance(b, _Const):
+            return _Sum(_Const(a.const.value + b.value,
+                               a.const.sites + b.sites), a.scaled)
+        if isinstance(a, _Const) and isinstance(b, _Sum):
+            return _Sum(_Const(a.value + b.const.value,
+                               a.sites + b.const.sites), b.scaled)
         if isinstance(a, _TableLoad) and isinstance(b, _Const) \
                 and b.value == 0:
             return a

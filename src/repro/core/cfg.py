@@ -203,6 +203,11 @@ class CFG:
         self.indirect_jumps = []  # IndirectJumpInfo
         self.data_addrs = set()  # addresses proven to be data (tables)
         self.incomplete = False  # some control flow unresolved statically
+        # A delayed CTI whose delay slot holds another control transfer
+        # (paper §3.1): discovery stops there, and tools must refuse to
+        # edit the routine — relaying the pair out-of-place changes the
+        # delayed-delayed semantics.
+        self.cti_in_slot = False
         self.unreached = set()  # valid, never-reached addresses in extent
         self._edge_count = 0
         self._edge_order = []  # edges in creation order (see to_summary)
@@ -526,6 +531,7 @@ class CFG:
             "data_addrs": sorted(self.data_addrs),
             "unreached": sorted(self.unreached),
             "incomplete": 1 if self.incomplete else 0,
+            "cti_in_slot": 1 if self.cti_in_slot else 0,
         }
 
     def _restore(self, summary):
@@ -569,6 +575,7 @@ class CFG:
             self.data_addrs = set(summary["data_addrs"])
             self.unreached = set(summary["unreached"])
             self.incomplete = bool(summary["incomplete"])
+            self.cti_in_slot = bool(summary.get("cti_in_slot", 0))
             sp.set(blocks=len(self.blocks), edges=self._edge_count)
         self._record_metrics(built=False)
 
@@ -689,6 +696,7 @@ class _Discovery:
                             and delay_inst.category is not Category.SYSTEM:
                         # Delayed CTI in a delay slot: conservative stop.
                         cfg.incomplete = True
+                        cfg.cti_in_slot = True
                         return
                     self.visited.add(delay_addr)
                     self.delay_addrs.add(delay_addr)

@@ -84,10 +84,19 @@ class Routine:
         self._cfg = None
 
     def produce_edited_routine(self):
-        """Lay out the edited version of this routine (section 3.3.1)."""
+        """Lay out the edited version of this routine (section 3.3.1).
+
+        Routines containing a control transfer in a delay slot are
+        refused (paper §3.1): re-laying the pair out-of-place changes
+        the delayed-delayed semantics, so the original code must stay
+        in place.  Returns None in that case and the routine keeps
+        running from the original text.
+        """
         from repro.core.layout import lay_out_routine
 
         cfg = self.control_flow_graph()
+        if cfg.cti_in_slot:
+            return None
         self.edited = lay_out_routine(cfg)
         self.executable.register_edited(self)
         return self.edited

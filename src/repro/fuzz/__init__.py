@@ -1,0 +1,53 @@
+"""Generative executable fuzzing (DESIGN.md §5g).
+
+EEL's correctness argument (paper §3.1, §3.3) covers executables with
+hidden routines, annulled delay slots, unanalyzable control flow, and
+in-text dispatch tables — shapes our hand-written corpus only samples.
+This subsystem manufactures them on demand:
+
+* :mod:`repro.fuzz.gen` — synthesize random-but-well-formed SPARC and
+  MIPS executables from a seeded RNG, each with a ground-truth manifest
+  (CFG edges, table extents, entry points, live-in registers);
+* :mod:`repro.fuzz.check` — compare the analysis pipeline's answers
+  against the manifest (truth, not self-consistency);
+* :mod:`repro.fuzz.campaign` — generate → analyze → instrument →
+  verify → classify, fanned out across processes;
+* :mod:`repro.fuzz.shrink` — minimize failing plans by structured
+  deltas to a small reproducer;
+* :mod:`repro.fuzz.corpus` — store reproducers and replay them as a
+  regression suite (``repro fuzz --corpus-only``).
+"""
+
+from repro.fuzz.gen import GenConfig, build_plan, generate, plan_to_program
+
+__all__ = [
+    "GenConfig",
+    "build_plan",
+    "check_manifest",
+    "classify_plan",
+    "classify_seed",
+    "generate",
+    "plan_to_program",
+    "replay_corpus",
+    "run_campaign",
+    "shrink_plan",
+]
+
+
+def __getattr__(name):
+    # Lazy: importing repro.fuzz for the generator alone must not pull
+    # in the verify/tools stack.
+    if name in ("classify_plan", "classify_seed", "run_campaign",
+                "replay_corpus"):
+        from repro.fuzz import campaign
+
+        return getattr(campaign, name)
+    if name == "check_manifest":
+        from repro.fuzz.check import check_manifest
+
+        return check_manifest
+    if name == "shrink_plan":
+        from repro.fuzz.shrink import shrink_plan
+
+        return shrink_plan
+    raise AttributeError(name)

@@ -1,0 +1,370 @@
+"""Campaign driver: generate -> analyze -> edit -> verify -> classify.
+
+Each seed becomes one generated executable which is pushed through the
+entire pipeline and classified:
+
+* ``clean`` — analysis matched the manifest and every tool's edit
+  verified (lints + lockstep co-simulation);
+* ``mismatch:<category>`` — the analysis disagreed with ground truth
+  (categories from :mod:`repro.fuzz.check`: extent, hidden, entries,
+  leader, transfer, call, table, live, incomplete);
+* ``verify:<tool>`` — instrumentation succeeded but differential
+  verification found an error;
+* ``crash:<stage>:<Exception>`` — some pipeline stage raised.
+
+Campaigns fan out across processes; each worker counts ``fuzz.*`` and
+``verify.*`` metrics in its own process and returns the deltas so the
+parent can merge them (the ``repro verify --jobs`` pattern) and
+``--stats-json`` stays truthful.
+
+A campaign's exit status is decided against the reproducer corpus
+(:mod:`repro.fuzz.corpus`): failure classes with a triaged ``xfail``
+entry are *known* and do not fail the run; any other non-clean class is
+shrunk to a minimal reproducer, stored with status ``new``, and fails
+the campaign until triaged.
+"""
+
+import collections
+import os
+import time
+
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
+
+from repro.fuzz import corpus as _corpus
+from repro.fuzz.gen import GenConfig, build_plan, plan_to_program
+
+_C_SEEDS = _metrics.counter("fuzz.seeds")
+_C_CLEAN = _metrics.counter("fuzz.clean")
+_C_MISMATCH = _metrics.counter("fuzz.mismatches")
+_C_VERIFY = _metrics.counter("fuzz.verify_failures")
+_C_CRASH = _metrics.counter("fuzz.crashes")
+_C_KNOWN = _metrics.counter("fuzz.known_failures")
+_C_STORED = _metrics.counter("fuzz.reproducers_stored")
+
+Outcome = collections.namedtuple("Outcome", "seed status detail")
+
+_DELTA_PREFIXES = ("fuzz.", "verify.")
+
+
+def tools_for(arch):
+    """Editing tools exercised per generated image (sfi/elsie are
+    SPARC-only)."""
+    return ("qpt", "sfi", "elsie") if arch == "sparc" else ("qpt",)
+
+
+# ----------------------------------------------------------------------
+# Classification
+# ----------------------------------------------------------------------
+
+
+def classify_plan(plan, label="fuzz"):
+    """Run one plan through the full pipeline; return (status, detail)."""
+    from repro.core.executable import Executable
+    from repro.tools import instrument_image
+    from repro.verify import verify_session
+
+    with _span("fuzz.seed", seed=plan.get("seed")):
+        _C_SEEDS.inc()
+        try:
+            program = plan_to_program(plan)
+        except Exception as error:
+            _C_CRASH.inc()
+            return "crash:gen:%s" % type(error).__name__, str(error)
+        try:
+            executable = Executable(program.image)
+            executable.read_contents()
+        except Exception as error:
+            _C_CRASH.inc()
+            return "crash:analyze:%s" % type(error).__name__, str(error)
+
+        from repro.fuzz.check import check_manifest
+
+        try:
+            codes = check_manifest(executable, program.manifest)
+        except Exception as error:
+            _C_CRASH.inc()
+            return "crash:check:%s" % type(error).__name__, str(error)
+        if codes:
+            _C_MISMATCH.inc()
+            category = codes[0].split(":", 1)[0]
+            return "mismatch:%s" % category, "; ".join(codes)
+
+        for tool in tools_for(plan["arch"]):
+            try:
+                session = instrument_image(program.image, tool)
+            except Exception as error:
+                _C_CRASH.inc()
+                return ("crash:instrument-%s:%s" % (tool,
+                                                    type(error).__name__),
+                        str(error))
+            try:
+                result = verify_session(
+                    session.executable, session.edited_image,
+                    configure_edited=session.configure_edited,
+                    use_memo=False, label="%s-%s" % (label, tool))
+            except Exception as error:
+                _C_CRASH.inc()
+                return ("crash:verify-%s:%s" % (tool, type(error).__name__),
+                        str(error))
+            if not result.ok:
+                _C_VERIFY.inc()
+                return "verify:%s" % tool, result.render()
+        _C_CLEAN.inc()
+        return "clean", ""
+
+
+def classify_seed(seed, config=None):
+    config = config or GenConfig()
+    return classify_plan(build_plan(seed, config), label="fuzz-%d" % seed)
+
+
+# ----------------------------------------------------------------------
+# Process-pool fan-out (counter-delta merging, as in `repro verify`)
+# ----------------------------------------------------------------------
+
+
+def _fuzz_counters():
+    return {name: instrument.snapshot()
+            for name, instrument in _metrics.REGISTRY.counters.items()
+            if name.startswith(_DELTA_PREFIXES)}
+
+
+def _campaign_worker(payload):
+    """Pool worker: classify one seed, return its counter deltas.
+
+    Generated images are all distinct, so persisting their analyses
+    would only churn the cache directory: the worker runs cache-off.
+    """
+    seed, config_dict = payload
+    os.environ["REPRO_CACHE"] = "off"
+    before = _fuzz_counters()
+    try:
+        status, detail = classify_seed(seed, GenConfig(**config_dict))
+    except Exception as error:  # classify itself must not raise
+        status, detail = "crash:driver:%s" % type(error).__name__, str(error)
+    after = _fuzz_counters()
+    deltas = {key: after[key] - before.get(key, 0) for key in after
+              if after[key] != before.get(key, 0)}
+    return seed, status, detail, deltas
+
+
+def _merge_deltas(deltas):
+    for name, delta in deltas.items():
+        _metrics.REGISTRY.counter(name).inc(delta)
+
+
+class CampaignResult:
+    """Everything a campaign learned, plus corpus bookkeeping."""
+
+    def __init__(self):
+        self.outcomes = []
+        self.skipped = 0  # seeds dropped by the time budget
+        self.stored = []  # paths of newly stored reproducers
+        self.known = []  # non-clean outcomes explained by xfail entries
+        self.unexplained = []  # non-clean outcomes that fail the run
+
+    @property
+    def clean(self):
+        return sum(1 for o in self.outcomes if o.status == "clean")
+
+    @property
+    def ok(self):
+        return not self.unexplained
+
+    def by_class(self):
+        classes = collections.OrderedDict()
+        for outcome in self.outcomes:
+            if outcome.status != "clean":
+                classes.setdefault(outcome.status, []).append(outcome)
+        return classes
+
+    def render(self):
+        lines = ["fuzz: %d seeds, %d clean, %d skipped (time budget)"
+                 % (len(self.outcomes), self.clean, self.skipped)]
+        for status, outcomes in self.by_class().items():
+            seeds = ", ".join(str(o.seed) for o in outcomes[:5])
+            more = "" if len(outcomes) <= 5 else ", ..."
+            tag = "known" if any(o in self.known for o in outcomes) \
+                else "NEW"
+            lines.append("  %-28s %4d seed(s) [%s]: %s%s"
+                         % (status, len(outcomes), tag, seeds, more))
+        for path in self.stored:
+            lines.append("  stored reproducer: %s" % path)
+        if self.ok:
+            lines.append("fuzz: PASS (no unexplained failures)")
+        else:
+            lines.append("fuzz: FAIL (%d unexplained failure class(es) — "
+                         "triage the stored reproducers)"
+                         % len({o.status for o in self.unexplained}))
+        return "\n".join(lines)
+
+
+def run_campaign(seeds, base_seed=0, jobs=1, config=None,
+                 time_budget=None, corpus_dir=None, shrink=True,
+                 progress=None):
+    """Classify ``base_seed .. base_seed+seeds-1``; triage via corpus.
+
+    *progress*, when given, is called with each :class:`Outcome` as it
+    arrives.  Returns a :class:`CampaignResult`.
+    """
+    config = config or GenConfig()
+    result = CampaignResult()
+    started = time.monotonic()
+    payloads = [(base_seed + i, config.to_dict()) for i in range(seeds)]
+
+    def out_of_time():
+        return (time_budget is not None
+                and time.monotonic() - started > time_budget)
+
+    with _span("fuzz.campaign", seeds=seeds, jobs=jobs):
+        if jobs > 1:
+            _parallel_outcomes(payloads, jobs, result, out_of_time,
+                               progress)
+        else:
+            _serial_outcomes(payloads, result, out_of_time, progress)
+        _triage(result, config, corpus_dir, shrink)
+    return result
+
+
+def _serial_outcomes(payloads, result, out_of_time, progress):
+    # The worker flips REPRO_CACHE off for the child process; serially
+    # we are the "child", so save and restore the caller's setting.
+    saved = os.environ.get("REPRO_CACHE")
+    try:
+        for index, payload in enumerate(payloads):
+            if out_of_time():
+                result.skipped = len(payloads) - index
+                break
+            seed, status, detail, _ = _campaign_worker(payload)
+            outcome = Outcome(seed, status, detail)
+            result.outcomes.append(outcome)
+            if progress:
+                progress(outcome)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_CACHE", None)
+        else:
+            os.environ["REPRO_CACHE"] = saved
+
+
+def _parallel_outcomes(payloads, jobs, result, out_of_time, progress):
+    import concurrent.futures
+
+    try:
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+    except (OSError, ValueError):
+        # Constrained environments (no /dev/shm, no fork): run serially.
+        _serial_outcomes(payloads, result, out_of_time, progress)
+        return
+    with pool:
+        futures = [pool.submit(_campaign_worker, payload)
+                   for payload in payloads]
+        for future in futures:
+            if out_of_time():
+                for pending in futures:
+                    pending.cancel()
+                result.skipped = sum(1 for f in futures if f.cancelled())
+                break
+            seed, status, detail, deltas = future.result()
+            _merge_deltas(deltas)
+            outcome = Outcome(seed, status, detail)
+            result.outcomes.append(outcome)
+            if progress:
+                progress(outcome)
+
+
+# ----------------------------------------------------------------------
+# Triage against the corpus
+# ----------------------------------------------------------------------
+
+
+def _triage(result, config, corpus_dir, shrink):
+    known = (_corpus.known_failures(corpus_dir)
+             if corpus_dir is not None else set())
+    new_classes = collections.OrderedDict()  # status -> first Outcome
+    for outcome in result.outcomes:
+        if outcome.status == "clean":
+            continue
+        if outcome.status in known:
+            _C_KNOWN.inc()
+            result.known.append(outcome)
+        else:
+            result.unexplained.append(outcome)
+            new_classes.setdefault(outcome.status, outcome)
+    if corpus_dir is None:
+        return
+    for status, outcome in new_classes.items():
+        plan = build_plan(outcome.seed, config)
+        if shrink:
+            from repro.fuzz.shrink import shrink_plan
+
+            plan = shrink_plan(
+                plan, lambda candidate:
+                classify_plan(candidate, label="shrink")[0] == status)
+        entry = _corpus.make_entry(status, outcome.detail, outcome.seed,
+                                   plan, status="new")
+        result.stored.append(_corpus.save_entry(corpus_dir, entry))
+        _C_STORED.inc()
+
+
+# ----------------------------------------------------------------------
+# Corpus replay (`repro fuzz --corpus-only`)
+# ----------------------------------------------------------------------
+
+
+class ReplayResult:
+    def __init__(self):
+        self.passed = []  # (entry_id, note)
+        self.failed = []  # (entry_id, note)
+
+    @property
+    def ok(self):
+        return not self.failed
+
+    def render(self):
+        lines = []
+        for entry_id, note in self.passed:
+            lines.append("  %-40s %s" % (entry_id, note))
+        for entry_id, note in self.failed:
+            lines.append("  %-40s FAIL: %s" % (entry_id, note))
+        lines.append("corpus: %d replayed, %d failed%s"
+                     % (len(self.passed) + len(self.failed),
+                        len(self.failed), "" if self.failed else " — PASS"))
+        return "\n".join(lines)
+
+
+def replay_corpus(corpus_dir, progress=None):
+    """Replay every stored reproducer against its triage status."""
+    result = ReplayResult()
+    with _span("fuzz.replay"):
+        for entry in _corpus.load_corpus(corpus_dir):
+            status, _ = classify_plan(entry["plan"],
+                                      label="replay-%s" % entry["id"])
+            record = _judge_replay(entry, status)
+            (result.passed if record[0] else result.failed).append(record[1:])
+            if progress:
+                progress(entry, record)
+    return result
+
+
+def _judge_replay(entry, status):
+    """(ok, entry_id, note) for one replayed entry."""
+    expected = entry["failure"]
+    if entry["status"] == "fixed":
+        if status == "clean":
+            return True, entry["id"], "clean (fixed, regression guard)"
+        return False, entry["id"], ("regressed: %s reappeared as %s"
+                                    % (expected, status))
+    # xfail and new both must still reproduce the recorded class; new
+    # additionally fails the replay because nobody has triaged it yet.
+    if status == "clean":
+        return False, entry["id"], ("unexpectedly fixed: flip status to "
+                                    "'fixed' if intentional")
+    if status != expected:
+        return False, entry["id"], ("failure class changed: %s -> %s"
+                                    % (expected, status))
+    if entry["status"] == "new":
+        return False, entry["id"], ("reproduces %s but is untriaged: "
+                                    "fix it or mark it xfail" % status)
+    return True, entry["id"], "xfail reproduces %s" % status

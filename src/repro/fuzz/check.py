@@ -1,0 +1,249 @@
+"""Compare pipeline analysis results against a generator manifest.
+
+The generator (:mod:`repro.fuzz.gen`) knows the true structure of every
+executable it emits.  :func:`check_manifest` re-derives that structure
+through the real pipeline — symbol-table refinement, CFG construction,
+delay-slot normalization, indirect-jump resolution, liveness — and
+reports every disagreement as a stable mismatch code.  Codes are
+``category:detail`` strings; the category (text before the first ``:``)
+is what the campaign driver uses as a failure class.
+
+Truth directions matter:
+
+* routine extents / hidden flags / entry points must match exactly;
+* every manifest block leader must begin an analysis basic block
+  (analysis may discover *more* leaders — edits split blocks — but may
+  not miss one);
+* every manifest transfer/call/table must be present with the right
+  shape;
+* manifest live-in registers are an under-approximation: they must be
+  a subset of what liveness reports (a register the program truly reads
+  must never be reported dead).
+
+Routines flagged ``incomplete_ok`` (a branch hidden in a delay slot —
+paper section 3.1 calls this flow the editor must refuse to touch)
+relax the structural checks: the walker legitimately sees different
+edges there, so only extent/identity checks apply.
+"""
+
+from repro.core.cfg import (
+    BK_NORMAL,
+    EK_COMPUTED,
+    EK_ESCAPE,
+    EK_FALL,
+    EK_TAKEN,
+    EK_UNCOND,
+)
+
+# Manifest transfer kind -> CFG edge kind that must appear on the path.
+_KIND_EDGES = {
+    "taken": (EK_TAKEN,),
+    "fall": (EK_FALL,),
+    "uncond": (EK_UNCOND, EK_COMPUTED),
+}
+
+# How many edges a transfer may traverse: cti block -> delay block ->
+# target is the longest legal normalized path.
+_PATH_DEPTH = 3
+
+
+def check_manifest(executable, manifest):
+    """Return a list of mismatch codes (empty means the analysis agrees).
+
+    *executable* must already have had ``read_contents()`` run so the
+    refined routine map exists.
+    """
+    mismatches = []
+    analyzed = {routine.start: routine
+                for routine in _all_routines(executable)}
+
+    manifest_starts = set()
+    for record in manifest["routines"]:
+        manifest_starts.add(record["start"])
+        routine = analyzed.get(record["start"])
+        if routine is None:
+            mismatches.append(
+                "extent:%s missing routine at 0x%x"
+                % (record["name"], record["start"]))
+            continue
+        mismatches.extend(_check_routine(routine, record))
+
+    for start, routine in sorted(analyzed.items()):
+        if start not in manifest_starts:
+            mismatches.append(
+                "extent:unexpected routine %s at 0x%x"
+                % (routine.name, start))
+    return mismatches
+
+
+def _all_routines(executable):
+    return list(executable.routines()) + list(executable.hidden_routines())
+
+
+def _check_routine(routine, record):
+    out = []
+    name = record["name"]
+    if routine.end != record["end"]:
+        out.append("extent:%s end 0x%x != 0x%x"
+                   % (name, routine.end, record["end"]))
+    if routine.hidden != record["hidden"]:
+        out.append("hidden:%s analysis=%s manifest=%s"
+                   % (name, routine.hidden, record["hidden"]))
+    if list(routine.entries) != list(record["entries"]):
+        out.append("entries:%s analysis=%s manifest=%s"
+                   % (name,
+                      ["0x%x" % e for e in routine.entries],
+                      ["0x%x" % e for e in record["entries"]]))
+    if out or record["incomplete_ok"]:
+        # Identity is wrong (structural checks would cascade) or the
+        # routine contains a branch in a delay slot (walker coverage is
+        # legitimately different): stop here.
+        return out
+
+    cfg = routine.control_flow_graph()
+    if cfg.incomplete and not _expects_incomplete(record):
+        out.append("incomplete:%s cfg marked incomplete" % name)
+
+    out.extend(_check_leaders(cfg, record))
+    out.extend(_check_transfers(cfg, record))
+    out.extend(_check_calls(cfg, record))
+    out.extend(_check_tables(cfg, record))
+    out.extend(_check_liveness(routine, cfg, record))
+    return out
+
+
+def _expects_incomplete(record):
+    # Only an unanalyzable indirect jump legitimately leaves the CFG
+    # incomplete; the generator's tables all follow the paper idiom, so
+    # nothing should.  (Kept as a hook: a future generator knob could
+    # emit deliberately unanalyzable jumps.)
+    return False
+
+
+def _check_leaders(cfg, record):
+    out = []
+    for leader in record["leaders"]:
+        if leader not in cfg.block_at:
+            out.append("leader:%s no block at 0x%x"
+                       % (record["name"], leader))
+    return out
+
+
+def _block_for_cti(cfg, addr):
+    for block in cfg.blocks:
+        if block.kind == BK_NORMAL and block.cti_addr == addr:
+            return block
+    return None
+
+
+def _check_transfers(cfg, record):
+    out = []
+    name = record["name"]
+    for transfer in record["transfers"]:
+        src, dst, kind = transfer["src"], transfer["dst"], transfer["kind"]
+        if kind == "cti-slot":
+            continue  # only emitted in incomplete_ok routines
+        block = _block_for_cti(cfg, src)
+        if block is None:
+            out.append("transfer:%s no CTI block at 0x%x" % (name, src))
+            continue
+        if kind == "tail":
+            if not _has_escape(cfg, block, dst):
+                out.append("transfer:%s tail 0x%x -> 0x%x not an escape"
+                           % (name, src, dst))
+            continue
+        if not _reaches(block, dst, _KIND_EDGES[kind]):
+            out.append("transfer:%s %s 0x%x -> 0x%x missing"
+                       % (name, kind, src, dst))
+    return out
+
+
+def _has_escape(cfg, block, dst):
+    frontier = [block]
+    for _ in range(_PATH_DEPTH):
+        next_frontier = []
+        for node in frontier:
+            for edge in node.succ:
+                if edge.kind == EK_ESCAPE and edge.escape_target == dst:
+                    return True
+                next_frontier.append(edge.dst)
+        frontier = next_frontier
+    return False
+
+
+def _reaches(block, dst, wanted_kinds):
+    """True if *dst* heads a block within ``_PATH_DEPTH`` edges of
+    *block* along a path containing an edge of a wanted kind."""
+    frontier = [(block, False)]
+    for _ in range(_PATH_DEPTH):
+        next_frontier = []
+        for node, seen_kind in frontier:
+            for edge in node.succ:
+                hit = seen_kind or edge.kind in wanted_kinds
+                if hit and edge.dst.start == dst:
+                    return True
+                next_frontier.append((edge.dst, hit))
+        frontier = next_frontier
+    return False
+
+
+def _check_calls(cfg, record):
+    out = []
+    entry_points = _known_entries(cfg.executable)
+    for call in record["calls"]:
+        block = _block_for_cti(cfg, call["src"])
+        if block is None:
+            out.append("call:%s no call block at 0x%x"
+                       % (record["name"], call["src"]))
+            continue
+        if call["dst"] not in entry_points:
+            out.append("call:%s target 0x%x is not a known entry"
+                       % (record["name"], call["dst"]))
+    return out
+
+
+def _known_entries(executable):
+    entries = set()
+    for routine in _all_routines(executable):
+        entries.update(routine.entries)
+    return entries
+
+
+def _check_tables(cfg, record):
+    out = []
+    name = record["name"]
+    infos = {info.block.cti_addr: info for info in cfg.indirect_jumps}
+    for table in record["tables"]:
+        info = infos.get(table["jmp"])
+        if info is None:
+            out.append("table:%s no indirect jump at 0x%x"
+                       % (name, table["jmp"]))
+            continue
+        if info.status != "table":
+            out.append("table:%s jump at 0x%x resolved as %r"
+                       % (name, table["jmp"], info.status))
+            continue
+        if info.table_addr != table["table"]:
+            out.append("table:%s base 0x%x != 0x%x"
+                       % (name, info.table_addr, table["table"]))
+        if list(info.targets) != list(table["targets"]):
+            out.append("table:%s targets %s != %s"
+                       % (name,
+                          ["0x%x" % t for t in info.targets],
+                          ["0x%x" % t for t in table["targets"]]))
+    return out
+
+
+def _check_liveness(routine, cfg, record):
+    truth = record["live_in"]
+    if truth is None:
+        return []
+    entry_block = cfg.block_at.get(routine.start)
+    if entry_block is None:
+        return ["live:%s no block at entry" % record["name"]]
+    analysis = cfg.live_registers().live_in[entry_block.id]
+    missing = sorted(set(truth) - set(analysis))
+    if missing:
+        return ["live:%s registers %s truly live but reported dead"
+                % (record["name"], missing)]
+    return []

@@ -1,0 +1,97 @@
+"""Reproducer storage: one JSON file per minimized failing plan.
+
+A corpus entry records everything needed to replay a failure without
+the original campaign: the shrunken plan (self-contained — replaying
+does not re-run the generator's RNG), the seed and generator config it
+came from, the failure class observed, and a triage status:
+
+* ``new`` — found by a campaign, not yet triaged.  Replays like an
+  xfail but `repro fuzz --corpus-only` reports it so CI stays red
+  until a human either fixes the bug (flip to ``fixed``) or accepts it
+  as a known failure (flip to ``xfail`` and add a tracking test).
+* ``xfail`` — known failure; replay must reproduce the *same* failure
+  class.  Reproducing a different class, or coming back clean
+  ("unexpectedly fixed"), is an error either way: the entry no longer
+  documents reality.
+* ``fixed`` — regression guard; replay must be clean.
+
+Entries are plain JSON so a reproducer can be read, diffed, and edited
+by hand during triage.
+"""
+
+import json
+import os
+
+_REQUIRED = ("id", "failure", "status", "seed", "plan")
+_STATUSES = ("new", "xfail", "fixed")
+
+
+class CorpusError(Exception):
+    pass
+
+
+def entry_id(failure, seed):
+    """Stable filename stem for a failure class + seed."""
+    slug = failure.replace(":", "-").replace("/", "-")
+    return "%s-seed%d" % (slug, seed)
+
+
+def make_entry(failure, detail, seed, plan, status="new"):
+    return {
+        "id": entry_id(failure, seed),
+        "failure": failure,
+        "detail": detail,
+        "status": status,
+        "seed": seed,
+        "plan": plan,
+    }
+
+
+def save_entry(corpus_dir, entry):
+    """Write *entry* to ``<corpus_dir>/<id>.json`` (atomic)."""
+    _validate(entry)
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, entry["id"] + ".json")
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(entry, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_corpus(corpus_dir):
+    """All entries in *corpus_dir*, sorted by id; [] if it's empty."""
+    if not os.path.isdir(corpus_dir):
+        raise CorpusError("corpus directory %r does not exist" % corpus_dir)
+    entries = []
+    for name in sorted(os.listdir(corpus_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(corpus_dir, name)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise CorpusError("unreadable corpus entry %s: %s"
+                              % (path, error))
+        _validate(entry, source=path)
+        entries.append(entry)
+    return entries
+
+
+def known_failures(corpus_dir):
+    """Failure classes with an ``xfail`` (triaged, accepted) entry."""
+    if not os.path.isdir(corpus_dir):
+        return set()
+    return {entry["failure"] for entry in load_corpus(corpus_dir)
+            if entry["status"] == "xfail"}
+
+
+def _validate(entry, source="entry"):
+    for key in _REQUIRED:
+        if key not in entry:
+            raise CorpusError("%s missing field %r" % (source, key))
+    if entry["status"] not in _STATUSES:
+        raise CorpusError("%s has status %r (want one of %s)"
+                          % (source, entry["status"], ", ".join(_STATUSES)))

@@ -1,0 +1,1237 @@
+"""Synthesize random-but-well-formed SPARC and MIPS executables.
+
+The generator works in two deterministic stages:
+
+* :func:`build_plan` — expand a seed into a JSON-serializable *plan*:
+  a list of routines, each a list of structured items (straight runs,
+  diamonds, bounded loops, irreducible regions, dispatch tables, data
+  islands, calls, tail calls).  The plan is the unit the shrinker
+  mutates: every plan maps to exactly one program.
+* :func:`plan_to_program` — lower the plan to assembly for the plan's
+  architecture, assemble + link it, and derive a ground-truth
+  *manifest* (routine extents, entry points, intra-routine transfers,
+  table extents and targets, delay-slot annotations, live-in
+  registers) directly from the emission — not from analysis.
+
+Programs terminate by construction: calls and tail calls only target
+strictly higher-numbered routines (a DAG), every loop is bounded by a
+dedicated counter initialized on every path to its latch, and switch
+indices are masked below the table bound.  The adversarial shapes from
+paper §3.1/§3.3 — hidden routines, multi-entry routines, annulled and
+filled delay slots, branches in delay slots, in-text tables, data
+islands — are all expressible and randomly mixed in.
+"""
+
+import random
+
+from repro.asm import assemble
+from repro.binfmt import link
+from repro.binfmt.layout import TEXT_BASE
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
+
+GEN_VERSION = 1
+
+_C_PLANS = _metrics.counter("fuzz.gen.plans")
+_C_IMAGES = _metrics.counter("fuzz.gen.images")
+
+_ARCHES = ("sparc", "mips")
+_CONDS = ("eq", "ne", "lt", "ge")
+
+
+class GenConfig:
+    """Tunable probabilities and size bounds for plan generation."""
+
+    _DEFAULTS = {
+        "arch": None,  # None -> per-seed choice
+        "min_routines": 2,
+        "max_routines": 5,
+        "max_items": 5,
+        "max_ops": 4,
+        "max_loop_bound": 6,
+        "max_cases": 6,
+        "p_hidden": 0.30,
+        "p_multi_entry": 0.25,
+        "p_tail": 0.25,
+        "p_annul": 0.40,
+        "p_fill": 0.50,
+        "p_cti_in_slot": 0.08,
+        "p_island": 0.20,
+        "p_table_in_text": 0.50,
+        "p_uninit": 0.30,
+        "p_wide_mask": 0.30,  # switch mask may exceed bound -> default taken
+    }
+
+    def __init__(self, **overrides):
+        unknown = set(overrides) - set(self._DEFAULTS)
+        if unknown:
+            raise ValueError("unknown GenConfig fields: %s"
+                             % ", ".join(sorted(unknown)))
+        for name, value in self._DEFAULTS.items():
+            setattr(self, name, overrides.get(name, value))
+        if self.arch is not None and self.arch not in _ARCHES:
+            raise ValueError("arch must be one of %s" % (_ARCHES,))
+
+    def to_dict(self):
+        return {name: getattr(self, name) for name in self._DEFAULTS}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+DEFAULT_CONFIG = GenConfig()
+
+
+class GeneratedProgram:
+    """A generated executable plus its ground truth."""
+
+    def __init__(self, plan, asm, image, manifest):
+        self.plan = plan
+        self.asm = asm
+        self.image = image
+        self.manifest = manifest
+
+    @property
+    def seed(self):
+        return self.plan["seed"]
+
+    @property
+    def arch(self):
+        return self.plan["arch"]
+
+    def run(self, max_steps=2_000_000):
+        from repro.sim import run_image
+
+        return run_image(self.image, max_steps=max_steps)
+
+
+# ----------------------------------------------------------------------
+# Stage 1: seed -> plan.
+
+
+def build_plan(seed, config=None):
+    """Expand *seed* into a deterministic, JSON-serializable plan."""
+    config = config or DEFAULT_CONFIG
+    rng = random.Random(seed)
+    _C_PLANS.inc()
+    arch = config.arch or rng.choice(_ARCHES)
+    count = rng.randint(config.min_routines, config.max_routines)
+    routines = []
+    for index in range(count):
+        if index == 0:
+            kind = "frame"
+        elif index == count - 1:
+            kind = "leaf"
+        else:
+            kind = rng.choice(("frame", "leaf"))
+        uninit = sorted(i for i in range(4)
+                        if rng.random() < config.p_uninit)
+        if arch == "sparc" and kind == "frame":
+            # Frame params live in %l registers of a fresh window; a
+            # caller cannot establish them, so skipping their
+            # initializers would read window leftovers that edits
+            # legitimately change.
+            uninit = []
+        routine = {
+            "name": "main" if index == 0 else "r%d" % index,
+            "kind": kind,
+            "hidden": bool(index > 0 and rng.random() < config.p_hidden),
+            "uninit": uninit,
+            "tail": None,
+            "extra_entry": None,
+            "items": [],
+        }
+        routines.append(routine)
+
+    for index, routine in enumerate(routines):
+        budget = rng.randint(2, config.max_items)
+        routine["items"] = _build_items(rng, config, arch, budget, depth=0,
+                                        is_main=(index == 0),
+                                        is_frame=(routine["kind"] == "frame"))
+        if index == 0:
+            # main always observes its accumulator.
+            routine["items"].append({"p": "print"})
+        if (index < len(routines) - 1 and rng.random() < config.p_tail):
+            # A tail to a hidden routine with only hidden routines in
+            # between lands inside the tail's own (symbol-bounded)
+            # extent, so the CFG walk legitimately covers the target
+            # and the refiner reports an extra entry, not a hidden
+            # split.  Keep ground truth unambiguous: only tail to
+            # targets outside the walkable extent.
+            candidates = [
+                j for j in range(index + 1, len(routines))
+                if not (routines[j]["hidden"]
+                        and all(routines[k]["hidden"]
+                                for k in range(index + 1, j)))
+            ]
+            if candidates:
+                routine["tail"] = rng.choice(candidates)
+
+    # A tail target's uninitialized params cannot be established by the
+    # tail caller: escape edges are editable, so a snippet could run
+    # between the caller's defs and the target's entry and clobber any
+    # register outside the exit-live set.
+    for routine in routines:
+        if routine["tail"] is not None:
+            routines[routine["tail"]]["uninit"] = []
+
+    # Multi-entry leaves: expose the join label of a diamond or switch.
+    for index, routine in enumerate(routines):
+        if index == 0 or routine["kind"] != "leaf":
+            continue
+        if rng.random() >= config.p_multi_entry:
+            continue
+        joins = [i for i, item in enumerate(routine["items"])
+                 if item["p"] in ("diamond", "switch")]
+        if joins:
+            routine["extra_entry"] = rng.choice(joins)
+
+    # Every routine (and every extra entry) must be referenced so the
+    # refiner can discover it; calls ride in frame routines only.  A
+    # tail (direct branch) reference is NOT enough for a hidden
+    # routine: a branch from the preceding extent into the hidden code
+    # is indistinguishable from intra-routine flow, so the walker
+    # legitimately absorbs it — hidden routines need a call reference.
+    call_referenced = set()
+    for item, _routine in _iter_items(routines):
+        if item["p"] == "call":
+            call_referenced.add((item["callee"], item["entry"]))
+    referenced = set(call_referenced)
+    for index, routine in enumerate(routines):
+        if routine["tail"] is not None:
+            referenced.add((routine["tail"], "main"))
+    for index, routine in enumerate(routines):
+        if index == 0:
+            continue
+        seen = call_referenced if routine["hidden"] else referenced
+        if (index, "main") not in seen:
+            caller = _pick_frame_before(rng, routines, index)
+            routines[caller]["items"].insert(
+                rng.randint(0, len(routines[caller]["items"])),
+                {"p": "call", "callee": index, "entry": "main"})
+        if routine["extra_entry"] is not None \
+                and (index, "extra") not in call_referenced:
+            caller = _pick_frame_before(rng, routines, index)
+            routines[caller]["items"].append(
+                {"p": "call", "callee": index, "entry": "extra"})
+
+    return {
+        "version": GEN_VERSION,
+        "seed": seed,
+        "arch": arch,
+        "config": config.to_dict(),
+        "routines": routines,
+    }
+
+
+def _pick_frame_before(rng, routines, index):
+    frames = [i for i in range(index) if routines[i]["kind"] == "frame"]
+    return rng.choice(frames) if frames else 0
+
+
+def _iter_items(routines):
+    for routine in routines:
+        stack = list(routine["items"])
+        while stack:
+            item = stack.pop()
+            yield item, routine
+            stack.extend(item.get("body", ()))
+
+
+def _build_items(rng, config, arch, budget, depth, is_main, is_frame):
+    items = []
+    for _ in range(budget):
+        roll = rng.random()
+        if depth > 0:
+            # Nested bodies stay simple: straight runs and diamonds.
+            kind = "straight" if roll < 0.6 else "diamond"
+        elif roll < 0.30:
+            kind = "straight"
+        elif roll < 0.55:
+            kind = "diamond"
+        elif roll < 0.72:
+            kind = "loop"
+        elif roll < 0.85:
+            kind = "switch"
+        elif roll < 0.93:
+            kind = "irr"
+        else:
+            kind = "island"
+        items.append(_build_item(rng, config, arch, kind, depth))
+    return items
+
+
+def _build_item(rng, config, arch, kind, depth):
+    base = {
+        "p": kind,
+        "n": rng.randint(1, config.max_ops),
+        "os": rng.randrange(1 << 30),
+    }
+    if kind == "straight" or kind == "island":
+        if kind == "island":
+            base["words"] = rng.randint(1, 4)
+        return base
+    if kind == "diamond":
+        base.update({
+            "cond": rng.choice(_CONDS),
+            "imm": rng.randint(0, 40),
+            "annul": int(rng.random() < config.p_annul),
+            "fill": int(rng.random() < config.p_fill),
+            "cti": int(arch == "sparc"
+                       and rng.random() < config.p_cti_in_slot),
+        })
+        return base
+    if kind == "loop":
+        base.update({
+            "bound": rng.randint(2, config.max_loop_bound),
+            "annul": int(arch == "mips" and rng.random() < config.p_annul),
+            "fill": int(rng.random() < config.p_fill),
+            "body": (_build_items(rng, config, arch, rng.randint(1, 2),
+                                  depth + 1, False, False)
+                     if depth == 0 and rng.random() < 0.5 else []),
+        })
+        return base
+    if kind == "irr":
+        base.update({
+            "bound": rng.randint(2, config.max_loop_bound),
+            "cond": rng.choice(_CONDS),
+            "imm": rng.randint(0, 40),
+        })
+        return base
+    if kind == "switch":
+        cases = rng.randint(3, config.max_cases)
+        # Narrow power-of-two-minus-one mask below the bound; widening
+        # it past the bound makes the default arm dynamically reachable.
+        mask = _pow2_mask_below(cases)
+        if rng.random() < config.p_wide_mask:
+            mask = mask * 2 + 1
+        base.update({
+            "cases": cases,
+            "mask": mask,
+            "in_text": int(rng.random() < config.p_table_in_text),
+        })
+        return base
+    raise ValueError("unknown item kind %r" % kind)
+
+
+def _pow2_mask_below(cases):
+    mask = 1
+    while (mask << 1) | 1 <= cases - 1:
+        mask = (mask << 1) | 1
+    return mask
+
+
+# ----------------------------------------------------------------------
+# Stage 2: plan -> assembly + image + manifest.
+
+_SPARC_NAMES = (["%%g%d" % i for i in range(8)]
+                + ["%%o%d" % i for i in range(8)]
+                + ["%%l%d" % i for i in range(8)]
+                + ["%%i%d" % i for i in range(8)])
+_MIPS_NAMES = ("$zero $at $v0 $v1 $a0 $a1 $a2 $a3 "
+               "$t0 $t1 $t2 $t3 $t4 $t5 $t6 $t7 "
+               "$s0 $s1 $s2 $s3 $s4 $s5 $s6 $s7 "
+               "$t8 $t9 $k0 $k1 $gp $sp $fp $ra").split()
+
+
+class _RegMap:
+    def __init__(self, p, c, scratch, addr, sw_idx, sw_ent):
+        self.p = p  # working registers (accumulators / operands)
+        self.c = c  # loop counters
+        self.scratch = scratch
+        self.addr = addr
+        self.sw_idx = sw_idx
+        self.sw_ent = sw_ent
+
+
+_MAPS = {
+    ("sparc", "frame"): _RegMap([16, 17, 18, 19], [20, 21, 22], 3, 4, 2, 5),
+    ("sparc", "leaf"): _RegMap([8, 9, 10, 11], [12, 13], 3, 4, 2, 5),
+    ("mips", "frame"): _RegMap([16, 17, 18, 19], [20, 21, 22], 24, 25, 15, 14),
+    ("mips", "leaf"): _RegMap([8, 9, 10, 11], [12, 13], 24, 25, 15, 14),
+}
+
+
+class _Block:
+    """Liveness/transfer bookkeeping for one emitted basic block."""
+
+    def __init__(self, label, offset):
+        self.label = label
+        self.offset = offset
+        self.uses = set()
+        self.defs = set()
+        self.succs = []  # label names, or "EXIT"
+        self.closed = False
+
+
+class _Emitter:
+    """Lower a plan to assembly text while recording ground truth."""
+
+    def __init__(self, plan):
+        self.plan = plan
+        self.arch = plan["arch"]
+        self.names = _SPARC_NAMES if self.arch == "sparc" else _MIPS_NAMES
+        self.lines = []
+        self.offset = 0  # global word index within .text
+        self.rodata = []  # (table_label, [target labels])
+        self.label_offsets = {}
+        self.manifest_routines = []
+        # per-routine state
+        self.regs = None
+        self.blocks = []
+        self.block = None
+        self.transfers = []
+        self.calls = []
+        self.tables = []
+        self.islands = []
+        self.ctis = []
+        self.counter_depth = 0
+        self.label_seq = 0
+        self.routine_index = 0
+
+    # -- low-level emission ------------------------------------------------
+    def raw(self, text):
+        self.lines.append(text)
+
+    def ins(self, text, reads=(), writes=()):
+        self.lines.append("    " + text)
+        offset = self.offset
+        self.offset += 1
+        if self.block is not None and not self.block.closed:
+            for reg in reads:
+                if reg not in self.block.defs:
+                    self.block.uses.add(reg)
+            self.block.defs.update(writes)
+        return offset
+
+    def word(self, expr):
+        self.lines.append("    .word %s" % expr)
+        offset = self.offset
+        self.offset += 1
+        return offset
+
+    def label(self, name, fall_from_prev=True):
+        if self.block is not None and not self.block.closed \
+                and fall_from_prev:
+            self.block.succs.append(name)
+        self.raw("%s:" % name)
+        self.label_offsets[name] = self.offset
+        self.block = _Block(name, self.offset)
+        self.blocks.append(self.block)
+        return name
+
+    def new_label(self):
+        self.label_seq += 1
+        return "f%d_%d" % (self.routine_index, self.label_seq)
+
+    def addr_of(self, label):
+        return TEXT_BASE + 4 * self.label_offsets[label]
+
+    def name_of(self, reg):
+        return self.names[reg]
+
+    def close_block(self, *succs):
+        if self.block is not None:
+            self.block.succs.extend(succs)
+            self.block.closed = True
+
+    def record_cti(self, offset, delayed, annul, filled):
+        self.ctis.append({"addr": TEXT_BASE + 4 * offset,
+                          "delayed": bool(delayed), "annul": bool(annul),
+                          "filled": bool(filled)})
+
+    def record_transfer(self, src_offset, dst_label, kind):
+        self.transfers.append({"src": TEXT_BASE + 4 * src_offset,
+                               "dst": dst_label, "kind": kind})
+
+
+def plan_to_program(plan):
+    """Lower *plan*: assembly text, linked image, ground-truth manifest."""
+    with _span("fuzz.gen", seed=plan["seed"]):
+        emitter = _Emitter(plan)
+        _emit_program(emitter)
+        source = "\n".join(emitter.lines) + "\n"
+        image = link([assemble(source, plan["arch"])])
+        _C_IMAGES.inc()
+        manifest = _finish_manifest(emitter, image)
+        hidden = [routine["name"] for routine in plan["routines"]
+                  if routine["hidden"]]
+        if hidden:
+            image.hide_symbols(hidden)
+        return GeneratedProgram(plan, source, image, manifest)
+
+
+def generate(seed, config=None):
+    """Seed -> generated program with manifest (fully deterministic)."""
+    return plan_to_program(build_plan(seed, config))
+
+
+def _emit_program(emitter):
+    plan = emitter.plan
+    arch = plan["arch"]
+    emitter.raw("    .text")
+    emitter.raw("    .global _start")
+    _emit_start(emitter)
+    for index, routine in enumerate(plan["routines"]):
+        _emit_routine(emitter, index, routine)
+    emitter.raw("")
+    emitter.raw("    .data")
+    emitter.raw("    .align 4")
+    emitter.raw("gbuf:")
+    emitter.raw("    .space 64")
+    if emitter.rodata:
+        emitter.raw("")
+        emitter.raw("    .rodata")
+        emitter.raw("    .align 4")
+        for table_label, targets in emitter.rodata:
+            emitter.raw("%s:" % table_label)
+            for target in targets:
+                emitter.raw("    .word %s" % target)
+
+
+def _emit_start(emitter):
+    arch = emitter.plan["arch"]
+    emitter.routine_index = -1
+    emitter.blocks = []
+    emitter.transfers = []
+    emitter.calls = []
+    emitter.tables = []
+    emitter.islands = []
+    emitter.ctis = []
+    emitter.label("_start", fall_from_prev=False)
+    start_offset = emitter.offset
+    # Establish main's skipped param initializers (see _emit_call).
+    main_regs = _MAPS[(arch, "frame")]
+    for position, index in enumerate(emitter.plan["routines"][0]["uninit"]):
+        _op_li(emitter, main_regs.p[index], 5 + 7 * position)
+    if arch == "sparc":
+        offset = emitter.ins("call main")
+        emitter.ins("nop")
+        emitter.record_cti(offset, True, False, False)
+        emitter.ins("mov 1, %g1")
+        emitter.ins("ta 0")
+    else:
+        offset = emitter.ins("jal main")
+        emitter.ins("nop")
+        emitter.record_cti(offset, True, False, False)
+        emitter.ins("move $a0, $v0")
+        emitter.ins("li $v0, 1")
+        emitter.ins("syscall")
+    emitter.calls.append({"src": TEXT_BASE + 4 * offset, "callee": "main"})
+    emitter.manifest_routines.append({
+        "name": "_start",
+        "label": "_start",
+        "start_offset": start_offset,
+        "hidden": False,
+        "leaf": False,
+        "extra_entry_label": None,
+        "incomplete_ok": False,
+        "leader_labels": [],
+        "transfers": list(emitter.transfers),
+        "calls": list(emitter.calls),
+        "tables": [],
+        "islands": [],
+        "ctis": list(emitter.ctis),
+        "live_in": None,
+        "blocks": emitter.blocks,
+    })
+
+
+def _emit_routine(emitter, index, routine):
+    plan = emitter.plan
+    arch = plan["arch"]
+    emitter.routine_index = index
+    emitter.regs = _MAPS[(arch, routine["kind"])]
+    emitter.blocks = []
+    emitter.transfers = []
+    emitter.calls = []
+    emitter.tables = []
+    emitter.islands = []
+    emitter.ctis = []
+    emitter.counter_depth = 0
+    emitter.label_seq = 0
+    name = routine["name"]
+    emitter.raw("")
+    if not routine["hidden"] and name == "main":
+        emitter.raw("    .global main")
+    elif not routine["hidden"]:
+        emitter.raw("    .type %s, func" % name)
+    emitter.label(name, fall_from_prev=False)
+    start_offset = emitter.offset
+    _emit_prologue(emitter, routine)
+    rng = random.Random(plan["seed"] * 1_000_003 + index)
+    for reg_index in range(4):
+        if reg_index not in routine["uninit"]:
+            _op_li(emitter, emitter.regs.p[reg_index], rng.randint(1, 60))
+    # Clobber regs must be defined on every path: ops may write one in
+    # a single diamond arm and read it after the join, and on SPARC a
+    # fresh window's %l contents are whatever instrumentation last left
+    # in that physical window.
+    for reg in emitter.regs.c:
+        _op_li(emitter, reg, rng.randint(1, 60))
+    extra_label = [None]
+    for item_index, item in enumerate(routine["items"]):
+        expose = (routine["extra_entry"] == item_index)
+        label = _emit_item(emitter, routine, item, expose)
+        if expose:
+            extra_label[0] = label
+    if routine["tail"] is not None:
+        _emit_tail(emitter, routine, plan["routines"][routine["tail"]])
+    else:
+        _emit_ret(emitter, routine)
+    leader_labels = sorted({t["dst"] for t in emitter.transfers
+                            if t["kind"] in ("taken", "uncond")}
+                           | {target for table in emitter.tables
+                              for target in table["target_labels"]})
+    emitter.manifest_routines.append({
+        "name": name,
+        "label": name,
+        "start_offset": start_offset,
+        "hidden": routine["hidden"],
+        "leaf": routine["kind"] == "leaf",
+        "extra_entry_label": extra_label[0],
+        "incomplete_ok": _has_cti(routine["items"]),
+        "leader_labels": leader_labels,
+        "transfers": list(emitter.transfers),
+        "calls": list(emitter.calls),
+        "tables": list(emitter.tables),
+        "islands": list(emitter.islands),
+        "ctis": list(emitter.ctis),
+        "live_in": _truth_live_in(emitter, routine),
+        "blocks": emitter.blocks,
+    })
+
+
+def _emit_prologue(emitter, routine):
+    arch = emitter.plan["arch"]
+    if routine["kind"] != "frame":
+        return
+    if arch == "sparc":
+        emitter.ins("save %sp, -96, %sp", reads={14}, writes={14})
+    else:
+        emitter.ins("addiu $sp, $sp, -32", reads={29}, writes={29})
+        emitter.ins("sw $ra, 28($sp)", reads={31, 29})
+        for slot in range(7):
+            emitter.ins("sw $s%d, %d($sp)" % (slot, slot * 4),
+                        reads={16 + slot, 29})
+
+
+def _emit_ret(emitter, routine):
+    arch = emitter.plan["arch"]
+    regs = emitter.regs
+    if arch == "sparc":
+        if routine["kind"] == "frame":
+            emitter.ins("mov %s, %%i0" % emitter.name_of(regs.p[0]),
+                        reads={regs.p[0]}, writes={24})
+            offset = emitter.ins("ret", reads={31})
+            emitter.ins("restore")
+            emitter.record_cti(offset, True, False, True)
+        else:
+            offset = emitter.ins("retl", reads={15})
+            emitter.ins("nop")
+            emitter.record_cti(offset, True, False, False)
+    else:
+        emitter.ins("move $v0, %s" % emitter.name_of(regs.p[0]),
+                    reads={regs.p[0]}, writes={2})
+        if routine["kind"] == "frame":
+            emitter.ins("lw $ra, 28($sp)", reads={29}, writes={31})
+            for slot in range(7):
+                emitter.ins("lw $s%d, %d($sp)" % (slot, slot * 4),
+                            reads={29}, writes={16 + slot})
+            emitter.ins("addiu $sp, $sp, 32", reads={29}, writes={29})
+        offset = emitter.ins("jr $ra", reads={31})
+        emitter.ins("nop")
+        emitter.record_cti(offset, True, False, False)
+    emitter.close_block("EXIT")
+
+
+def _emit_tail(emitter, routine, target_routine):
+    arch = emitter.plan["arch"]
+    target = target_routine["name"]
+    if arch == "sparc":
+        if routine["kind"] == "frame":
+            offset = emitter.ins("ba %s" % target)
+            emitter.ins("restore")
+            emitter.record_cti(offset, True, False, True)
+        else:
+            offset = emitter.ins("ba %s" % target)
+            emitter.ins("nop")
+            emitter.record_cti(offset, True, False, False)
+    else:
+        if routine["kind"] == "frame":
+            emitter.ins("lw $ra, 28($sp)", reads={29}, writes={31})
+            for slot in range(7):
+                emitter.ins("lw $s%d, %d($sp)" % (slot, slot * 4),
+                            reads={29}, writes={16 + slot})
+            emitter.ins("addiu $sp, $sp, 32", reads={29}, writes={29})
+        # j, not b: beq $zero,$zero keeps a perceived fall-through edge
+        # into whatever follows, which would let the walker absorb an
+        # adjacent hidden routine.
+        offset = emitter.ins("j %s" % target)
+        emitter.ins("nop")
+        emitter.record_cti(offset, True, False, False)
+    emitter.record_transfer(offset, target, "tail")
+    emitter.close_block("EXIT")
+
+
+# -- filler operations -------------------------------------------------
+
+
+def _op_li(emitter, reg, value):
+    name = emitter.name_of(reg)
+    if emitter.plan["arch"] == "sparc":
+        emitter.ins("mov %d, %s" % (value, name), writes={reg})
+    else:
+        emitter.ins("li %s, %d" % (name, value), writes={reg})
+
+
+_ALU_IMM = {"sparc": {"add": "add", "and": "and", "or": "or", "xor": "xor"},
+            "mips": {"add": "addiu", "and": "andi", "or": "ori",
+                     "xor": "xori"}}
+
+
+def _emit_fillers(emitter, routine, rng, count):
+    regs = emitter.regs
+    arch = emitter.plan["arch"]
+    for _ in range(count):
+        kind = rng.choice(("li", "alu", "alu", "alu2", "st", "ld"))
+        rd = rng.choice(regs.p)
+        rs = rng.choice(regs.p)
+        if kind == "li":
+            _op_li(emitter, rd, rng.randint(1, 99))
+        elif kind == "alu":
+            op = rng.choice(sorted(_ALU_IMM[arch]))
+            imm = rng.randint(1, 31)
+            if arch == "sparc":
+                emitter.ins("%s %s, %d, %s" % (_ALU_IMM[arch][op],
+                                               emitter.name_of(rs), imm,
+                                               emitter.name_of(rd)),
+                            reads={rs}, writes={rd})
+            else:
+                emitter.ins("%s %s, %s, %d" % (_ALU_IMM[arch][op],
+                                               emitter.name_of(rd),
+                                               emitter.name_of(rs), imm),
+                            reads={rs}, writes={rd})
+        elif kind == "alu2":
+            rs2 = rng.choice(regs.p)
+            if arch == "sparc":
+                emitter.ins("add %s, %s, %s" % (emitter.name_of(rs),
+                                                emitter.name_of(rs2),
+                                                emitter.name_of(rd)),
+                            reads={rs, rs2}, writes={rd})
+            else:
+                emitter.ins("addu %s, %s, %s" % (emitter.name_of(rd),
+                                                 emitter.name_of(rs),
+                                                 emitter.name_of(rs2)),
+                            reads={rs, rs2}, writes={rd})
+        elif kind == "st":
+            slot = 4 * rng.randint(0, 15)
+            if arch == "sparc":
+                emitter.ins("set gbuf + %d, %%g4" % slot, writes={4})
+                emitter.offset += 1  # set expands to sethi+or
+                emitter.ins("st %s, [%%g4]" % emitter.name_of(rs),
+                            reads={rs, 4})
+            else:
+                emitter.ins("la $t9, gbuf + %d" % slot, writes={25})
+                emitter.offset += 1  # la expands to lui+ori
+                emitter.ins("sw %s, 0($t9)" % emitter.name_of(rs),
+                            reads={rs, 25})
+        else:
+            slot = 4 * rng.randint(0, 15)
+            if arch == "sparc":
+                emitter.ins("set gbuf + %d, %%g4" % slot, writes={4})
+                emitter.offset += 1
+                emitter.ins("ld [%%g4], %s" % emitter.name_of(rd),
+                            reads={4}, writes={rd})
+            else:
+                emitter.ins("la $t9, gbuf + %d" % slot, writes={25})
+                emitter.offset += 1
+                emitter.ins("lw %s, 0($t9)" % emitter.name_of(rd),
+                            reads={25}, writes={rd})
+
+
+def _emit_delay_slot(emitter, routine, rng, fill):
+    """One delay-slot word: a scratch-only filler or a nop."""
+    regs = emitter.regs
+    if not fill:
+        emitter.ins("nop")
+        return
+    rs = rng.choice(regs.p)
+    if emitter.plan["arch"] == "sparc":
+        emitter.ins("add %s, 1, %%g3" % emitter.name_of(rs),
+                    reads={rs}, writes={3})
+    else:
+        emitter.ins("addu $t8, %s, %s" % (emitter.name_of(rs),
+                                          emitter.name_of(rs)),
+                    reads={rs}, writes={24})
+
+
+def _emit_cmp_branch(emitter, routine, rng, cond, reg, imm, target,
+                     annul, fill):
+    """Compare-and-branch; returns the branch word's offset."""
+    arch = emitter.plan["arch"]
+    name = emitter.name_of(reg)
+    if arch == "sparc":
+        mnems = {"eq": "be", "ne": "bne", "lt": "bl", "ge": "bge"}
+        emitter.ins("cmp %s, %d" % (name, imm), reads={reg})
+        branch = mnems[cond] + (",a" if annul else "")
+        offset = emitter.ins("%s %s" % (branch, target))
+    else:
+        suffix = "l" if annul else ""
+        if cond in ("eq", "ne"):
+            emitter.ins("li $t8, %d" % imm, writes={24})
+            mnem = ("beq" if cond == "eq" else "bne") + suffix
+            offset = emitter.ins("%s %s, $t8, %s" % (mnem, name, target),
+                                 reads={reg, 24})
+        else:
+            emitter.ins("slti $t8, %s, %d" % (name, imm),
+                        reads={reg}, writes={24})
+            mnem = ("bne" if cond == "lt" else "beq") + suffix
+            offset = emitter.ins("%s $t8, $zero, %s" % (mnem, target),
+                                 reads={24})
+    _emit_delay_slot(emitter, routine, rng, fill)
+    emitter.record_cti(offset, True, bool(annul), bool(fill))
+    emitter.record_transfer(offset, target, "taken")
+    return offset
+
+
+def _emit_uncond(emitter, routine, rng, target, annul, fill, cti=False):
+    arch = emitter.plan["arch"]
+    if arch == "sparc" and cti:
+        # A branch in a delay slot: executes one word at *target*, then
+        # resumes at *target* — legal, deterministic, and guaranteed to
+        # stop static discovery (the join starts with a nop).
+        offset = emitter.ins("ba %s" % target)
+        emitter.ins("ba,a %s" % target)
+        emitter.record_cti(offset, True, False, True)
+        emitter.record_transfer(offset, target, "cti-slot")
+    elif arch == "sparc" and annul:
+        offset = emitter.ins("ba,a %s" % target)
+        emitter.record_cti(offset, False, False, False)
+        emitter.record_transfer(offset, target, "uncond")
+    elif arch == "sparc":
+        offset = emitter.ins("ba %s" % target)
+        _emit_delay_slot(emitter, routine, rng, fill)
+        emitter.record_cti(offset, True, False, bool(fill))
+        emitter.record_transfer(offset, target, "uncond")
+    else:
+        offset = emitter.ins("b %s" % target)
+        _emit_delay_slot(emitter, routine, rng, fill)
+        emitter.record_cti(offset, True, False, bool(fill))
+        emitter.record_transfer(offset, target, "uncond")
+    emitter.close_block(target)
+
+
+# -- structured items --------------------------------------------------
+
+
+def _emit_item(emitter, routine, item, expose=False):
+    """Emit one plan item; returns the exposed entry label (if any)."""
+    rng = random.Random(item.get("os", 0) ^ 0x5EED)
+    kind = item["p"]
+    if kind == "straight":
+        _emit_fillers(emitter, routine, rng, item["n"])
+        return None
+    if kind == "print":
+        _emit_print(emitter, routine)
+        return None
+    if kind == "island":
+        return _emit_island(emitter, routine, rng, item)
+    if kind == "call":
+        return _emit_call(emitter, routine, item)
+    if kind == "diamond":
+        return _emit_diamond(emitter, routine, rng, item, expose)
+    if kind == "loop":
+        return _emit_loop(emitter, routine, rng, item)
+    if kind == "irr":
+        return _emit_irr(emitter, routine, rng, item)
+    if kind == "switch":
+        return _emit_switch(emitter, routine, rng, item, expose)
+    raise ValueError("unknown item kind %r" % kind)
+
+
+def _emit_print(emitter, routine):
+    regs = emitter.regs
+    if emitter.plan["arch"] == "sparc":
+        emitter.ins("mov %s, %%o0" % emitter.name_of(regs.p[0]),
+                    reads={regs.p[0]}, writes={8})
+        emitter.ins("mov 2, %g1", writes={1})
+        emitter.ins("ta 0")
+        emitter.ins("mov 32, %o0", writes={8})
+        emitter.ins("mov 3, %g1", writes={1})
+        emitter.ins("ta 0")
+    else:
+        emitter.ins("move $a0, %s" % emitter.name_of(regs.p[0]),
+                    reads={regs.p[0]}, writes={4})
+        emitter.ins("li $v0, 2", writes={2})
+        emitter.ins("syscall")
+        emitter.ins("li $a0, 32", writes={4})
+        emitter.ins("li $v0, 3", writes={2})
+        emitter.ins("syscall")
+
+
+def _emit_island(emitter, routine, rng, item):
+    skip = emitter.new_label()
+    _emit_uncond(emitter, routine, rng, skip, annul=0, fill=0)
+    start = emitter.offset
+    for _ in range(item.get("words", 2)):
+        emitter.word("0xFFFFFFFF")
+    emitter.islands.append([TEXT_BASE + 4 * start,
+                            TEXT_BASE + 4 * emitter.offset])
+    emitter.label(skip, fall_from_prev=False)
+    return None
+
+
+def _emit_call(emitter, routine, item):
+    plan = emitter.plan
+    callee_routine = plan["routines"][item["callee"]]
+    if item["entry"] == "extra" \
+            and callee_routine["extra_entry"] is not None:
+        # Exposed joins get a deterministic name (see _emit_diamond /
+        # _emit_switch), so callers can reference them before the
+        # callee is emitted.
+        label = "%s_e2" % callee_routine["name"]
+    else:
+        label = callee_routine["name"]
+    arch = plan["arch"]
+    regs = emitter.regs
+    # Establish every register the callee reads before writing on the
+    # entered path: its skipped param initializers, plus the whole pool
+    # when entering at the exposed join (the routine-top initializers
+    # never run on that path).  No editable CFG point exists between
+    # these defs and the callee's entry — the defs and the call share a
+    # basic block and call delay slots are uneditable — so the values
+    # survive instrumentation.  Without them the callee reads junk that
+    # edits legitimately change, and co-simulation rightly diverges.
+    callee_regs = _MAPS[(arch, callee_routine["kind"])]
+    if item["entry"] == "extra" \
+            and callee_routine["extra_entry"] is not None:
+        establish = list(callee_regs.p) + list(callee_regs.c)
+    else:
+        establish = [callee_regs.p[i] for i in callee_routine["uninit"]]
+    for position, reg in enumerate(establish):
+        _op_li(emitter, reg, 5 + 7 * position)
+    if arch == "sparc":
+        offset = emitter.ins("call %s" % label, writes={15})
+        emitter.ins("nop")
+        emitter.record_cti(offset, True, False, False)
+        emitter.ins("add %s, %%o0, %s" % (emitter.name_of(regs.p[0]),
+                                          emitter.name_of(regs.p[0])),
+                    reads={regs.p[0], 8}, writes={regs.p[0]})
+    else:
+        offset = emitter.ins("jal %s" % label, writes={31})
+        emitter.ins("nop")
+        emitter.record_cti(offset, True, False, False)
+        emitter.ins("addu %s, %s, $v0" % (emitter.name_of(regs.p[0]),
+                                          emitter.name_of(regs.p[0])),
+                    reads={regs.p[0], 2}, writes={regs.p[0]})
+    emitter.calls.append({"src": TEXT_BASE + 4 * offset, "callee": label})
+    return None
+
+
+def _emit_diamond(emitter, routine, rng, item, expose=False):
+    regs = emitter.regs
+    taken = emitter.new_label()
+    fall = emitter.new_label()
+    join = "%s_e2" % routine["name"] if expose else emitter.new_label()
+    reg = regs.p[rng.randrange(len(regs.p))]
+    branch = _emit_cmp_branch(emitter, routine, rng, item["cond"], reg,
+                              item["imm"], taken, item["annul"],
+                              item["fill"])
+    emitter.record_transfer(branch, fall, "fall")
+    emitter.close_block(taken, fall)
+    emitter.label(fall, fall_from_prev=False)
+    _emit_fillers(emitter, routine, rng, item["n"])
+    _emit_uncond(emitter, routine, rng, join, annul=0,
+                 fill=item["fill"], cti=bool(item.get("cti")))
+    emitter.label(taken, fall_from_prev=False)
+    _emit_fillers(emitter, routine, rng, item["n"])
+    emitter.label(join)  # taken arm falls into the join
+    if item.get("cti"):
+        emitter.ins("nop")  # re-executed once by the delay-slot branch
+    return join
+
+
+def _emit_loop(emitter, routine, rng, item):
+    regs = emitter.regs
+    if emitter.counter_depth >= len(regs.c):
+        _emit_fillers(emitter, routine, rng, item["n"])
+        return None
+    counter = regs.c[emitter.counter_depth]
+    emitter.counter_depth += 1
+    head = emitter.new_label()
+    _op_li(emitter, counter, 0)
+    emitter.label(head)
+    _emit_fillers(emitter, routine, rng, item["n"])
+    for sub in item.get("body", ()):
+        _emit_item(emitter, routine, sub)
+    arch = emitter.plan["arch"]
+    cname = emitter.name_of(counter)
+    if arch == "sparc":
+        emitter.ins("add %s, 1, %s" % (cname, cname),
+                    reads={counter}, writes={counter})
+        emitter.ins("cmp %s, %d" % (cname, item["bound"]), reads={counter})
+        offset = emitter.ins("bne %s" % head)
+    else:
+        emitter.ins("addiu %s, %s, 1" % (cname, cname),
+                    reads={counter}, writes={counter})
+        emitter.ins("sltiu $t8, %s, %d" % (cname, item["bound"]),
+                    reads={counter}, writes={24})
+        suffix = "l" if item["annul"] else ""
+        offset = emitter.ins("bne%s $t8, $zero, %s" % (suffix, head),
+                             reads={24})
+    _emit_delay_slot(emitter, routine, rng, item["fill"])
+    emitter.record_cti(offset, True, bool(arch == "mips" and item["annul"]),
+                       bool(item["fill"]))
+    emitter.record_transfer(offset, head, "taken")
+    after = emitter.new_label()
+    emitter.record_transfer(offset, after, "fall")
+    emitter.close_block(head, after)
+    emitter.label(after, fall_from_prev=False)
+    emitter.counter_depth -= 1
+    return None
+
+
+def _emit_irr(emitter, routine, rng, item):
+    """Two-entry cycle: the header jumps into the middle of the loop."""
+    regs = emitter.regs
+    if emitter.counter_depth >= len(regs.c):
+        _emit_fillers(emitter, routine, rng, item["n"])
+        return None
+    counter = regs.c[emitter.counter_depth]
+    emitter.counter_depth += 1
+    body_x = emitter.new_label()
+    body_y = emitter.new_label()
+    reg = regs.p[rng.randrange(len(regs.p))]
+    _op_li(emitter, counter, 0)
+    branch = _emit_cmp_branch(emitter, routine, rng, item["cond"], reg,
+                              item["imm"], body_y, annul=0, fill=0)
+    emitter.record_transfer(branch, body_x, "fall")
+    emitter.close_block(body_x, body_y)
+    emitter.label(body_x, fall_from_prev=False)
+    _emit_fillers(emitter, routine, rng, item["n"])
+    emitter.label(body_y)  # x falls into y; header also branches to y
+    _emit_fillers(emitter, routine, rng, item["n"])
+    arch = emitter.plan["arch"]
+    cname = emitter.name_of(counter)
+    if arch == "sparc":
+        emitter.ins("add %s, 1, %s" % (cname, cname),
+                    reads={counter}, writes={counter})
+        emitter.ins("cmp %s, %d" % (cname, item["bound"]), reads={counter})
+        offset = emitter.ins("bne %s" % body_x)
+        emitter.ins("nop")
+    else:
+        emitter.ins("addiu %s, %s, 1" % (cname, cname),
+                    reads={counter}, writes={counter})
+        emitter.ins("sltiu $t8, %s, %d" % (cname, item["bound"]),
+                    reads={counter}, writes={24})
+        offset = emitter.ins("bne $t8, $zero, %s" % body_x, reads={24})
+        emitter.ins("nop")
+    emitter.record_cti(offset, True, False, False)
+    emitter.record_transfer(offset, body_x, "taken")
+    # The latch falls through into whatever follows; the block stays
+    # open, but the back edge must still feed the liveness truth.
+    if emitter.block is not None and not emitter.block.closed:
+        emitter.block.succs.append(body_x)
+    emitter.counter_depth -= 1
+    return None
+
+
+def _emit_switch(emitter, routine, rng, item, expose=False):
+    """The paper's §3.1 dispatch-table idiom, masked for termination."""
+    regs = emitter.regs
+    arch = emitter.plan["arch"]
+    cases = item["cases"]
+    table = emitter.new_label()
+    case_labels = [emitter.new_label() for _ in range(cases)]
+    default = emitter.new_label()
+    join = "%s_e2" % routine["name"] if expose else emitter.new_label()
+    reg = regs.p[rng.randrange(len(regs.p))]
+    idx = emitter.name_of(regs.sw_idx)
+    scaled = emitter.name_of(regs.scratch)
+    base = emitter.name_of(regs.addr)
+    entry = emitter.name_of(regs.sw_ent)
+    if arch == "sparc":
+        emitter.ins("and %s, %d, %s" % (emitter.name_of(reg), item["mask"],
+                                        idx),
+                    reads={reg}, writes={regs.sw_idx})
+        emitter.ins("cmp %s, %d" % (idx, cases - 1), reads={regs.sw_idx})
+        guard = emitter.ins("bgu %s" % default)
+        emitter.ins("nop")
+        emitter.record_cti(guard, True, False, False)
+        emitter.record_transfer(guard, default, "taken")
+        dispatch = emitter.new_label()
+        emitter.record_transfer(guard, dispatch, "fall")
+        emitter.close_block(default, dispatch)
+        emitter.label(dispatch, fall_from_prev=False)
+        emitter.ins("sll %s, 2, %s" % (idx, scaled),
+                    reads={regs.sw_idx}, writes={regs.scratch})
+        emitter.ins("set %s, %s" % (table, base), writes={regs.addr})
+        emitter.offset += 1
+        emitter.ins("ld [%s + %s], %s" % (base, scaled, entry),
+                    reads={regs.addr, regs.scratch}, writes={regs.sw_ent})
+        jump = emitter.ins("jmp %s" % entry, reads={regs.sw_ent})
+        emitter.ins("nop")
+        emitter.record_cti(jump, True, False, False)
+    else:
+        emitter.ins("andi %s, %s, %d" % (idx, emitter.name_of(reg),
+                                         item["mask"]),
+                    reads={reg}, writes={regs.sw_idx})
+        emitter.ins("sltiu $t8, %s, %d" % (idx, cases),
+                    reads={regs.sw_idx}, writes={24})
+        guard = emitter.ins("beq $t8, $zero, %s" % default, reads={24})
+        emitter.ins("nop")
+        emitter.record_cti(guard, True, False, False)
+        emitter.record_transfer(guard, default, "taken")
+        dispatch = emitter.new_label()
+        emitter.record_transfer(guard, dispatch, "fall")
+        emitter.close_block(default, dispatch)
+        emitter.label(dispatch, fall_from_prev=False)
+        emitter.ins("sll %s, %s, 2" % (scaled, idx),
+                    reads={regs.sw_idx}, writes={regs.scratch})
+        emitter.ins("la %s, %s" % (base, table), writes={regs.addr})
+        emitter.offset += 1
+        emitter.ins("addu %s, %s, %s" % (base, base, scaled),
+                    reads={regs.addr, regs.scratch}, writes={regs.addr})
+        emitter.ins("lw %s, 0(%s)" % (entry, base),
+                    reads={regs.addr}, writes={regs.sw_ent})
+        jump = emitter.ins("jr %s" % entry, reads={regs.sw_ent})
+        emitter.ins("nop")
+        emitter.record_cti(jump, True, False, False)
+    emitter.close_block(*case_labels)
+    table_offset = None
+    if item["in_text"]:
+        table_offset = emitter.offset
+        emitter.raw("%s:" % table)
+        emitter.label_offsets[table] = emitter.offset
+        for case in case_labels:
+            emitter.word(case)
+    else:
+        emitter.rodata.append((table, list(case_labels)))
+    emitter.tables.append({
+        "jmp": TEXT_BASE + 4 * jump,
+        "table_label": table,
+        "table_offset": table_offset,
+        "bound": cases,
+        "target_labels": list(case_labels),
+        "in_text": bool(item["in_text"]),
+    })
+    for case in case_labels:
+        emitter.label(case, fall_from_prev=False)
+        _emit_fillers(emitter, routine, rng, max(1, item["n"] - 1))
+        _emit_uncond(emitter, routine, rng, join, annul=0, fill=0)
+    emitter.label(default, fall_from_prev=False)
+    _emit_fillers(emitter, routine, rng, item["n"])
+    emitter.label(join)  # default falls into the join
+    return join
+
+
+# ----------------------------------------------------------------------
+# Ground-truth liveness (leaf, single-entry routines only).
+
+
+def _has_cti(items):
+    return any(item.get("cti") or _has_cti(item.get("body", ()))
+               for item in items)
+
+
+def _truth_live_in(emitter, routine):
+    if routine["kind"] != "leaf" or routine["extra_entry"] is not None:
+        return None
+    if _has_cti(routine["items"]):
+        return None
+    blocks = {block.label: block for block in emitter.blocks}
+    live_in = {label: set() for label in blocks}
+    changed = True
+    while changed:
+        changed = False
+        for label, block in blocks.items():
+            out = set()
+            for succ in block.succs:
+                if succ != "EXIT" and succ in live_in:
+                    out |= live_in[succ]
+            new_in = block.uses | (out - block.defs)
+            if new_in != live_in[label]:
+                live_in[label] = new_in
+                changed = True
+    entry = emitter.blocks[0]
+    return sorted(live_in[entry.label])
+
+
+# ----------------------------------------------------------------------
+# Manifest resolution: label offsets -> absolute addresses.
+
+
+def _finish_manifest(emitter, image):
+    plan = emitter.plan
+    text = image.get_section(".text")
+    text_end = text.vaddr + text.size
+    # Sanity: our offset bookkeeping must agree with the assembler.
+    for routine in plan["routines"]:
+        symbol = image.find_symbol(routine["name"])
+        expected = emitter.addr_of(routine["name"])
+        if symbol is None or symbol.value != expected:
+            raise AssertionError(
+                "offset bookkeeping drifted for %s: symbol=%r expected=0x%x"
+                % (routine["name"], symbol, expected))
+    routines = []
+    ordered = emitter.manifest_routines
+    for position, record in enumerate(ordered):
+        # _start is emitted first; routines tile the text section.
+        start = emitter.addr_of(record["label"])
+        if position + 1 < len(ordered):
+            end = emitter.addr_of(ordered[position + 1]["label"])
+        else:
+            end = text_end
+        entries = [start]
+        if record["extra_entry_label"]:
+            entries.append(emitter.addr_of(record["extra_entry_label"]))
+        transfers = []
+        for transfer in record["transfers"]:
+            transfers.append({"src": transfer["src"],
+                              "dst": emitter.addr_of(transfer["dst"]),
+                              "kind": transfer["kind"]})
+        calls = [{"src": call["src"],
+                  "dst": emitter.addr_of(call["callee"])}
+                 for call in record["calls"]]
+        tables = []
+        for table in record["tables"]:
+            if table["in_text"]:
+                table_addr = TEXT_BASE + 4 * table["table_offset"]
+            else:
+                symbol = image.find_symbol(table["table_label"])
+                table_addr = symbol.value if symbol else None
+            tables.append({
+                "jmp": table["jmp"],
+                "table": table_addr,
+                "bound": table["bound"],
+                "targets": [emitter.addr_of(label)
+                            for label in table["target_labels"]],
+                "in_text": table["in_text"],
+            })
+        routines.append({
+            "name": record["name"],
+            "start": start,
+            "end": end,
+            "hidden": record["hidden"],
+            "leaf": record["leaf"],
+            "entries": sorted(entries),
+            "incomplete_ok": record["incomplete_ok"],
+            "leaders": sorted(emitter.addr_of(label)
+                              for label in record["leader_labels"]),
+            "transfers": transfers,
+            "calls": calls,
+            "tables": tables,
+            "islands": record["islands"],
+            "ctis": record["ctis"],
+            "live_in": record["live_in"],
+        })
+    return {
+        "version": GEN_VERSION,
+        "arch": plan["arch"],
+        "seed": plan["seed"],
+        "entry": image.entry,
+        "text_end": text_end,
+        "routines": routines,
+    }

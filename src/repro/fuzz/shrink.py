@@ -1,0 +1,253 @@
+"""Structured shrinking: minimize a failing plan, not its bytes.
+
+Byte- or instruction-level deltas on an executable almost always
+produce garbage that fails for a *new* reason.  Shrinking the
+generator's plan keeps every candidate well-formed by construction, so
+the only question the probe answers is "does this smaller program still
+fail the same way?".
+
+Passes, in deterministic order (restarted after every accepted delta,
+so the result is a fixpoint and shrinking a minimal plan returns it
+unchanged):
+
+1. drop a whole routine (never ``main``), remapping call/tail indices;
+2. drop one item from a routine body (or from a loop's nested body);
+3. simplify one item in place — shrink a switch's case count, drop a
+   loop's nested body, lower its bound, unfill/unannul delay slots,
+   drop the branch-in-delay-slot twist, shrink straight runs;
+4. simplify a routine — unhide it, drop its tail call, extra entry, or
+   uninitialized-register set.
+
+After every delta the plan is re-normalized to the generator's
+invariants (dangling calls removed, hidden routines without a call
+reference unhidden, ambiguous tail-into-hidden-chain dropped) so a
+shrunk plan is always one the generator could have produced.
+"""
+
+import copy
+
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
+
+_C_PROBES = _metrics.counter("fuzz.shrink.probes")
+_C_ACCEPTED = _metrics.counter("fuzz.shrink.accepted")
+_C_RUNS = _metrics.counter("fuzz.shrink.runs")
+
+_DEFAULT_MAX_PROBES = 400
+
+
+def shrink_plan(plan, preserves, max_probes=_DEFAULT_MAX_PROBES):
+    """Smallest normalized variant of *plan* for which *preserves* holds.
+
+    *preserves* is a callable taking a candidate plan and returning
+    True when the candidate still exhibits the original failure class.
+    If *plan* itself does not satisfy *preserves* (flaky failure), it
+    is returned unchanged.
+    """
+    _C_RUNS.inc()
+    with _span("fuzz.shrink"):
+        current = _normalize(copy.deepcopy(plan))
+        budget = [max_probes]
+        if not _probe(preserves, current, budget):
+            return plan
+        improved = True
+        while improved and budget[0] > 0:
+            improved = False
+            for candidate in _candidates(current):
+                if budget[0] <= 0:
+                    break
+                if _probe(preserves, candidate, budget):
+                    _C_ACCEPTED.inc()
+                    current = candidate
+                    improved = True
+                    break
+        return current
+
+
+def _probe(preserves, candidate, budget):
+    budget[0] -= 1
+    _C_PROBES.inc()
+    return preserves(candidate)
+
+
+# ----------------------------------------------------------------------
+# Candidate generation (deterministic order, smallest-first)
+# ----------------------------------------------------------------------
+
+
+def _candidates(plan):
+    for index in range(len(plan["routines"]) - 1, 0, -1):
+        yield _normalize(_drop_routine(plan, index))
+    for rindex, routine in enumerate(plan["routines"]):
+        for iindex in range(len(routine["items"]) - 1, -1, -1):
+            yield _normalize(_drop_item(plan, rindex, iindex))
+    for rindex, routine in enumerate(plan["routines"]):
+        for iindex, item in enumerate(routine["items"]):
+            for body_index in range(len(item.get("body", ())) - 1, -1, -1):
+                yield _normalize(
+                    _drop_body_item(plan, rindex, iindex, body_index))
+    for rindex, routine in enumerate(plan["routines"]):
+        for iindex, item in enumerate(routine["items"]):
+            for simplified in _simplify_item(item):
+                candidate = copy.deepcopy(plan)
+                candidate["routines"][rindex]["items"][iindex] = simplified
+                yield _normalize(candidate)
+    for rindex, routine in enumerate(plan["routines"]):
+        for simplified in _simplify_routine(routine):
+            candidate = copy.deepcopy(plan)
+            candidate["routines"][rindex] = simplified
+            yield _normalize(candidate)
+
+
+def _drop_routine(plan, index):
+    candidate = copy.deepcopy(plan)
+    del candidate["routines"][index]
+    for routine in candidate["routines"]:
+        if routine["tail"] is not None:
+            if routine["tail"] == index:
+                routine["tail"] = None
+            elif routine["tail"] > index:
+                routine["tail"] -= 1
+        kept = []
+        for item in routine["items"]:
+            if item["p"] == "call":
+                if item["callee"] == index:
+                    continue
+                if item["callee"] > index:
+                    item["callee"] -= 1
+            kept.append(item)
+        routine["items"] = kept
+    return candidate
+
+
+def _drop_item(plan, rindex, iindex):
+    candidate = copy.deepcopy(plan)
+    del candidate["routines"][rindex]["items"][iindex]
+    return candidate
+
+
+def _drop_body_item(plan, rindex, iindex, body_index):
+    candidate = copy.deepcopy(plan)
+    del candidate["routines"][rindex]["items"][iindex]["body"][body_index]
+    return candidate
+
+
+def _simplify_item(item):
+    """Smaller same-kind variants of *item*, most aggressive first."""
+    out = []
+
+    def variant(**changes):
+        if all(item.get(key) == value for key, value in changes.items()):
+            return
+        smaller = copy.deepcopy(item)
+        smaller.update(changes)
+        out.append(smaller)
+
+    kind = item["p"]
+    if kind == "switch":
+        if item["cases"] > 3:
+            variant(cases=item["cases"] - 1,
+                    mask=_pow2_mask_below(item["cases"] - 1))
+        variant(mask=_pow2_mask_below(item["cases"]))
+        variant(in_text=0)
+    elif kind == "loop":
+        variant(body=[])
+        variant(bound=2)
+        variant(annul=0, fill=0)
+    elif kind == "diamond":
+        variant(cti=0)
+        variant(annul=0, fill=0)
+    elif kind == "irr":
+        variant(bound=2)
+    elif kind == "island":
+        variant(words=1)
+    if "n" in item and item["n"] > 1:
+        variant(n=1)
+    return out
+
+
+def _simplify_routine(routine):
+    out = []
+
+    def variant(**changes):
+        if all(routine.get(key) == value for key, value in changes.items()):
+            return
+        smaller = copy.deepcopy(routine)
+        smaller.update(changes)
+        out.append(smaller)
+
+    variant(hidden=False)
+    variant(tail=None)
+    variant(extra_entry=None)
+    variant(uninit=[])
+    return out
+
+
+def _pow2_mask_below(cases):
+    mask = 1
+    while (mask << 1) | 1 <= cases - 1:
+        mask = (mask << 1) | 1
+    return mask
+
+
+# ----------------------------------------------------------------------
+# Invariant restoration
+# ----------------------------------------------------------------------
+
+
+def _normalize(plan):
+    """Restore the generator's structural invariants in place."""
+    routines = plan["routines"]
+    for routine in routines:
+        # SPARC frame params sit in a fresh register window: their
+        # initializers cannot be skipped (see gen.build_plan).
+        if plan["arch"] == "sparc" and routine["kind"] == "frame":
+            routine["uninit"] = []
+    for rindex, routine in enumerate(routines):
+        kept = []
+        for item in routine["items"]:
+            if item["p"] == "call":
+                # Calls only ride in frame routines and only go forward
+                # (the termination-by-construction DAG).
+                if (routine["kind"] != "frame"
+                        or not rindex < item["callee"] < len(routines)):
+                    continue
+            kept.append(item)
+        routine["items"] = kept
+        if routine["tail"] is not None:
+            target = routine["tail"]
+            if not rindex < target < len(routines):
+                routine["tail"] = None
+            elif (routines[target]["hidden"]
+                    and all(routines[k]["hidden"]
+                            for k in range(rindex + 1, target))):
+                # Ambiguous ground truth (the walk would cover the
+                # target); the generator never emits this shape.
+                routine["tail"] = None
+        if routine["tail"] is not None:
+            # Tail callers cannot establish the target's params
+            # (escape edges are editable); see gen.build_plan.
+            routines[routine["tail"]]["uninit"] = []
+        if routine["extra_entry"] is not None:
+            items = routine["items"]
+            valid = (routine["kind"] == "leaf"
+                     and routine["extra_entry"] < len(items)
+                     and items[routine["extra_entry"]]["p"]
+                     in ("diamond", "switch"))
+            if not valid:
+                routine["extra_entry"] = None
+
+    call_referenced = set()
+    for routine in routines:
+        for item in routine["items"]:
+            if item["p"] == "call":
+                call_referenced.add((item["callee"], item["entry"]))
+    for index, routine in enumerate(routines):
+        if routine["hidden"] and (index, "main") not in call_referenced:
+            routine["hidden"] = False
+    for routine in routines:
+        for item in routine["items"]:
+            if (item["p"] == "call" and item["entry"] == "extra"
+                    and routines[item["callee"]]["extra_entry"] is None):
+                item["entry"] = "main"
+    return plan

@@ -109,6 +109,10 @@ class BlizzardAccessControl:
     def instrument(self):
         for routine in self.exec.all_routines():
             cfg = routine.control_flow_graph()
+            if cfg.cti_in_slot:
+                # Paper §3.1: un-editable delayed-delayed flow.
+                routine.delete_control_flow_graph()
+                continue
             for block in cfg.blocks:
                 for index, (addr, instruction) in enumerate(
                     block.instructions

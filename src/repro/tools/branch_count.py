@@ -20,6 +20,10 @@ class BranchCounter:
 
     def instrument_routine(self, routine):
         cfg = routine.control_flow_graph()
+        if cfg.cti_in_slot:
+            # Paper §3.1: un-editable delayed-delayed flow.
+            routine.delete_control_flow_graph()
+            return
         for block in cfg.blocks:
             if len(block.succ) <= 1:
                 continue

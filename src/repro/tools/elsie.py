@@ -106,6 +106,11 @@ class ElsieSimulatorBuilder:
     def instrument(self):
         for routine in self.exec.all_routines():
             cfg = routine.control_flow_graph()
+            if cfg.cti_in_slot:
+                # Paper §3.1: un-editable delayed-delayed flow; leave
+                # the routine's loads/stores unsimulated.
+                routine.delete_control_flow_graph()
+                continue
             for block in cfg.blocks:
                 if not block.editable:
                     continue

@@ -65,6 +65,11 @@ class QptProfiler:
         return self
 
     def _instrument(self, routine):
+        if routine.control_flow_graph().cti_in_slot:
+            # Paper §3.1: a branch occupying a delay slot cannot be
+            # edited — leave the routine in place, unprofiled.
+            routine.delete_control_flow_graph()
+            return
         if self.mode == "block":
             self._instrument_blocks(routine)
         else:

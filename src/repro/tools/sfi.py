@@ -71,6 +71,11 @@ class Sandboxer:
     def instrument(self):
         for routine in self.exec.all_routines():
             cfg = routine.control_flow_graph()
+            if cfg.cti_in_slot:
+                # Paper §3.1: un-editable delayed-delayed flow; the
+                # routine stays in place (its stores go unchecked).
+                routine.delete_control_flow_graph()
+                continue
             for block in cfg.blocks:
                 if not block.editable:
                     continue

@@ -190,7 +190,16 @@ class CosimOracle:
                     if instruction.is_delayed:
                         delay_addrs.add(addr + 4)
             for block in cfg.normal_blocks():
-                live = frozenset(liveness.live_before(block, 0))
+                # The raw dataflow solution, NOT live_before(): that
+                # query adds every SPARC window register throughout
+                # pre-`save` (e.g. leaf) routines so snippets in the
+                # callee cannot clobber caller state.  Scavenging needs
+                # that; comparison must not — the caller's dead window
+                # registers are legitimately rewritten by the *caller's
+                # own* snippets, and comparing them here would flag
+                # clean edits.  What the callee itself may read is
+                # exactly live_in.
+                live = frozenset(liveness.live_in[block.id])
                 if block.start == routine.start:
                     live &= boundary
                 starts[block.start] = live

@@ -1,0 +1,210 @@
+"""Direct unit tests for the analysis primitives: dominators + slicing.
+
+Both modules only touch a narrow structural surface (block ids,
+successor/predecessor iteration, instruction read/write inquiries), so
+hand-built stub CFGs pin their behavior down exactly — no assembler,
+no refinement, no real ISA.
+"""
+
+from repro.core.analysis.dominators import dominates, dominators
+from repro.core.analysis.slicing import Slice, backward_slice
+
+
+# ----------------------------------------------------------------------
+# Stub graph machinery
+# ----------------------------------------------------------------------
+
+class StubInstruction:
+    def __init__(self, writes=(), reads=(), is_memory=False, is_load=False,
+                 is_call=False, is_system=False):
+        self._writes = frozenset(writes)
+        self._reads = frozenset(reads)
+        self.is_memory = is_memory
+        self.is_load = is_load
+        self.is_call = is_call
+        self.is_system = is_system
+
+    def writes_register(self, reg):
+        return reg in self._writes
+
+    def reads(self):
+        return set(self._reads)
+
+
+class StubEdge:
+    def __init__(self, src, dst):
+        self.src = src
+        self.dst = dst
+
+
+class StubBlock:
+    def __init__(self, block_id, kind="normal", instructions=()):
+        self.id = block_id
+        self.kind = kind
+        self.instructions = [(4 * i, instruction)
+                             for i, instruction in enumerate(instructions)]
+        self.succ = []
+        self.pred = []
+
+    def successors(self):
+        return [edge.dst for edge in self.succ]
+
+    def predecessors(self):
+        return [edge.src for edge in self.pred]
+
+    def __repr__(self):
+        return "StubBlock(%d)" % self.id
+
+
+class StubCFG:
+    def __init__(self, entry):
+        self.entry = entry
+
+
+def connect(src, dst):
+    edge = StubEdge(src, dst)
+    src.succ.append(edge)
+    dst.pred.append(edge)
+
+
+def build(edges, count):
+    blocks = [StubBlock(i) for i in range(count)]
+    for src, dst in edges:
+        connect(blocks[src], blocks[dst])
+    return blocks
+
+
+# ----------------------------------------------------------------------
+# Dominators
+# ----------------------------------------------------------------------
+
+def test_dominators_diamond():
+    # 0 -> 1 -> {2, 3} -> 4
+    blocks = build([(0, 1), (1, 2), (1, 3), (2, 4), (3, 4)], 5)
+    idom = dominators(StubCFG(blocks[0]))
+    assert idom[blocks[0]] is blocks[0]
+    assert idom[blocks[1]] is blocks[0]
+    assert idom[blocks[2]] is blocks[1]
+    assert idom[blocks[3]] is blocks[1]
+    # The join is dominated by the branch head, not either arm.
+    assert idom[blocks[4]] is blocks[1]
+    assert dominates(idom, blocks[1], blocks[4])
+    assert not dominates(idom, blocks[2], blocks[4])
+    assert not dominates(idom, blocks[3], blocks[4])
+
+
+def test_dominators_loop_back_edge():
+    # 0 -> 1 -> 2 -> 3 -> 1 (back edge), 3 -> 4
+    blocks = build([(0, 1), (1, 2), (2, 3), (3, 1), (3, 4)], 5)
+    idom = dominators(StubCFG(blocks[0]))
+    assert idom[blocks[1]] is blocks[0]
+    assert idom[blocks[2]] is blocks[1]
+    assert idom[blocks[3]] is blocks[2]
+    assert idom[blocks[4]] is blocks[3]
+    # The loop header dominates every loop block despite the cycle.
+    assert dominates(idom, blocks[1], blocks[3])
+    assert not dominates(idom, blocks[3], blocks[1])
+
+
+def test_dominators_irreducible_region():
+    # 0 -> {1, 2}, 1 <-> 2, both -> 3: neither cycle member dominates
+    # the other, so both (and the exit) are dominated by the fork.
+    blocks = build([(0, 1), (0, 2), (1, 2), (2, 1), (1, 3), (2, 3)], 4)
+    idom = dominators(StubCFG(blocks[0]))
+    assert idom[blocks[1]] is blocks[0]
+    assert idom[blocks[2]] is blocks[0]
+    assert idom[blocks[3]] is blocks[0]
+    assert not dominates(idom, blocks[1], blocks[2])
+    assert not dominates(idom, blocks[2], blocks[1])
+
+
+def test_dominators_unreachable_block_is_omitted():
+    blocks = build([(0, 1)], 3)  # block 2 has no path from entry
+    idom = dominators(StubCFG(blocks[0]))
+    assert blocks[2] not in idom
+    assert not dominates(idom, blocks[0], blocks[2])
+
+
+# ----------------------------------------------------------------------
+# Backward slicing
+# ----------------------------------------------------------------------
+
+def test_slice_constant_definition_is_easy():
+    block = StubBlock(0, instructions=[
+        StubInstruction(writes={1}),              # li r1, const
+        StubInstruction(writes={9}, reads={1}),   # use
+    ])
+    result = backward_slice(None, block, 1, 1)
+    assert result.easy == [(block, 0)]
+    assert not result.hard
+    assert result.complete
+
+
+def test_slice_follows_register_chain_as_hard():
+    block = StubBlock(0, instructions=[
+        StubInstruction(writes={2}),              # li r2
+        StubInstruction(writes={1}, reads={2}),   # add r1 <- r2
+    ])
+    result = backward_slice(None, block, 2, 1)
+    assert result.hard == [(block, 1)]
+    assert result.easy == [(block, 0)]
+    assert result.complete
+
+
+def test_slice_load_is_hard_and_slices_address_registers():
+    block = StubBlock(0, instructions=[
+        StubInstruction(writes={3}),                          # li r3 (base)
+        StubInstruction(writes={1}, reads={3}, is_memory=True,
+                        is_load=True),                        # ld r1, [r3]
+    ])
+    result = backward_slice(None, block, 2, 1)
+    assert (block, 1) in result.hard
+    assert (block, 0) in result.easy
+    assert result.complete
+
+
+def test_slice_value_through_call_is_impossible():
+    block = StubBlock(0, instructions=[
+        StubInstruction(writes={1}, is_call=True),
+    ])
+    result = backward_slice(None, block, 1, 1)
+    assert result.impossible == [(block, 0)]
+    assert not result.complete
+
+
+def test_slice_undefined_register_reaches_entry_as_impossible():
+    entry = StubBlock(0, kind="entry")
+    block = StubBlock(1, instructions=[StubInstruction(writes={9})])
+    connect(entry, block)
+    result = backward_slice(None, block, 1, 5)  # r5 never defined
+    assert result.impossible  # parameter/caller state
+    assert not result.complete
+
+
+def test_slice_crossing_call_surrogate_is_impossible():
+    surrogate = StubBlock(0, kind="surrogate")
+    block = StubBlock(1, instructions=[StubInstruction(writes={9})])
+    connect(surrogate, block)
+    result = backward_slice(None, block, 1, 5)
+    assert result.impossible == [(surrogate, 0)]
+
+
+def test_slice_terminates_on_definition_free_cycle():
+    a = StubBlock(0)
+    b = StubBlock(1)
+    connect(a, b)
+    connect(b, a)
+    result = backward_slice(None, a, 0, 7)
+    assert isinstance(result, Slice)  # terminated; nothing found
+    assert not result.easy and not result.hard
+
+
+def test_slice_depth_limit_reports_impossible():
+    # A long predecessor chain with the definition past the limit.
+    blocks = [StubBlock(i) for i in range(10)]
+    for i in range(9):
+        connect(blocks[i], blocks[i + 1])
+    blocks[0].instructions = [(0, StubInstruction(writes={1}))]
+    result = backward_slice(None, blocks[9], 0, 1, max_depth=3)
+    assert result.impossible
+    assert not result.complete

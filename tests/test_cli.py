@@ -170,3 +170,47 @@ def test_verify_rejects_bad_usage(capsys):
     assert main(["verify", "mips_sum", "--tool", "sfi"]) == 1
     captured = capsys.readouterr()
     assert "available" in captured.err
+
+
+def test_fuzz_rejects_bad_usage(tmp_path, capsys):
+    assert main(["fuzz", "--seeds", "0"]) == 1
+    assert main(["fuzz", "--seeds", "-5"]) == 1
+    assert main(["fuzz", "--time-budget", "0"]) == 1
+    assert main(["fuzz", "--jobs", "0"]) == 1
+    assert main(["fuzz", "--corpus-only",
+                 "--corpus", str(tmp_path / "absent")]) == 1
+    captured = capsys.readouterr()
+    assert "must be positive" in captured.err
+    assert "does not exist" in captured.err
+
+
+def test_fuzz_tiny_campaign(tmp_path, capsys):
+    corpus = str(tmp_path / "corpus")
+    assert main(["fuzz", "--seeds", "2", "--corpus", corpus]) == 0
+    captured = capsys.readouterr()
+    assert "2 seeds" in captured.out
+    assert "PASS" in captured.out
+
+
+def test_fuzz_corpus_only_happy_path(tmp_path, capsys):
+    import json
+
+    from repro.fuzz.corpus import make_entry, save_entry
+    from repro.fuzz.gen import build_plan
+
+    corpus = str(tmp_path / "corpus")
+    # A clean plan stored as "fixed" must replay clean.
+    entry = make_entry("verify:qpt", "regression guard", 0,
+                       build_plan(0), status="fixed")
+    save_entry(corpus, entry)
+    assert main(["fuzz", "--corpus-only", "--corpus", corpus]) == 0
+    captured = capsys.readouterr()
+    assert "0 failed" in captured.out
+    # Corrupt the stored entry: replay must now flag it.
+    path = tmp_path / "corpus" / (entry["id"] + ".json")
+    data = json.loads(path.read_text())
+    del data["plan"]
+    path.write_text(json.dumps(data))
+    assert main(["fuzz", "--corpus-only", "--corpus", corpus]) == 1
+    captured = capsys.readouterr()
+    assert "missing field" in captured.err

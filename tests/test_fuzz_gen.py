@@ -1,0 +1,130 @@
+"""Properties of the fuzz generator's images and ground-truth manifests.
+
+These run the generator alone (no analysis pipeline), so hypothesis can
+afford real example counts: every image must decode cleanly outside its
+declared data extents, every manifest annotation must agree with the
+machine word it describes, and regeneration from the same seed must be
+bit-identical.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.binfmt.layout import TEXT_BASE
+from repro.core.instruction import instruction_for
+from repro.fuzz.gen import GenConfig, build_plan, generate
+from repro.isa import get_codec
+
+SEEDS = st.integers(min_value=0, max_value=99999)
+
+_SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def _data_extents(manifest):
+    """[start, end) ranges in text that legitimately hold data."""
+    extents = []
+    for routine in manifest["routines"]:
+        for start, end in routine["islands"]:
+            extents.append((start, end))
+        for table in routine["tables"]:
+            if table["in_text"]:
+                extents.append((table["table"],
+                                table["table"] + 4 * len(table["targets"])))
+    return extents
+
+
+def _in_extents(addr, extents):
+    return any(start <= addr < end for start, end in extents)
+
+
+@given(seed=SEEDS)
+@settings(**_SETTINGS)
+def test_text_decodes_cleanly_outside_data(seed):
+    program = generate(seed)
+    manifest = program.manifest
+    codec = get_codec(manifest["arch"])
+    extents = _data_extents(manifest)
+    for addr in range(TEXT_BASE, manifest["text_end"], 4):
+        if _in_extents(addr, extents):
+            continue
+        word = program.image.word_at(addr)
+        instruction = instruction_for(codec, word)
+        assert instruction.is_valid, \
+            "invalid word 0x%08x at 0x%x (seed %d)" % (word, addr, seed)
+
+
+@given(seed=SEEDS)
+@settings(**_SETTINGS)
+def test_manifest_edges_stay_inside_text(seed):
+    manifest = generate(seed).manifest
+    lo, hi = TEXT_BASE, manifest["text_end"]
+    for routine in manifest["routines"]:
+        assert lo <= routine["start"] < routine["end"] <= hi
+        for entry in routine["entries"]:
+            assert routine["start"] <= entry < routine["end"]
+        for transfer in routine["transfers"]:
+            assert lo <= transfer["src"] < hi
+            assert lo <= transfer["dst"] < hi
+        for call in routine["calls"]:
+            assert lo <= call["src"] < hi
+            assert lo <= call["dst"] < hi
+        for leader in routine["leaders"]:
+            assert routine["start"] <= leader < routine["end"]
+
+
+@given(seed=SEEDS)
+@settings(**_SETTINGS)
+def test_manifest_ctis_match_decoded_words(seed):
+    program = generate(seed)
+    manifest = program.manifest
+    codec = get_codec(manifest["arch"])
+    for routine in manifest["routines"]:
+        for cti in routine["ctis"]:
+            instruction = instruction_for(codec,
+                                          program.image.word_at(cti["addr"]))
+            assert instruction.is_control
+            if cti["annul"]:
+                assert instruction.annul_untaken
+            if cti["delayed"]:
+                slot_word = program.image.word_at(cti["addr"] + 4)
+                slot = instruction_for(codec, slot_word)
+                assert slot.is_valid
+                if cti["filled"]:
+                    assert slot_word != codec.nop_word
+                else:
+                    assert slot_word == codec.nop_word
+
+
+@given(seed=SEEDS)
+@settings(**_SETTINGS)
+def test_regeneration_is_deterministic(seed):
+    first = generate(seed)
+    second = generate(seed)
+    assert first.manifest == second.manifest
+    assert first.asm == second.asm
+    for name, section in first.image.sections.items():
+        assert bytes(section.data) == bytes(second.image.sections[name].data)
+
+
+@given(seed=SEEDS)
+@settings(**_SETTINGS)
+def test_plan_is_deterministic_and_config_round_trips(seed):
+    config = GenConfig()
+    assert build_plan(seed, config) == build_plan(seed, config)
+    assert GenConfig.from_dict(config.to_dict()).to_dict() == config.to_dict()
+
+
+def test_hidden_routines_have_no_symbol():
+    # Deterministic spot check: a hidden routine's name must not appear
+    # in the linked image's symbol table (that is what makes refinement
+    # discover it instead of reading it).
+    for seed in range(40):
+        program = generate(seed)
+        hidden = {routine["name"]
+                  for routine in program.manifest["routines"]
+                  if routine["hidden"]}
+        if not hidden:
+            continue
+        symbols = {symbol.name for symbol in program.image.symbols}
+        assert not (hidden & symbols)
+        return
+    raise AssertionError("no hidden routine in the first 40 seeds")

@@ -1,0 +1,91 @@
+"""Structured shrinking: failure classes survive, fixpoints are stable."""
+
+import copy
+
+import pytest
+
+from repro.core.executable import Executable
+from repro.fuzz.gen import GenConfig, build_plan, plan_to_program
+from repro.fuzz.shrink import shrink_plan
+from repro.tools import instrument_image
+from repro.verify import verify_session
+from repro.verify.context import VerifyContext
+from repro.verify.inject import InjectionError, inject_stale_dispatch_entry
+
+
+def _items(plan):
+    return sum(len(routine["items"]) for routine in plan["routines"])
+
+
+def _has_switch(plan):
+    return any(item["p"] == "switch"
+               for routine in plan["routines"]
+               for item in routine["items"])
+
+
+def _find_plan(predicate, limit=300):
+    config = GenConfig()
+    for seed in range(limit):
+        plan = build_plan(seed, config)
+        if predicate(plan):
+            return plan
+    raise AssertionError("no plan matching predicate in %d seeds" % limit)
+
+
+def _fails_stale_dispatch(plan):
+    """True when a planted verify.inject fault is still detected: the
+    plan must keep a rewritten dispatch table for the injection to
+    exist, and verification of the corrupted image must fail."""
+    if not _has_switch(plan):
+        return False
+    try:
+        program = plan_to_program(plan)
+        session = instrument_image(program.image, "qpt")
+        context = VerifyContext(session.executable, session.edited_image)
+        corrupted, _meta = inject_stale_dispatch_entry(context)
+        result = verify_session(session.executable, corrupted,
+                                use_memo=False, label="shrink-inject")
+    except InjectionError:
+        return False
+    except Exception:
+        return False
+    return not result.ok
+
+
+def test_shrink_preserves_planted_fault_class():
+    plan = _find_plan(lambda p: p["arch"] == "mips" and _has_switch(p)
+                      and _items(p) >= 4)
+    assert _fails_stale_dispatch(plan)
+    shrunk = shrink_plan(plan, _fails_stale_dispatch, max_probes=25)
+    assert _fails_stale_dispatch(shrunk)
+    assert len(shrunk["routines"]) <= len(plan["routines"])
+    assert _items(shrunk) < _items(plan)
+
+
+def test_shrink_is_idempotent_on_minimal_plan():
+    plan = _find_plan(lambda p: p["arch"] == "mips" and _has_switch(p))
+    # Structural predicate only (no pipeline): cheap enough to reach
+    # the true fixpoint.
+    minimal = shrink_plan(plan, _has_switch)
+    again = shrink_plan(minimal, _has_switch)
+    assert again == minimal
+    # One routine, one switch: nothing inessential left.
+    assert len(minimal["routines"]) == 1
+    assert [item["p"] for item in minimal["routines"][0]["items"]] \
+        == ["switch"]
+
+
+def test_shrink_returns_plan_unchanged_when_predicate_never_holds():
+    plan = _find_plan(lambda p: True)
+    original = copy.deepcopy(plan)
+    assert shrink_plan(plan, lambda candidate: False) == original
+    assert plan == original  # input not mutated
+
+
+def test_shrunk_plans_still_generate_and_analyze():
+    plan = _find_plan(lambda p: _has_switch(p) and len(p["routines"]) >= 3)
+    minimal = shrink_plan(plan, _has_switch)
+    program = plan_to_program(minimal)
+    executable = Executable(program.image)
+    executable.read_contents()
+    assert executable.all_routines()

@@ -45,8 +45,8 @@ def test_qpt_dispatch_table_workload_verifies_clean():
 
 
 def test_qpt_retained_text_workload_verifies_clean():
-    # mips_switch's dispatch is unanalyzable: execution legitimately
-    # flows through retained original text between entry trampolines.
+    # mips_switch dispatches through a rewritten MIPS jump table
+    # (lw off(base+scaled) now folds to a table in the evaluator).
     result = verify_workload("mips_switch", use_memo=False)
     assert result.ok, result.render()
 
