@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Compare a fresh BENCH_RESULTS.json against the committed baseline.
+
+Both files use the ``repro.obs.bench/1`` schema (``{name, value,
+unit}`` records; see ``repro.obs.report``).  For every record present
+in both, the relative change is judged against a direction heuristic —
+whether a larger value is better (speedups, hit rates, throughput) or
+worse (slowdowns, overheads, wall-clock, misses) — inferred from the
+record's name and unit.  A change that is *worse* by more than the
+threshold (default 25%) is a regression and fails the run; metrics
+whose direction cannot be inferred are reported but never fail.
+
+Usage::
+
+    python scripts/bench_diff.py \
+        [--fresh benchmarks/BENCH_RESULTS.json] \
+        [--baseline benchmarks/BENCH_BASELINE.json] \
+        [--threshold 0.25]
+
+Records present on only one side are listed as informational (bench
+coverage changes with the benchmark set that ran), not failed.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Substring markers, checked against the record name (most specific
+# signal first) and then the unit.  "x" alone is ambiguous: a slowdown
+# of 1.3x and a speedup of 5x both carry unit "x", so the name decides.
+HIGHER_IS_BETTER = ("speedup", "hit_rate", "hits", "throughput",
+                    "per_second", "ops", "coverage", "resolved")
+LOWER_IS_BETTER = ("slowdown", "overhead", "latency", "time", "misses",
+                   "wall", "elapsed", "bytes", "size", "growth",
+                   "spill", "fallback")
+LOWER_IS_BETTER_UNITS = ("s", "ms", "us", "seconds", "bytes", "kb", "mb")
+
+
+def direction(name, unit):
+    """+1 when larger is better, -1 when smaller is better, 0 unknown."""
+    lowered = name.lower()
+    for marker in HIGHER_IS_BETTER:
+        if marker in lowered:
+            return 1
+    for marker in LOWER_IS_BETTER:
+        if marker in lowered:
+            return -1
+    if lowered.endswith(("_s", "_ms", "_us", "_seconds")):
+        return -1  # wall-clock in the name (median_s, p99_ms, ...)
+    if unit.lower() in LOWER_IS_BETTER_UNITS:
+        return -1
+    return 0
+
+
+def load_results(path):
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != "repro.obs.bench/1":
+        raise ValueError("%s: unexpected schema %r"
+                         % (path, payload.get("schema")))
+    table = {}
+    for record in payload.get("results", ()):
+        table[record["name"]] = (record["value"], record.get("unit", ""))
+    return table
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="fail on >threshold benchmark regressions")
+    parser.add_argument("--fresh",
+                        default=os.path.join(ROOT, "benchmarks",
+                                             "BENCH_RESULTS.json"))
+    parser.add_argument("--baseline",
+                        default=os.path.join(ROOT, "benchmarks",
+                                             "BENCH_BASELINE.json"))
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        metavar="FRACTION",
+                        help="relative worsening that fails the run "
+                             "(default: 0.25)")
+    args = parser.parse_args(argv)
+
+    for path in (args.fresh, args.baseline):
+        if not os.path.exists(path):
+            print("bench-diff: missing %s" % path, file=sys.stderr)
+            return 1
+    fresh = load_results(args.fresh)
+    baseline = load_results(args.baseline)
+
+    regressions, improvements, unknown = [], [], []
+    compared = 0
+    for name in sorted(set(fresh) & set(baseline)):
+        new_value, unit = fresh[name]
+        old_value, _ = baseline[name]
+        if not isinstance(new_value, (int, float)) \
+                or not isinstance(old_value, (int, float)) or not old_value:
+            continue
+        compared += 1
+        change = (new_value - old_value) / abs(old_value)
+        sign = direction(name, unit)
+        line = "%-52s %12.4g -> %-12.4g (%+.1f%%)" \
+            % (name, old_value, new_value, change * 100)
+        if sign == 0:
+            unknown.append(line)
+        elif sign * change < -args.threshold:
+            regressions.append(line)
+        elif sign * change > args.threshold:
+            improvements.append(line)
+
+    only_fresh = sorted(set(fresh) - set(baseline))
+    only_baseline = sorted(set(baseline) - set(fresh))
+    print("bench-diff: compared %d shared metric(s) "
+          "(threshold %.0f%%, %d fresh-only, %d baseline-only)"
+          % (compared, args.threshold * 100, len(only_fresh),
+             len(only_baseline)))
+    if improvements:
+        print("improvements (>%d%%):" % (args.threshold * 100))
+        for line in improvements:
+            print("  " + line)
+    if unknown:
+        print("direction unknown (informational):")
+        for line in unknown:
+            print("  " + line)
+    if regressions:
+        print("REGRESSIONS (worse by >%d%%):" % (args.threshold * 100),
+              file=sys.stderr)
+        for line in regressions:
+            print("  " + line, file=sys.stderr)
+        return 1
+    print("bench-diff: PASS (no metric worse by >%d%%)"
+          % (args.threshold * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

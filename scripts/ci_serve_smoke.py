@@ -9,10 +9,15 @@ requests, then SIGTERMs it and checks the contract the README promises:
 * clean drain — exit code 0, ``drained cleanly`` on stderr, socket
   removed, no orphaned daemon process;
 * a well-formed ``--stats-json`` report carrying ``serve.*`` counters
-  that agree with what the clients observed.
+  that agree with what the clients observed;
+* a ``repro.events/1`` log (``--events``) from which every finished
+  request reconstructs into one connected span tree with queue-wait
+  and handler latency split out.
 
 Exits non-zero (with a diagnostic) on any violation; CI runs it as a
-dedicated step.
+dedicated step.  The stats JSON and events JSONL are left behind on
+purpose — CI uploads them as artifacts and replays the log through
+``repro trace``.
 """
 
 import json
@@ -58,14 +63,49 @@ def client_session(socket_path, index, outcomes, errors):
         errors.append("client %d (%s): %s" % (index, workload, error))
 
 
+def check_events(events_path):
+    """Every finished request in the log is one connected span tree."""
+    from repro.obs import events as obs_events
+
+    if not os.path.exists(events_path):
+        fail("daemon wrote no events log at %s" % events_path)
+    stream = obs_events.load_events(events_path)
+    kinds = {record["kind"] for record in stream}
+    for wanted in ("log.open", "daemon.start", "request.admit",
+                   "request.finish", "drain.begin", "drain.finish"):
+        if wanted not in kinds:
+            fail("events log is missing %r records" % wanted)
+    traces = obs_events.build_traces(stream)
+    finished = [r for r in traces.values() if r.finish is not None]
+    if len(finished) < CLIENTS * 3:
+        fail("only %d finished request traces in the events log, "
+             "expected >= %d" % (len(finished), CLIENTS * 3))
+    for record in finished:
+        if record.admit is None:
+            fail("trace %s finished without an admit event"
+                 % record.trace_id)
+        if record.queue_wait_s is None or record.handler_s is None:
+            fail("trace %s lacks queue-wait/handler latency"
+                 % record.trace_id)
+        spans = record.spans
+        if not spans:
+            fail("trace %s carries no span tree" % record.trace_id)
+        root = spans[0]
+        if not obs_events.connected_spans(
+                spans, root_parent=root.get("parent_span_id")):
+            fail("trace %s has orphaned spans" % record.trace_id)
+    return len(finished)
+
+
 def main():
     sock = os.path.join(ROOT, "serve-smoke.sock")
     stats = os.path.join(ROOT, "serve-smoke-stats.json")
+    events_path = os.path.join(ROOT, "serve-smoke-events.jsonl")
     env = dict(os.environ, PYTHONPATH=os.pathsep.join(
         filter(None, [SRC, os.environ.get("PYTHONPATH")])))
     daemon = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve", "--socket", sock,
-         "--jobs", "4", "--stats-json", stats],
+         "--jobs", "4", "--stats-json", stats, "--events", events_path],
         env=env, stderr=subprocess.PIPE)
     try:
         if not wait_for_daemon(sock, timeout=60.0):
@@ -112,18 +152,22 @@ def main():
                      "serve.coalesced", "serve.timeouts"):
             if name not in counters:
                 fail("stats JSON counters are missing %r" % name)
+        if not serve.get("latency"):
+            fail("stats JSON serve section has no per-op latency")
+        traced = check_events(events_path)
         print("ci-serve-smoke: OK — %d clients, %d requests "
-              "(%d ok, %d errors, %d rejected, %d coalesced), clean drain"
+              "(%d ok, %d errors, %d rejected, %d coalesced), "
+              "%d connected span trees, clean drain"
               % (CLIENTS, serve["requests"], serve["ok"], serve["errors"],
-                 serve["rejected"], serve["coalesced"]))
+                 serve["rejected"], serve["coalesced"], traced))
         return 0
     finally:
         if daemon.poll() is None:
             daemon.kill()
             daemon.wait(30)
-        for path in (sock, stats):
-            if os.path.exists(path):
-                os.unlink(path)
+        # The stats/events artifacts stay for CI upload + trace replay.
+        if os.path.exists(sock):
+            os.unlink(sock)
 
 
 if __name__ == "__main__":

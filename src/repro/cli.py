@@ -11,11 +11,16 @@
     python -m repro.cli fuzz   [--seeds N] [--jobs N] [--corpus-only]
     python -m repro.cli serve  [--socket PATH] [--jobs N] [--queue N]
     python -m repro.cli client <op> [--workload NAME] [--image PATH]
+    python -m repro.cli trace  <events.jsonl> [--id TRACE]
+    python -m repro.cli top    [--socket PATH] [--watch N]
+    python -m repro.cli export [--stats-json PATH | --socket PATH]
 
 ``run``, ``profile``, ``cachesim``, ``stats``, and ``verify`` accept
 telemetry flags: ``--trace`` prints the span tree and counters to
 stderr, and ``--stats-json PATH`` writes the full ``repro.obs/1`` JSON
-report.
+report.  ``serve`` and ``fuzz`` additionally accept ``--events PATH``
+to append a durable ``repro.events/1`` JSONL log that ``repro trace``
+replays into per-request span trees and anomaly flags.
 """
 
 import argparse
@@ -330,11 +335,19 @@ def _cmd_fuzz(args):
             print("  seed %d: %s %s" % (outcome.seed, outcome.status,
                                         outcome.detail), file=sys.stderr)
 
-    result = fuzz_campaign.run_campaign(
-        args.seeds, base_seed=args.base_seed, jobs=args.jobs,
-        config=config, time_budget=args.time_budget,
-        corpus_dir=args.corpus, shrink=not args.no_shrink,
-        progress=progress)
+    if args.events:
+        from repro.obs import events as obs_events
+
+        obs_events.configure(args.events)
+    try:
+        result = fuzz_campaign.run_campaign(
+            args.seeds, base_seed=args.base_seed, jobs=args.jobs,
+            config=config, time_budget=args.time_budget,
+            corpus_dir=args.corpus, shrink=not args.no_shrink,
+            progress=progress)
+    finally:
+        if args.events:
+            obs_events.unconfigure()
     print(result.render())
     return 0 if result.ok else 1
 
@@ -345,7 +358,8 @@ def _cmd_serve(args):
 
     config = ServeConfig(socket_path=args.socket, jobs=args.jobs,
                          queue_size=args.queue, timeout_s=args.timeout,
-                         chaos=True if args.chaos else None)
+                         chaos=True if args.chaos else None,
+                         events_path=args.events)
     return serve_main(config, stats_json=args.stats_json, trace=args.trace)
 
 
@@ -384,6 +398,153 @@ def _cmd_client(args):
               % (client.socket_path, error), file=sys.stderr)
         return 1
     print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_trace(args):
+    """Reconstruct span trees from a ``repro.events/1`` JSONL log."""
+    import os
+
+    from repro.obs import events as obs_events
+
+    if not os.path.exists(args.events):
+        print("trace: no event log at %r" % args.events, file=sys.stderr)
+        return 1
+    try:
+        events = obs_events.load_events(args.events)
+    except ValueError as error:
+        print("trace: %s" % error, file=sys.stderr)
+        return 1
+    traces = obs_events.build_traces(events)
+    if args.id:
+        matches = [record for trace_id, record in traces.items()
+                   if trace_id == args.id or trace_id.startswith(args.id)]
+        if not matches:
+            print("trace: no trace %r in %s (%d trace(s) logged)"
+                  % (args.id, args.events, len(traces)), file=sys.stderr)
+            return 1
+        for record in matches:
+            print(obs_events.render_trace(record))
+        return 0
+    requests = [record for record in traces.values()
+                if record.admit is not None or record.finish is not None]
+    print("%d event(s), %d traced request(s) in %s"
+          % (len(events), len(requests), args.events))
+    for record in requests:
+        handler = "%.3fms" % (record.handler_s * 1e3) \
+            if record.handler_s is not None else "?"
+        wait = "%.3fms" % (record.queue_wait_s * 1e3) \
+            if record.queue_wait_s is not None else "?"
+        print("  %s  %-12s %-10s wait=%-10s handler=%s"
+              % (record.trace_id, record.op, record.status, wait, handler))
+    anomalies = obs_events.find_anomalies(events)
+    if anomalies:
+        print("anomalies:")
+        for line in anomalies:
+            print("  " + line)
+    else:
+        print("anomalies: none")
+    return 0
+
+
+def _render_top(snapshot):
+    """Human-oriented rendering of one ``top`` snapshot."""
+    server = snapshot.get("server", {})
+    lines = ["repro-serve pid %s  uptime %.1fs  queue %s  workers %s%s%s"
+             % (server.get("pid"), server.get("uptime_s", 0.0),
+                server.get("queue_depth"), server.get("workers_alive"),
+                "  DEGRADED" if server.get("degraded") else "",
+                "  DRAINING" if server.get("draining") else "")]
+    states = server.get("worker_states") or {}
+    if states:
+        lines.append("workers: " + "  ".join(
+            "%s=%s" % (name, state)
+            for name, state in sorted(states.items())))
+    counters = snapshot.get("counters") or {}
+    if counters:
+        tag = "since last snapshot" if snapshot.get("incremental") \
+            else "total"
+        lines.append("counters (%s):" % tag)
+        for name, value in sorted(counters.items()):
+            lines.append("  %-32s %12d" % (name, value))
+    latency = snapshot.get("latency") or {}
+    if latency:
+        lines.append("latency:  %-12s %6s %10s %10s %10s %10s"
+                     % ("op", "count", "p50", "p95", "p99", "max"))
+        for op, stats in sorted(latency.items()):
+            lines.append(
+                "          %-12s %6d %9.2fms %9.2fms %9.2fms %9.2fms"
+                % (op, stats.get("count", 0),
+                   (stats.get("p50") or 0.0) * 1e3,
+                   (stats.get("p95") or 0.0) * 1e3,
+                   (stats.get("p99") or 0.0) * 1e3,
+                   (stats.get("max") or 0.0) * 1e3))
+    queue_wait = snapshot.get("queue_wait")
+    if queue_wait:
+        lines.append("queue wait: p50 %.2fms  p95 %.2fms  p99 %.2fms"
+                     % ((queue_wait.get("p50") or 0.0) * 1e3,
+                        (queue_wait.get("p95") or 0.0) * 1e3,
+                        (queue_wait.get("p99") or 0.0) * 1e3))
+    return "\n".join(lines)
+
+
+def _cmd_top(args):
+    """Live introspection of a running daemon (one-shot or --watch)."""
+    import time as _time
+
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.socket, retries=1)
+    cursor = None
+    try:
+        with client:
+            while True:
+                snapshot = client.top(cursor)
+                cursor = snapshot.get("cursor")
+                print(_render_top(snapshot), flush=True)
+                if not args.watch:
+                    return 0
+                print("", flush=True)
+                _time.sleep(args.watch)
+    except ServeError as error:
+        print("top: %s" % error, file=sys.stderr)
+        return 1
+    except OSError as error:
+        print("top: cannot reach daemon at %s: %s"
+              % (client.socket_path, error), file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_export(args):
+    """Prometheus text-format metrics from a report file or a daemon."""
+    from repro.obs.export import prometheus_text
+
+    if args.stats_json:
+        try:
+            with open(args.stats_json) as handle:
+                report = json.load(handle)
+        except (OSError, ValueError) as error:
+            print("export: cannot read %r: %s" % (args.stats_json, error),
+                  file=sys.stderr)
+            return 1
+        print(prometheus_text(report), end="")
+        return 0
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.socket, retries=1)
+    try:
+        with client:
+            report = client.stats()["report"]
+    except ServeError as error:
+        print("export: %s" % error, file=sys.stderr)
+        return 1
+    except OSError as error:
+        print("export: cannot reach daemon at %s: %s"
+              % (client.socket_path, error), file=sys.stderr)
+        return 1
+    print(prometheus_text(report), end="")
     return 0
 
 
@@ -495,6 +656,9 @@ def main(argv=None):
                            "(default: per-seed choice)")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="store unshrunk reproducers (faster triage)")
+    fuzz.add_argument("--events", default=None, metavar="PATH",
+                      help="append per-seed classification events "
+                           "(repro.events/1 JSONL) to PATH")
     _add_obs_flags(fuzz)
     fuzz.set_defaults(func=_cmd_fuzz)
 
@@ -517,6 +681,10 @@ def main(argv=None):
                             "$REPRO_SERVE_TIMEOUT or 60)")
     serve.add_argument("--chaos", action="store_true",
                        help="enable deliberate-failure ops (testing)")
+    serve.add_argument("--events", default=None, metavar="PATH",
+                       help="append request/worker lifecycle events "
+                            "(repro.events/1 JSONL) to PATH "
+                            "(default: $REPRO_SERVE_EVENTS or off)")
     _add_obs_flags(serve)
     serve.set_defaults(func=_cmd_serve, obs_managed=True)
 
@@ -524,7 +692,7 @@ def main(argv=None):
                             help="send one request to a running daemon")
     client.add_argument("op", choices=("ping", "run", "routines", "disasm",
                                        "instrument", "verify", "stats",
-                                       "shutdown"))
+                                       "top", "shutdown"))
     client.add_argument("--socket", default=None, metavar="PATH")
     client.add_argument("--workload", default=None)
     client.add_argument("--image", default=None, metavar="PATH",
@@ -540,6 +708,34 @@ def main(argv=None):
     client.add_argument("--retries", type=int, default=5,
                         help="max retries on overloaded/timeout responses")
     client.set_defaults(func=_cmd_client)
+
+    trace = sub.add_parser("trace",
+                           help="reconstruct request span trees from a "
+                                "repro.events JSONL log")
+    trace.add_argument("events", metavar="EVENTS.jsonl",
+                       help="event log written by serve/fuzz --events")
+    trace.add_argument("--id", default=None, metavar="TRACE",
+                       help="show one trace in full (id or unique prefix) "
+                            "instead of the summary")
+    trace.set_defaults(func=_cmd_trace, obs_managed=True)
+
+    top = sub.add_parser("top",
+                         help="live introspection of a running daemon "
+                              "(counters, worker states, latency)")
+    top.add_argument("--socket", default=None, metavar="PATH")
+    top.add_argument("--watch", type=float, default=None, metavar="N",
+                     help="refresh every N seconds (incremental counter "
+                          "deltas) until interrupted")
+    top.set_defaults(func=_cmd_top, obs_managed=True)
+
+    export = sub.add_parser("export",
+                            help="Prometheus text-format metrics from a "
+                                 "stats report or a running daemon")
+    export.add_argument("--stats-json", default=None, metavar="PATH",
+                        help="read the repro.obs report from PATH instead "
+                             "of asking a daemon")
+    export.add_argument("--socket", default=None, metavar="PATH")
+    export.set_defaults(func=_cmd_export, obs_managed=True)
 
     args = parser.parse_args(argv)
     if getattr(args, "obs_managed", False):

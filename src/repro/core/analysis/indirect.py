@@ -21,6 +21,7 @@ small abstract evaluator.  Outcomes:
 from repro.core.cfg import IndirectJumpInfo
 from repro.isa import bits
 from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
 
 _MAX_TABLE = 4096
 
@@ -82,6 +83,11 @@ class _Unknown:
 
 def analyze_indirect_jump(cfg, block):
     """Analyze the indirect jump terminating *block*."""
+    with _span("indirect.resolve", routine=cfg.routine.name):
+        return _analyze_indirect_jump(cfg, block)
+
+
+def _analyze_indirect_jump(cfg, block):
     addr, instruction = block.instructions[-1]
     evaluator = _Evaluator(cfg)
     target = evaluator.jump_target(block, len(block.instructions) - 1,

@@ -27,7 +27,9 @@ the campaign until triaged.
 import collections
 import os
 import time
+from time import perf_counter
 
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs.trace import span as _span
 
@@ -58,8 +60,38 @@ def tools_for(arch):
 # ----------------------------------------------------------------------
 
 
-def classify_plan(plan, label="fuzz"):
-    """Run one plan through the full pipeline; return (status, detail)."""
+class _Timed:
+    """``with _Timed(timings, "gen"):`` — record a stage's wall time.
+
+    Records on every exit path (including raises), so crash outcomes
+    still carry the timings of the stage that crashed.
+    """
+
+    __slots__ = ("timings", "stage", "_start")
+
+    def __init__(self, timings, stage):
+        self.timings = timings
+        self.stage = stage
+
+    def __enter__(self):
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self.timings is not None:
+            self.timings[self.stage] = round(
+                perf_counter() - self._start, 6)
+        return False
+
+
+def classify_plan(plan, label="fuzz", timings=None):
+    """Run one plan through the full pipeline; return (status, detail).
+
+    *timings*, when a dict, is filled with per-stage wall-clock seconds
+    (``gen``, ``analyze``, ``check``, ``instrument:<tool>``,
+    ``verify:<tool>``) — the per-seed breakdown the campaign writes to
+    its event log.
+    """
     from repro.core.executable import Executable
     from repro.tools import instrument_image
     from repro.verify import verify_session
@@ -67,13 +99,15 @@ def classify_plan(plan, label="fuzz"):
     with _span("fuzz.seed", seed=plan.get("seed")):
         _C_SEEDS.inc()
         try:
-            program = plan_to_program(plan)
+            with _Timed(timings, "gen"):
+                program = plan_to_program(plan)
         except Exception as error:
             _C_CRASH.inc()
             return "crash:gen:%s" % type(error).__name__, str(error)
         try:
-            executable = Executable(program.image)
-            executable.read_contents()
+            with _Timed(timings, "analyze"):
+                executable = Executable(program.image)
+                executable.read_contents()
         except Exception as error:
             _C_CRASH.inc()
             return "crash:analyze:%s" % type(error).__name__, str(error)
@@ -81,7 +115,8 @@ def classify_plan(plan, label="fuzz"):
         from repro.fuzz.check import check_manifest
 
         try:
-            codes = check_manifest(executable, program.manifest)
+            with _Timed(timings, "check"):
+                codes = check_manifest(executable, program.manifest)
         except Exception as error:
             _C_CRASH.inc()
             return "crash:check:%s" % type(error).__name__, str(error)
@@ -92,17 +127,19 @@ def classify_plan(plan, label="fuzz"):
 
         for tool in tools_for(plan["arch"]):
             try:
-                session = instrument_image(program.image, tool)
+                with _Timed(timings, "instrument:%s" % tool):
+                    session = instrument_image(program.image, tool)
             except Exception as error:
                 _C_CRASH.inc()
                 return ("crash:instrument-%s:%s" % (tool,
                                                     type(error).__name__),
                         str(error))
             try:
-                result = verify_session(
-                    session.executable, session.edited_image,
-                    configure_edited=session.configure_edited,
-                    use_memo=False, label="%s-%s" % (label, tool))
+                with _Timed(timings, "verify:%s" % tool):
+                    result = verify_session(
+                        session.executable, session.edited_image,
+                        configure_edited=session.configure_edited,
+                        use_memo=False, label="%s-%s" % (label, tool))
             except Exception as error:
                 _C_CRASH.inc()
                 return ("crash:verify-%s:%s" % (tool, type(error).__name__),
@@ -114,9 +151,10 @@ def classify_plan(plan, label="fuzz"):
         return "clean", ""
 
 
-def classify_seed(seed, config=None):
+def classify_seed(seed, config=None, timings=None):
     config = config or GenConfig()
-    return classify_plan(build_plan(seed, config), label="fuzz-%d" % seed)
+    return classify_plan(build_plan(seed, config), label="fuzz-%d" % seed,
+                         timings=timings)
 
 
 # ----------------------------------------------------------------------
@@ -139,14 +177,16 @@ def _campaign_worker(payload):
     seed, config_dict = payload
     os.environ["REPRO_CACHE"] = "off"
     before = _fuzz_counters()
+    timings = {}
     try:
-        status, detail = classify_seed(seed, GenConfig(**config_dict))
+        status, detail = classify_seed(seed, GenConfig(**config_dict),
+                                       timings=timings)
     except Exception as error:  # classify itself must not raise
         status, detail = "crash:driver:%s" % type(error).__name__, str(error)
     after = _fuzz_counters()
     deltas = {key: after[key] - before.get(key, 0) for key in after
               if after[key] != before.get(key, 0)}
-    return seed, status, detail, deltas
+    return seed, status, detail, deltas, timings
 
 
 def _merge_deltas(deltas):
@@ -217,6 +257,8 @@ def run_campaign(seeds, base_seed=0, jobs=1, config=None,
         return (time_budget is not None
                 and time.monotonic() - started > time_budget)
 
+    _events.emit("campaign.begin", seeds=seeds, base_seed=base_seed,
+                 jobs=jobs, time_budget_s=time_budget)
     with _span("fuzz.campaign", seeds=seeds, jobs=jobs):
         if jobs > 1:
             _parallel_outcomes(payloads, jobs, result, out_of_time,
@@ -224,6 +266,12 @@ def run_campaign(seeds, base_seed=0, jobs=1, config=None,
         else:
             _serial_outcomes(payloads, result, out_of_time, progress)
         _triage(result, config, corpus_dir, shrink)
+    _events.emit("campaign.end", seeds=len(result.outcomes),
+                 clean=result.clean, skipped=result.skipped,
+                 known=len(result.known),
+                 unexplained=len(result.unexplained),
+                 stored=len(result.stored), ok=result.ok,
+                 elapsed_s=round(time.monotonic() - started, 3))
     return result
 
 
@@ -236,8 +284,10 @@ def _serial_outcomes(payloads, result, out_of_time, progress):
             if out_of_time():
                 result.skipped = len(payloads) - index
                 break
-            seed, status, detail, _ = _campaign_worker(payload)
+            seed, status, detail, _, timings = _campaign_worker(payload)
             outcome = Outcome(seed, status, detail)
+            _events.emit("fuzz.seed", seed=seed, status=status,
+                         timings=timings)
             result.outcomes.append(outcome)
             if progress:
                 progress(outcome)
@@ -266,9 +316,11 @@ def _parallel_outcomes(payloads, jobs, result, out_of_time, progress):
                     pending.cancel()
                 result.skipped = sum(1 for f in futures if f.cancelled())
                 break
-            seed, status, detail, deltas = future.result()
+            seed, status, detail, deltas, timings = future.result()
             _merge_deltas(deltas)
             outcome = Outcome(seed, status, detail)
+            _events.emit("fuzz.seed", seed=seed, status=status,
+                         timings=timings)
             result.outcomes.append(outcome)
             if progress:
                 progress(outcome)

@@ -1,10 +1,16 @@
 """repro.obs — zero-dependency telemetry for the edit/simulate pipeline.
 
-Three layers:
+Six layers:
 
 * :mod:`repro.obs.trace` — nestable wall-clock spans with a no-op fast
   path while disabled (the default);
-* :mod:`repro.obs.metrics` — interned counters/gauges/histograms;
+* :mod:`repro.obs.context` — request-scoped trace contexts propagated
+  across threads and the serve protocol;
+* :mod:`repro.obs.metrics` — interned counters/gauges/histograms with
+  bounded-reservoir percentiles;
+* :mod:`repro.obs.events` — durable append-only JSONL event log with
+  rotation (``repro.events/1``), replayed by ``repro trace``;
+* :mod:`repro.obs.export` — Prometheus text-format export;
 * :mod:`repro.obs.report` — stable-schema JSON export consumed by the
   CLI (``stats``, ``--stats-json``) and the benchmark harness.
 
@@ -18,7 +24,7 @@ Typical tool-side usage::
     report = obs.dump("stats.json")
 """
 
-from repro.obs import metrics, trace
+from repro.obs import context, events, metrics, trace
 from repro.obs.metrics import counter, gauge, histogram
 from repro.obs.report import build_report, dump, render
 from repro.obs.trace import is_enabled, span
@@ -51,6 +57,8 @@ __all__ = [
     "build_report",
     "dump",
     "render",
+    "context",
+    "events",
     "metrics",
     "trace",
 ]

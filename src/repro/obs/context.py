@@ -1,0 +1,110 @@
+"""Request-scoped trace contexts: one id per request, everywhere.
+
+A :class:`TraceContext` names a request (``trace_id``) and the span the
+next child should hang under (``span_id``).  The current context is
+thread-local; code that crosses a thread boundary captures the context
+on one side and attaches it on the other:
+
+    context = obs_context.current()            # connection thread
+    ...
+    token = obs_context.attach(context)        # worker thread
+    try:
+        ...   # spans opened here join the request's trace
+    finally:
+        obs_context.detach(token)
+
+Spans opened while a context is attached record ``trace_id``,
+``span_id``, and ``parent_span_id`` (see :mod:`repro.obs.trace`), so a
+serve request produces one coherent span tree across the client
+process, the daemon's connection thread, and whichever worker thread
+executes it.  The wire form (``to_wire``/``from_wire``) is the
+``trace`` field of the ``repro.serve/1`` protocol.
+"""
+
+import os
+import threading
+
+_TLS = threading.local()
+
+
+def new_trace_id():
+    """A fresh 16-hex-digit request id."""
+    return os.urandom(8).hex()
+
+
+def new_span_id():
+    """A fresh 8-hex-digit span id."""
+    return os.urandom(4).hex()
+
+
+class TraceContext:
+    """Identity of one request: trace id + parent span for children."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id=None, span_id=None):
+        self.trace_id = trace_id or new_trace_id()
+        self.span_id = span_id
+
+    def child(self, span_id):
+        """The context a span with *span_id* hands to its children."""
+        return TraceContext(self.trace_id, span_id)
+
+    def to_wire(self):
+        """JSON-ready dict for the protocol's ``trace`` field."""
+        wire = {"trace_id": self.trace_id}
+        if self.span_id is not None:
+            wire["parent_span_id"] = self.span_id
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire):
+        """Context from a request's ``trace`` field; None if absent or
+        malformed (a bad peer must not break tracing)."""
+        if not isinstance(wire, dict):
+            return None
+        trace_id = wire.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            return None
+        parent = wire.get("parent_span_id")
+        return cls(trace_id, parent if isinstance(parent, str) else None)
+
+    def __repr__(self):
+        return "TraceContext(%s/%s)" % (self.trace_id, self.span_id)
+
+
+def current():
+    """The attached context of this thread, or None."""
+    return getattr(_TLS, "context", None)
+
+
+def attach(context):
+    """Make *context* current for this thread; returns a detach token
+    (the previously current context)."""
+    token = current()
+    _TLS.context = context
+    return token
+
+
+def detach(token):
+    """Restore the context that was current before the matching
+    :func:`attach`."""
+    _TLS.context = token
+
+
+class attached:
+    """``with attached(ctx):`` — attach for the duration of a block."""
+
+    __slots__ = ("context", "_token")
+
+    def __init__(self, context):
+        self.context = context
+        self._token = None
+
+    def __enter__(self):
+        self._token = attach(self.context)
+        return self.context
+
+    def __exit__(self, exc_type, exc, tb):
+        detach(self._token)
+        return False

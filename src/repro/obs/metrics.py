@@ -16,6 +16,9 @@ simulator's fetch/execute loop, which keeps a separate untelemetered
 fast path (see ``repro.sim.machine``).
 """
 
+import random as _random
+import zlib as _zlib
+
 
 class Counter:
     """Monotonic event count."""
@@ -56,12 +59,24 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary: count, sum, min, max."""
+    """Streaming summary plus a bounded reservoir for percentiles.
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    The first ``capacity`` observations are kept verbatim; after that,
+    classic reservoir sampling keeps a uniform sample of everything
+    seen so far, so :meth:`percentile` stays accurate at fixed memory
+    no matter how long the process runs.  The sampler's RNG is seeded
+    from the metric name, keeping runs reproducible.
+    """
 
-    def __init__(self, name):
+    __slots__ = ("name", "count", "total", "minimum", "maximum",
+                 "capacity", "_reservoir", "_rng")
+
+    DEFAULT_CAPACITY = 512
+
+    def __init__(self, name, capacity=DEFAULT_CAPACITY):
         self.name = name
+        self.capacity = capacity
+        self._rng = _random.Random(_zlib.crc32(name.encode("utf-8")))
         self.reset()
 
     def observe(self, value):
@@ -71,12 +86,35 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        reservoir = self._reservoir
+        if len(reservoir) < self.capacity:
+            reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                reservoir[slot] = value
+
+    def percentile(self, q):
+        """The *q*-quantile (0.0..1.0) of the sampled distribution,
+        linearly interpolated; None before any observation."""
+        reservoir = self._reservoir
+        if not reservoir:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile %r outside [0, 1]" % (q,))
+        ordered = sorted(reservoir)
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
     def reset(self):
         self.count = 0
         self.total = 0
         self.minimum = None
         self.maximum = None
+        self._reservoir = []
 
     def snapshot(self):
         mean = self.total / self.count if self.count else None
@@ -86,6 +124,9 @@ class Histogram:
             "min": self.minimum,
             "max": self.maximum,
             "mean": mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
         }
 
 

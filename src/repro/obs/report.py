@@ -9,15 +9,19 @@ Schema ``repro.obs/1``::
 
     {
       "schema": "repro.obs/1",
-      "spans": [ {name, duration_s, attrs, children: [...]} ],
+      "spans": [ {name, duration_s, attrs, children: [...],
+                  trace_id?, span_id?, parent_span_id?} ],
       "counters": { name: int },
       "gauges": { name: value },
-      "histograms": { name: {count, sum, min, max, mean} },
-      "derived": { name: value },     # ratios computed from counters
+      "histograms": { name: {count, sum, min, max, mean,
+                             p50, p95, p99} },
+      "derived": { name: value },     # ratios + phase percentiles
+      "phases": { name: {count, mean, p50, p95, p99, max} },
       "cache": { enabled, dir, hits, misses, stores, invalidations,
-                 evictions, hit_rate },  # analysis-cache state
+                 evictions, hit_rate, latency },  # analysis-cache state
       "serve": { requests, ok, errors, rejected, timeouts, retries,
-                 coalesced, degraded, worker_deaths, ok_rate }
+                 coalesced, degraded, worker_deaths, ok_rate,
+                 latency, queue_wait }
     }
 
 Benchmark results use schema ``repro.obs.bench/1``::
@@ -66,9 +70,29 @@ def _ratio(numerator, denominator):
     return numerator / denominator if denominator else None
 
 
-def derived_metrics(counters):
-    """Ratios the paper's Table 1 discussion quotes directly."""
+def _percentiles(summary):
+    """The percentile view of one histogram snapshot dict."""
+    if not summary:
+        return None
+    return {
+        "count": summary.get("count", 0),
+        "mean": summary.get("mean"),
+        "p50": summary.get("p50"),
+        "p95": summary.get("p95"),
+        "p99": summary.get("p99"),
+        "max": summary.get("max"),
+    }
+
+
+def derived_metrics(counters, histograms=None):
+    """Ratios the paper's Table 1 discussion quotes directly, plus
+    p50/p95/p99 for every per-phase latency histogram."""
     derived = {}
+    for name, summary in sorted((histograms or {}).items()):
+        if name.startswith(("phase.", "serve.latency.", "serve.queue")):
+            for key in ("p50", "p95", "p99"):
+                if summary.get(key) is not None:
+                    derived["%s.%s" % (name, key)] = summary[key]
     hits = counters.get("sim.flyweight.hits", 0)
     misses = counters.get("sim.flyweight.misses", 0)
     rate = _ratio(hits, hits + misses)
@@ -99,12 +123,13 @@ def derived_metrics(counters):
     return derived
 
 
-def cache_section(counters):
+def cache_section(counters, histograms=None):
     """Analysis-cache state and counters (tentpole surface)."""
     # Imported lazily: repro.obs must not depend on repro.cache at
     # import time (cache.store uses the metrics registry).
     from repro.cache.store import cache_dir, enabled
 
+    histograms = histograms or {}
     hits = counters.get("cache.hits", 0)
     misses = counters.get("cache.misses", 0)
     return {
@@ -116,15 +141,25 @@ def cache_section(counters):
         "invalidations": counters.get("cache.invalidations", 0),
         "evictions": counters.get("cache.evictions", 0),
         "hit_rate": _ratio(hits, hits + misses),
+        "latency": {
+            "load": _percentiles(histograms.get("phase.cache.load")),
+            "store": _percentiles(histograms.get("phase.cache.store")),
+        },
     }
 
 
-def serve_section(counters):
-    """Edit-serving daemon state: admission, outcomes, resilience."""
+def serve_section(counters, histograms=None):
+    """Edit-serving daemon state: admission, outcomes, resilience,
+    and per-op latency percentiles."""
+    histograms = histograms or {}
     requests = counters.get("serve.requests", 0)
     ok = counters.get("serve.responses.ok", 0)
     rejected = (counters.get("serve.rejected.queue_full", 0)
                 + counters.get("serve.rejected.draining", 0))
+    latency = {}
+    for name, summary in sorted(histograms.items()):
+        if name.startswith("serve.latency."):
+            latency[name[len("serve.latency."):]] = _percentiles(summary)
     return {
         "requests": requests,
         "ok": ok,
@@ -136,7 +171,18 @@ def serve_section(counters):
         "degraded": counters.get("serve.degraded", 0),
         "worker_deaths": counters.get("serve.worker_deaths", 0),
         "ok_rate": _ratio(ok, requests),
+        "latency": latency,
+        "queue_wait": _percentiles(histograms.get("serve.queue_wait")),
     }
+
+
+def phases_section(histograms):
+    """Percentile summary of every per-phase latency histogram
+    (refinement, CFG build, indirect resolution, layout, cosim,
+    simulator runs — see ``trace.PHASE_SPANS``)."""
+    return {name[len("phase."):]: _percentiles(summary)
+            for name, summary in sorted(histograms.items())
+            if name.startswith("phase.")}
 
 
 def build_report():
@@ -148,9 +194,10 @@ def build_report():
         "counters": snap["counters"],
         "gauges": snap["gauges"],
         "histograms": snap["histograms"],
-        "derived": derived_metrics(snap["counters"]),
-        "cache": cache_section(snap["counters"]),
-        "serve": serve_section(snap["counters"]),
+        "derived": derived_metrics(snap["counters"], snap["histograms"]),
+        "phases": phases_section(snap["histograms"]),
+        "cache": cache_section(snap["counters"], snap["histograms"]),
+        "serve": serve_section(snap["counters"], snap["histograms"]),
     }
 
 

@@ -17,6 +17,30 @@ arbitrary per-span attributes.  The finished forest is exported by
 import threading
 from time import perf_counter
 
+from repro.obs import context as _context
+from repro.obs import metrics as _metrics
+
+# Span names whose durations also feed a latency histogram, so
+# ``build_report()`` can quote p50/p95/p99 per pipeline phase.  The
+# observation happens in ``Span.__exit__`` — only while tracing is
+# enabled — so the disabled fast path is untouched.
+PHASE_SPANS = {
+    "refine.stage1_symtab": "phase.refine.symtab",
+    "refine.stage2_stripped": "phase.refine.stripped",
+    "refine.stage3_interproc": "phase.refine.interproc",
+    "refine.stage4_cfg": "phase.refine.cfg",
+    "exe.read_contents": "phase.refine.total",
+    "cfg.build": "phase.cfg.build",
+    "indirect.resolve": "phase.indirect.resolve",
+    "layout.routine": "phase.layout.routine",
+    "layout.finalize": "phase.layout.finalize",
+    "verify.lints": "phase.verify.lints",
+    "verify.cosim": "phase.verify.cosim",
+    "sim.run": "phase.sim.run",
+    "cache.load": "phase.cache.load",
+    "cache.store": "phase.cache.store",
+}
+
 
 class _NullSpan:
     """Shared do-nothing span returned while tracing is disabled."""
@@ -37,17 +61,32 @@ _NULL_SPAN = _NullSpan()
 
 
 class Span:
-    """One timed region; children are spans opened while it is active."""
+    """One timed region; children are spans opened while it is active.
 
-    __slots__ = ("tracer", "name", "attrs", "start", "duration", "children")
+    While a :class:`~repro.obs.context.TraceContext` is attached to the
+    opening thread, the span additionally records its request identity:
+    ``trace_id``, a fresh ``span_id``, and ``parent_span_id`` (the
+    enclosing span, or the context's remote parent for the outermost
+    span of a thread).  A *detached* span nests children normally but
+    never roots in the tracer's global forest — the serve daemon uses
+    this for per-request trees that are serialized into the durable
+    event log instead of accumulating in process memory.
+    """
 
-    def __init__(self, tracer, name, attrs):
+    __slots__ = ("tracer", "name", "attrs", "start", "duration", "children",
+                 "trace_id", "span_id", "parent_span_id", "detached")
+
+    def __init__(self, tracer, name, attrs, detached=False):
         self.tracer = tracer
         self.name = name
         self.attrs = attrs
         self.start = None
         self.duration = None
         self.children = []
+        self.trace_id = None
+        self.span_id = None
+        self.parent_span_id = None
+        self.detached = detached
 
     def set(self, **attrs):
         """Attach attributes to the span; returns the span."""
@@ -57,7 +96,17 @@ class Span:
     def __enter__(self):
         tracer = self.tracer
         stack = tracer._stack
-        (stack[-1].children if stack else tracer.roots).append(self)
+        parent = stack[-1] if stack else None
+        ctx = _context.current()
+        if ctx is not None:
+            self.trace_id = ctx.trace_id
+            self.span_id = _context.new_span_id()
+            self.parent_span_id = parent.span_id if parent is not None \
+                else ctx.span_id
+        if parent is not None:
+            parent.children.append(self)
+        elif not self.detached:
+            tracer.roots.append(self)
         stack.append(self)
         self.start = perf_counter()
         return self
@@ -67,15 +116,24 @@ class Span:
         stack = self.tracer._stack
         if stack and stack[-1] is self:
             stack.pop()
+        histogram_name = PHASE_SPANS.get(self.name)
+        if histogram_name is not None:
+            _metrics.histogram(histogram_name).observe(self.duration)
         return False
 
     def to_dict(self):
-        return {
+        node = {
             "name": self.name,
             "duration_s": self.duration,
             "attrs": dict(self.attrs),
             "children": [child.to_dict() for child in self.children],
         }
+        if self.trace_id is not None:
+            node["trace_id"] = self.trace_id
+            node["span_id"] = self.span_id
+            if self.parent_span_id is not None:
+                node["parent_span_id"] = self.parent_span_id
+        return node
 
     def __repr__(self):
         return "Span(%s %.6fs)" % (
@@ -107,6 +165,14 @@ class Tracer:
         if not self.enabled:
             return _NULL_SPAN
         return Span(self, name, attrs)
+
+    def request_span(self, name, **attrs):
+        """A *detached* span: times and nests children like any other,
+        but never joins ``roots`` — the caller owns serialization (the
+        daemon writes it to the event log, then drops it)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, attrs, detached=True)
 
     def enable(self):
         self.enabled = True

@@ -13,6 +13,8 @@ import itertools
 import socket
 import time
 
+from repro.obs import context as _context
+from repro.obs import trace as _trace
 from repro.serve.config import ServeConfig, default_socket_path
 from repro.serve.protocol import (
     RETRYABLE,
@@ -75,23 +77,43 @@ class ServeClient:
 
     # ------------------------------------------------------------------
     def request(self, op, **params):
-        """Result dict of *op*; retries backpressure, raises ServeError."""
-        attempt = 0
-        while True:
-            response = self._roundtrip(op, params)
-            if response.get("ok"):
-                return response.get("result")
-            error = response.get("error") or {}
-            code = error.get("code", "internal")
-            retry_after = response.get("retry_after")
-            if code in RETRYABLE and attempt < self.retries:
-                attempt += 1
-                delay = min(retry_after if retry_after is not None else 0.1,
-                            self.max_retry_after)
-                time.sleep(delay)
-                continue
-            raise ServeError(code, error.get("message", "request failed"),
-                             retry_after)
+        """Result dict of *op*; retries backpressure, raises ServeError.
+
+        Every request travels under a trace context: the caller's
+        attached context when one exists (so daemon-side spans hang
+        under the caller's trace), a freshly minted one otherwise.
+        Retries reuse the same trace id — the event log then shows the
+        whole backoff story under one request.
+        """
+        parent = _context.current()
+        ctx = _context.TraceContext(parent.trace_id if parent else None,
+                                    parent.span_id if parent else None)
+        with _context.attached(ctx), \
+                _trace.TRACER.span("serve.client.request", op=op) as sp:
+            if isinstance(sp, _trace.Span) and sp.span_id:
+                wire = ctx.child(sp.span_id)
+            else:
+                wire = ctx
+            params = dict(params)
+            params["trace"] = wire.to_wire()
+            attempt = 0
+            while True:
+                response = self._roundtrip(op, params)
+                if response.get("ok"):
+                    return response.get("result")
+                error = response.get("error") or {}
+                code = error.get("code", "internal")
+                retry_after = response.get("retry_after")
+                if code in RETRYABLE and attempt < self.retries:
+                    attempt += 1
+                    delay = min(retry_after
+                                if retry_after is not None else 0.1,
+                                self.max_retry_after)
+                    time.sleep(delay)
+                    continue
+                raise ServeError(code,
+                                 error.get("message", "request failed"),
+                                 retry_after)
 
     def _roundtrip(self, op, params):
         self.connect()
@@ -99,13 +121,25 @@ class ServeClient:
         message = {"id": request_id, "op": op}
         message.update(params)
         self._sock.sendall(encode(message))
-        while True:
-            response = self._reader.next_message()
-            if response is None:
-                raise ServeError("connection_closed",
-                                 "daemon closed the connection mid-request")
-            if response.get("id") in (request_id, None):
-                return response
+        response = self._reader.next_message()
+        if response is None:
+            raise ServeError("connection_closed",
+                             "daemon closed the connection mid-request")
+        # Responses must echo our id exactly.  An id of None is the
+        # daemon reporting a framing-level failure (it could not even
+        # parse an id); anything else is a correlation bug.  Either way
+        # matching it to this request would hand the caller a response
+        # that is not theirs, so surface the mismatch instead.
+        got = response.get("id")
+        if got != request_id:
+            error = response.get("error") or {}
+            detail = error.get("message", "")
+            raise ServeError(
+                "protocol_error",
+                "response id %r does not match request id %r%s"
+                % (got, request_id,
+                   (": " + detail) if detail else ""))
+        return response
 
     # ------------------------------------------------------------------
     # Convenience wrappers (the ops the CLI and tests speak)
@@ -117,8 +151,17 @@ class ServeClient:
     def run_workload(self, workload, stdin="", **params):
         return self.request("run", workload=workload, stdin=stdin, **params)
 
-    def stats(self):
+    def stats(self, sections=None):
+        if sections is not None:
+            return self.request("stats", sections=list(sections))
         return self.request("stats")
+
+    def top(self, cursor=None):
+        """One live-introspection snapshot; pass back the returned
+        ``cursor`` to get counter deltas instead of absolutes."""
+        if cursor is not None:
+            return self.request("top", cursor=cursor)
+        return self.request("top")
 
     def shutdown(self):
         return self.request("shutdown")

@@ -28,10 +28,14 @@ class ServeConfig:
     def __init__(self, socket_path=None, jobs=None, queue_size=None,
                  timeout_s=None, retries=None, backoff_s=None,
                  retry_after_s=None, restarts=None, warm_cap=None,
-                 drain_timeout_s=None, chaos=None):
+                 drain_timeout_s=None, chaos=None, events_path=None):
         env = os.environ
         self.socket_path = socket_path or env.get("REPRO_SERVE_SOCKET") \
             or default_socket_path()
+        # Durable event log (repro.events/1 JSONL); no log by default.
+        self.events_path = events_path \
+            if events_path is not None \
+            else env.get("REPRO_SERVE_EVENTS") or None
         self.jobs = jobs if jobs is not None \
             else env_int("REPRO_SERVE_JOBS", 2, minimum=1)
         self.queue_size = queue_size if queue_size is not None \

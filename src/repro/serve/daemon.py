@@ -23,8 +23,12 @@ import socket
 import sys
 import threading
 import time
+from time import perf_counter
 
+from repro.obs import context as _context
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.serve import ops, protocol
 from repro.serve.config import ServeConfig
 
@@ -38,6 +42,10 @@ _C_RETRIES = _metrics.counter("serve.retries")
 _C_DEGRADED = _metrics.counter("serve.degraded")
 _C_DEATHS = _metrics.counter("serve.worker_deaths")
 
+# Latency accounting is unconditional (histograms are cheap and `repro
+# top` must work against a daemon running without --trace).
+_H_QUEUE_WAIT = _metrics.histogram("serve.queue_wait")
+
 _STOP = object()  # queue sentinel: worker exits cleanly
 
 
@@ -45,9 +53,9 @@ class _Job:
     """One admitted request travelling from connection to worker."""
 
     __slots__ = ("id", "op", "params", "attempts", "done", "response",
-                 "abandoned")
+                 "abandoned", "context", "admitted")
 
-    def __init__(self, request_id, op, params):
+    def __init__(self, request_id, op, params, context=None):
         self.id = request_id
         self.op = op
         self.params = params
@@ -55,6 +63,8 @@ class _Job:
         self.done = threading.Event()
         self.response = None
         self.abandoned = False  # requester gave up (timeout); drop result
+        self.context = context  # TraceContext the request travels under
+        self.admitted = perf_counter()
 
     def finish(self, response):
         self.response = response
@@ -88,6 +98,10 @@ class EditServer:
         self._chaos_counts = {}
         self._drain_requested = threading.Event()
         self.drained = threading.Event()
+        self._worker_states = {}      # thread name -> "idle" | op name
+        self._top_lock = threading.Lock()
+        self._top_cursor = 0
+        self._top_snapshots = {}      # cursor -> counter snapshot
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -128,16 +142,59 @@ class EditServer:
         with self._lock:
             alive = len(self._workers)
             degraded = self._fallback_started
+            states = dict(self._worker_states)
         return {
             "pid": os.getpid(),
             "socket": self.config.socket_path,
             "jobs": self.config.jobs,
             "workers_alive": alive,
+            "worker_states": states,
             "degraded": degraded,
             "draining": self._drain_requested.is_set(),
             "queue_depth": self._queue.qsize(),
             "uptime_s": time.monotonic() - self.started_at
             if self.started_at is not None else 0.0,
+        }
+
+    def top_snapshot(self, cursor=None):
+        """Incremental metrics snapshot for the ``top`` op.
+
+        Returns live daemon state plus *counter deltas* since the
+        snapshot named by *cursor* (absolute values when the cursor is
+        unknown or absent), gauges, and per-op latency percentiles.
+        The response carries a fresh cursor the caller hands back on
+        its next call; a handful of recent snapshots are kept so one
+        slow watcher cannot grow daemon memory.
+        """
+        counters = {name: instrument.value for name, instrument
+                    in _metrics.REGISTRY.counters.items()}
+        with self._top_lock:
+            baseline = self._top_snapshots.get(cursor, {})
+            self._top_cursor += 1
+            fresh = self._top_cursor
+            self._top_snapshots[fresh] = counters
+            while len(self._top_snapshots) > 8:
+                self._top_snapshots.pop(min(self._top_snapshots))
+        deltas = {name: value - baseline.get(name, 0)
+                  for name, value in sorted(counters.items())
+                  if value - baseline.get(name, 0)}
+        gauges = {name: instrument.value for name, instrument
+                  in sorted(_metrics.REGISTRY.gauges.items())
+                  if instrument.value is not None}
+        latency = {}
+        for name, instrument in sorted(_metrics.REGISTRY.histograms.items()):
+            if name.startswith("serve.latency.") and instrument.count:
+                latency[name[len("serve.latency."):]] = instrument.snapshot()
+        queue_wait = _H_QUEUE_WAIT.snapshot() if _H_QUEUE_WAIT.count \
+            else None
+        return {
+            "cursor": fresh,
+            "incremental": bool(baseline),
+            "server": self.describe(),
+            "counters": deltas,
+            "gauges": gauges,
+            "latency": latency,
+            "queue_wait": queue_wait,
         }
 
     # ------------------------------------------------------------------
@@ -161,6 +218,7 @@ class EditServer:
             else:
                 leader = False
         if leader:
+            _events.emit("coalesce.leader", key=key)
             try:
                 return fn()
             finally:
@@ -168,6 +226,7 @@ class EditServer:
                     self._coalescing.pop(key, None)
                 event.set()
         ops._C_COALESCED.inc()
+        _events.emit("coalesce.loser", key=key)
         event.wait(self.config.timeout_s)
         return fn()
 
@@ -218,23 +277,39 @@ class EditServer:
     def _handle_request(self, message):
         request_id = message.get("id")
         op = message.get("op")
+        # Adopt the client's trace context, or mint one: every request
+        # is attributable in the event log either way.
+        ctx = _context.TraceContext.from_wire(message.get("trace")) \
+            or _context.TraceContext()
         _C_REQUESTS.inc()
+
+        def _tagged(response):
+            if isinstance(response, dict):
+                response.setdefault("trace_id", ctx.trace_id)
+            return response
+
         if not isinstance(op, str):
             _C_ERRORS.inc()
-            return protocol.error_response(request_id,
-                                           protocol.E_BAD_REQUEST,
-                                           "request needs a string 'op'")
+            return _tagged(protocol.error_response(
+                request_id, protocol.E_BAD_REQUEST,
+                "request needs a string 'op'"))
         if op == "shutdown":
             self.request_drain()
             _C_OK.inc()
-            return protocol.ok_response(request_id, {"draining": True})
+            return _tagged(protocol.ok_response(request_id,
+                                                {"draining": True}))
         if self._drain_requested.is_set():
             _C_DRAINING.inc()
-            return protocol.error_response(request_id, protocol.E_DRAINING,
-                                           "daemon is draining")
+            _events.emit("request.error", trace_id=ctx.trace_id,
+                         id=request_id, op=op, code=protocol.E_DRAINING)
+            return _tagged(protocol.error_response(
+                request_id, protocol.E_DRAINING, "daemon is draining"))
         params = {key: value for key, value in message.items()
-                  if key not in ("id", "op")}
-        job = _Job(request_id, op, params)
+                  if key not in ("id", "op", "trace")}
+        job = _Job(request_id, op, params, context=ctx)
+        _events.emit("request.admit", trace_id=ctx.trace_id,
+                     id=request_id, op=op,
+                     queue_depth=self._queue.qsize())
         # Count the job in flight *before* it is visible to workers: a
         # worker finishing it instantly must never see the count at 0.
         with self._lock:
@@ -244,19 +319,26 @@ class EditServer:
         except queue.Full:
             self._job_finished(job)
             _C_QUEUE_FULL.inc()
-            return protocol.error_response(
+            _events.emit("request.error", trace_id=ctx.trace_id,
+                         id=request_id, op=op,
+                         code=protocol.E_OVERLOADED,
+                         queue_depth=self.config.queue_size)
+            return _tagged(protocol.error_response(
                 request_id, protocol.E_OVERLOADED,
                 "admission queue is full (%d waiting)"
                 % self.config.queue_size,
-                retry_after=self.config.retry_after_s)
+                retry_after=self.config.retry_after_s))
         if not job.done.wait(self.config.timeout_s):
             job.abandoned = True
             _C_TIMEOUTS.inc()
-            return protocol.error_response(
+            _events.emit("request.error", trace_id=ctx.trace_id,
+                         id=request_id, op=op, code=protocol.E_TIMEOUT,
+                         timeout_s=self.config.timeout_s)
+            return _tagged(protocol.error_response(
                 request_id, protocol.E_TIMEOUT,
                 "request exceeded %.1fs" % self.config.timeout_s,
-                retry_after=self.config.retry_after_s)
-        return job.response
+                retry_after=self.config.retry_after_s))
+        return _tagged(job.response)
 
     # ------------------------------------------------------------------
     # Workers
@@ -273,17 +355,27 @@ class EditServer:
         thread.start()
         return thread
 
+    def _set_worker_state(self, state):
+        with self._lock:
+            self._worker_states[threading.current_thread().name] = state
+
     def _worker_loop(self):
+        self._set_worker_state("idle")
         while True:
             job = self._queue.get()
             if job is _STOP:
                 self._remove_worker()
                 return
             try:
+                self._set_worker_state(job.op)
                 self._execute(job)
                 self._job_finished(job)
+                self._set_worker_state("idle")
             except ops.WorkerDeath as death:
                 _C_DEATHS.inc()
+                _events.emit("worker.death",
+                             worker=threading.current_thread().name,
+                             op=job.op, reason=str(death))
                 self._reschedule_after_death(job, death)
                 self._remove_worker()
                 self._replace_worker()
@@ -295,6 +387,7 @@ class EditServer:
         Catches WorkerDeath instead of dying: with the restart budget
         spent, staying alive serially beats going dark.
         """
+        self._set_worker_state("idle")
         while True:
             job = self._queue.get()
             if job is _STOP:
@@ -302,42 +395,103 @@ class EditServer:
                 return
             _C_DEGRADED.inc()
             try:
+                self._set_worker_state(job.op)
                 self._execute(job)
             except ops.WorkerDeath as death:
                 _C_DEATHS.inc()
+                _events.emit("worker.death",
+                             worker=threading.current_thread().name,
+                             op=job.op, degraded=True, reason=str(death))
                 job.finish(protocol.error_response(
                     job.id, protocol.E_INTERNAL,
                     "worker death in degraded mode: %s" % death))
                 _C_ERRORS.inc()
             self._job_finished(job)
+            self._set_worker_state("idle")
 
     def _execute(self, job):
-        """Run one job to a response, retrying transient failures."""
+        """Run one job to a response, retrying transient failures.
+
+        The job's trace context is attached for the duration, so every
+        span the handler opens (cache, analysis, verify, simulation)
+        joins the request's trace; the whole per-request span tree is
+        serialized into the ``request.finish`` event rather than the
+        process-global forest, keeping daemon memory flat.
+        """
         if job.abandoned:
             job.finish(None)
             return
-        while True:
-            try:
-                result = ops.dispatch(self, job.op, job.params)
-            except ops.OpError as error:
-                _C_ERRORS.inc()
-                job.finish(protocol.error_response(job.id, error.code,
-                                                   error.message))
+        started = perf_counter()
+        queue_wait = started - job.admitted
+        _H_QUEUE_WAIT.observe(queue_wait)
+        token = _context.attach(job.context)
+        root_span = _trace.TRACER.request_span(
+            "serve.request", op=job.op, request_id=job.id,
+            worker=threading.current_thread().name)
+        root_span.__enter__()
+        status, code = "ok", None
+        try:
+            while True:
+                try:
+                    result = ops.dispatch(self, job.op, job.params)
+                except ops.OpError as error:
+                    _C_ERRORS.inc()
+                    status, code = "error", error.code
+                    job.finish(protocol.error_response(
+                        job.id, error.code, error.message))
+                    return
+                except ops.TransientOpError as error:
+                    if job.attempts < self.config.retries:
+                        job.attempts += 1
+                        _C_RETRIES.inc()
+                        time.sleep(self.config.backoff_for(job.attempts))
+                        continue
+                    _C_ERRORS.inc()
+                    status, code = "error", protocol.E_INTERNAL
+                    job.finish(protocol.error_response(
+                        job.id, protocol.E_INTERNAL,
+                        "retries exhausted: %s" % error))
+                    return
+                _C_OK.inc()
+                job.finish(protocol.ok_response(job.id, result))
                 return
-            except ops.TransientOpError as error:
-                if job.attempts < self.config.retries:
-                    job.attempts += 1
-                    _C_RETRIES.inc()
-                    time.sleep(self.config.backoff_for(job.attempts))
-                    continue
-                _C_ERRORS.inc()
-                job.finish(protocol.error_response(
-                    job.id, protocol.E_INTERNAL,
-                    "retries exhausted: %s" % error))
-                return
-            _C_OK.inc()
-            job.finish(protocol.ok_response(job.id, result))
+        finally:
+            # Runs on every exit — return paths and WorkerDeath alike —
+            # so the span stack and context never leak across jobs.
+            root_span.__exit__(None, None, None)
+            _context.detach(token)
+            handler_s = perf_counter() - started
+            _metrics.histogram("serve.latency.%s" % job.op) \
+                .observe(handler_s)
+            self._emit_request_event(job, status, code, queue_wait,
+                                     handler_s, root_span)
+
+    def _emit_request_event(self, job, status, code, queue_wait,
+                            handler_s, root_span):
+        if not _events.is_configured():
             return
+        fields = {
+            "trace_id": job.context.trace_id if job.context else None,
+            "id": job.id,
+            "op": job.op,
+            "queue_wait_s": queue_wait,
+            "handler_s": handler_s,
+            "attempts": job.attempts,
+        }
+        if job.abandoned:
+            fields["abandoned"] = True
+        if not job.done.is_set() and status == "ok":
+            # WorkerDeath unwound dispatch before a response landed.
+            status, code = "error", protocol.E_INTERNAL
+        if status == "ok":
+            if isinstance(root_span, _trace.Span):
+                fields["spans"] = [root_span.to_dict()]
+            _events.emit("request.finish", **fields)
+        else:
+            fields["code"] = code or protocol.E_INTERNAL
+            if isinstance(root_span, _trace.Span):
+                fields["spans"] = [root_span.to_dict()]
+            _events.emit("request.error", **fields)
 
     def _reschedule_after_death(self, job, death):
         """Worker death mid-job is transient: requeue within budget."""
@@ -346,6 +500,10 @@ class EditServer:
             _C_RETRIES.inc()
             try:
                 self._queue.put_nowait(job)
+                _events.emit("request.requeued",
+                             trace_id=job.context.trace_id
+                             if job.context else None,
+                             id=job.id, op=job.op, attempts=job.attempts)
                 return  # stays in flight; a surviving worker picks it up
             except queue.Full:
                 pass
@@ -376,6 +534,13 @@ class EditServer:
                 fallback = True
             else:
                 return  # budget spent; surviving workers carry the load
+        if fallback:
+            _events.emit("worker.degraded",
+                         restarts_used=self._restarts_used)
+        else:
+            _events.emit("worker.restart",
+                         restarts_used=self._restarts_used,
+                         restarts_budget=self.config.restarts)
         self._spawn_worker(fallback=fallback)
 
     # ------------------------------------------------------------------
@@ -384,6 +549,8 @@ class EditServer:
 
     def _drain_loop(self):
         self._drain_requested.wait()
+        _events.emit("drain.begin", queue_depth=self._queue.qsize(),
+                     in_flight=self._in_flight)
         deadline = time.monotonic() + self.config.drain_timeout_s
         # 1. Stop accepting: the accept loop exits on the drain flag;
         #    closing the listener unblocks it immediately.
@@ -410,6 +577,10 @@ class EditServer:
             os.unlink(self.config.socket_path)
         except OSError:
             pass
+        _events.emit("drain.finish",
+                     clean=self._in_flight <= 0,
+                     degraded=self._fallback_started,
+                     worker_deaths=_C_DEATHS.value)
         self.drained.set()
 
 
@@ -432,7 +603,13 @@ def serve_main(config, stats_json=None, trace=False):
 
     if stats_json or trace:
         obs.enable()
+    if config.events_path:
+        _events.configure(config.events_path)
     server = EditServer(config).start()
+    _events.emit("daemon.start", pid=os.getpid(),
+                 socket=config.socket_path, jobs=config.jobs,
+                 queue_size=config.queue_size,
+                 tracing=bool(stats_json or trace))
     print("repro-serve: listening on %s (%d workers, queue %d, pid %d)"
           % (config.socket_path, config.jobs, config.queue_size,
              os.getpid()), file=sys.stderr, flush=True)
@@ -449,6 +626,8 @@ def serve_main(config, stats_json=None, trace=False):
     while not server.wait_drained(timeout=0.2):
         pass
     obs.disable()
+    if config.events_path:
+        _events.unconfigure()
     report = obs_report.build_report()
     if stats_json:
         with open(stats_json, "w") as handle:

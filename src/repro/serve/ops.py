@@ -222,8 +222,29 @@ def _op_verify(server, params):
 def _op_stats(server, params):
     from repro.obs import report as obs_report
 
-    return {"report": obs_report.build_report(),
-            "server": server.describe()}
+    report = obs_report.build_report()
+    sections = params.get("sections")
+    if sections is not None:
+        if not isinstance(sections, list) \
+                or not all(isinstance(s, str) for s in sections):
+            raise OpError(E_BAD_REQUEST,
+                          "'sections' must be a list of section names")
+        unknown = [s for s in sections if s not in report]
+        if unknown:
+            raise OpError(E_BAD_REQUEST,
+                          "unknown report sections: %s (have: %s)"
+                          % (", ".join(unknown),
+                             ", ".join(sorted(report))))
+        report = {key: report[key] for key in ("schema", *sections)}
+    return {"report": report, "server": server.describe()}
+
+
+def _op_top(server, params):
+    """Live fleet introspection: incremental snapshot for ``repro top``."""
+    cursor = params.get("cursor")
+    if cursor is not None and not isinstance(cursor, int):
+        raise OpError(E_BAD_REQUEST, "'cursor' must be an integer")
+    return server.top_snapshot(cursor)
 
 
 def _op_chaos(server, params):
@@ -255,6 +276,7 @@ HANDLERS = {
     "instrument": _op_instrument,
     "verify": _op_verify,
     "stats": _op_stats,
+    "top": _op_top,
     "chaos": _op_chaos,
 }
 

@@ -13,6 +13,15 @@ responses are either::
 ``timeout``): it is the daemon telling the client when the attempt is
 likely to succeed.  Lines are capped at :data:`MAX_LINE` bytes so a
 corrupt or hostile peer cannot grow a read buffer without bound.
+
+Requests may carry a ``trace`` object — ``{"trace_id": hex,
+"parent_span_id": hex?}`` (the wire form of
+:class:`repro.obs.context.TraceContext`) — naming the client-side
+trace this request belongs to.  The daemon adopts it for every span
+and event the request produces, and mints a fresh ``trace_id`` when
+the field is absent, so server-side telemetry is always attributable.
+Responses echo the id under ``trace_id`` so a client can line its logs
+up with the daemon's event log.
 """
 
 import json

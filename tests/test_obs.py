@@ -97,9 +97,134 @@ def test_gauge_and_histogram():
         histogram.observe(value)
     snap = metrics.snapshot()
     assert snap["gauges"]["test.gauge"] == 42
-    assert snap["histograms"]["test.hist"] == {
-        "count": 3, "sum": 12, "min": 1, "max": 9, "mean": 4.0,
-    }
+    summary = snap["histograms"]["test.hist"]
+    assert sorted(summary) == [
+        "count", "max", "mean", "min", "p50", "p95", "p99", "sum",
+    ]
+    assert summary["count"] == 3
+    assert summary["sum"] == 12
+    assert summary["min"] == 1
+    assert summary["max"] == 9
+    assert summary["mean"] == 4.0
+    assert summary["p50"] == 2
+
+
+def test_histogram_percentiles_exact_when_under_capacity():
+    histogram = obs.histogram("test.pct")
+    for value in range(1, 101):  # 1..100, well under the reservoir cap
+        histogram.observe(value)
+    assert histogram.percentile(0.50) == pytest.approx(50.5)
+    assert histogram.percentile(0.95) == pytest.approx(95.05)
+    assert histogram.percentile(0.99) == pytest.approx(99.01)
+    assert histogram.percentile(0.0) == 1
+    assert histogram.percentile(1.0) == 100
+
+
+def test_histogram_reservoir_stays_bounded_and_representative():
+    histogram = obs.histogram("test.reservoir")
+    for value in range(10_000):
+        histogram.observe(float(value))
+    assert histogram.count == 10_000
+    assert len(histogram._reservoir) == histogram.capacity
+    # Sampling is uniform (seeded per-name RNG -> deterministic), so
+    # the median estimate lands near the true median.
+    assert abs(histogram.percentile(0.5) - 5000.0) < 1500
+    # Exact aggregates are unaffected by sampling.
+    assert histogram.minimum == 0.0
+    assert histogram.maximum == 9999.0
+
+
+def test_histogram_percentile_empty_is_none():
+    assert obs.histogram("test.empty").percentile(0.5) is None
+
+
+# ----------------------------------------------------------------------
+# Phase latency histograms (gated on tracing: disabled stays free)
+# ----------------------------------------------------------------------
+
+def test_phase_spans_feed_latency_histograms():
+    obs.enable()
+    with obs.span("cfg.build"):
+        pass
+    with obs.span("sim.run"):
+        pass
+    snap = metrics.snapshot()
+    assert snap["histograms"]["phase.cfg.build"]["count"] == 1
+    assert snap["histograms"]["phase.sim.run"]["count"] == 1
+    built = report.build_report()
+    assert "cfg.build" in built["phases"]
+    assert built["phases"]["cfg.build"]["count"] == 1
+    assert "phase.cfg.build.p50" in built["derived"]
+
+
+def test_disabled_spans_do_not_feed_phase_histograms():
+    assert not obs.is_enabled()
+    with obs.span("cfg.build"):
+        pass
+    assert "phase.cfg.build" not in metrics.snapshot()["histograms"]
+
+
+# ----------------------------------------------------------------------
+# Trace contexts: span identity and cross-thread propagation
+# ----------------------------------------------------------------------
+
+def test_spans_adopt_attached_context():
+    from repro.obs import context
+
+    obs.enable()
+    ctx = context.TraceContext("feedc0ffee000001", "aaaa0001")
+    with context.attached(ctx):
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                pass
+    assert outer.trace_id == "feedc0ffee000001"
+    assert outer.parent_span_id == "aaaa0001"  # the remote parent
+    assert inner.trace_id == "feedc0ffee000001"
+    assert inner.parent_span_id == outer.span_id
+    node = trace.TRACER.tree()[0]
+    assert node["trace_id"] == "feedc0ffee000001"
+    assert node["children"][0]["parent_span_id"] == node["span_id"]
+
+
+def test_spans_without_context_carry_no_trace_ids():
+    obs.enable()
+    with obs.span("plain"):
+        pass
+    node = trace.TRACER.tree()[0]
+    assert sorted(node) == ["attrs", "children", "duration_s", "name"]
+
+
+def test_context_crosses_threads_via_attach():
+    import threading
+
+    from repro.obs import context
+
+    obs.enable()
+    ctx = context.TraceContext()
+    recorded = {}
+
+    def worker():
+        token = context.attach(ctx)
+        try:
+            with trace.TRACER.request_span("serve.request") as sp:
+                with obs.span("child"):
+                    pass
+            recorded["span"] = sp
+        finally:
+            context.detach(token)
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    thread.join()
+    sp = recorded["span"]
+    assert sp.trace_id == ctx.trace_id
+    assert sp.children[0].trace_id == ctx.trace_id
+    # Detached request spans never land in the global forest.
+    assert trace.TRACER.tree() == []
+
+
+def test_request_span_disabled_is_null():
+    assert trace.TRACER.request_span("serve.request") is trace._NULL_SPAN
 
 
 # ----------------------------------------------------------------------
@@ -116,17 +241,19 @@ def test_report_schema_stability(tmp_path):
     built = report.build_report()
     # Top-level key set is the schema contract: widen deliberately only.
     assert sorted(built) == [
-        "cache", "counters", "derived", "gauges", "histograms", "schema",
-        "serve", "spans",
+        "cache", "counters", "derived", "gauges", "histograms", "phases",
+        "schema", "serve", "spans",
     ]
     assert built["schema"] == "repro.obs/1"
     assert sorted(built["cache"]) == [
         "dir", "enabled", "evictions", "hit_rate", "hits", "invalidations",
-        "misses", "stores",
+        "latency", "misses", "stores",
     ]
+    assert sorted(built["cache"]["latency"]) == ["load", "store"]
     assert sorted(built["serve"]) == [
-        "coalesced", "degraded", "errors", "ok", "ok_rate", "rejected",
-        "requests", "retries", "timeouts", "worker_deaths",
+        "coalesced", "degraded", "errors", "latency", "ok", "ok_rate",
+        "queue_wait", "rejected", "requests", "retries", "timeouts",
+        "worker_deaths",
     ]
     assert built["derived"]["sim.flyweight.hit_rate"] == 0.9
     assert built["derived"]["indirect.resolved"] == 3

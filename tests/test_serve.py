@@ -418,3 +418,201 @@ def test_cli_client_without_daemon_fails_cleanly(tmp_path, capsys):
                    str(tmp_path / "nobody-home.sock")])
     assert rc == 1
     assert "cannot reach daemon" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Response correlation: exact id match only
+# ----------------------------------------------------------------------
+
+def _misbehaving_peer(response_factory):
+    """A ServeClient wired to a fake daemon that answers each request
+    with ``response_factory(request)``."""
+    left, right = socket.socketpair()
+    client = ServeClient("unused.sock")
+    client._sock = left
+    client._reader = protocol.LineReader(left)
+
+    def responder():
+        reader = protocol.LineReader(right)
+        try:
+            request = reader.next_message()
+            right.sendall(protocol.encode(response_factory(request)))
+        except (OSError, protocol.ProtocolError):
+            pass
+
+    threading.Thread(target=responder, daemon=True).start()
+    return client
+
+
+def test_client_rejects_mismatched_response_id():
+    client = _misbehaving_peer(
+        lambda req: protocol.ok_response(999_999, {"pong": True}))
+    with pytest.raises(ServeError) as err:
+        client.request("ping")
+    assert err.value.code == "protocol_error"
+    assert "999999" in err.value.message
+
+
+def test_client_surfaces_id_none_as_protocol_error():
+    """A daemon-side framing error answers with id null; the client
+    must not silently adopt it as this request's response."""
+    client = _misbehaving_peer(
+        lambda req: protocol.error_response(
+            None, protocol.E_BAD_REQUEST, "undecodable line"))
+    with pytest.raises(ServeError) as err:
+        client.request("ping")
+    assert err.value.code == "protocol_error"
+    assert "undecodable line" in err.value.message
+
+
+def test_client_accepts_exact_id_match(make_server):
+    with _client(make_server()) as client:
+        assert client.ping()["pong"] is True
+
+
+# ----------------------------------------------------------------------
+# Tracing: one request -> one connected span tree in the event log
+# ----------------------------------------------------------------------
+
+def test_chaos_request_yields_single_connected_span_tree(make_server,
+                                                         tmp_path):
+    """Under a multi-worker chaos config, a retried request still
+    produces one span tree with no orphans, rooted at the client's
+    span, with queue-wait and handler latency split out."""
+    from repro import obs
+    from repro.obs import events as obs_events
+
+    events_path = str(tmp_path / "events.jsonl")
+    obs_events.configure(events_path)
+    obs.enable()
+    try:
+        server = make_server(jobs=2, chaos=True, retries=2,
+                             backoff_s=0.01)
+        with _client(server) as client:
+            result = client.request("chaos", kind="flaky", fails=2,
+                                    key="traced-flake")
+            assert result["attempts"] == 3
+            run = client.run_workload("fib")
+            assert run["exit_code"] == 0
+        server.request_drain()
+        assert server.wait_drained(15.0)
+    finally:
+        obs.disable()
+        obs.reset()
+        obs_events.unconfigure()
+
+    traces = obs_events.build_traces(obs_events.load_events(events_path))
+    finished = [r for r in traces.values() if r.finish is not None]
+    assert len(finished) == 2
+    by_op = {record.op: record for record in finished}
+    flaky = by_op["chaos"]
+    assert flaky.status == "ok"
+    assert flaky.attempts == 2  # two transient failures, then success
+    assert flaky.queue_wait_s is not None and flaky.queue_wait_s >= 0
+    assert flaky.handler_s is not None and flaky.handler_s > 0
+    for record in finished:
+        assert record.admit is not None, "admit event missing"
+        spans = record.spans
+        assert spans and len(spans) == 1
+        root = spans[0]
+        assert root["name"] == "serve.request"
+        assert root["trace_id"] == record.trace_id
+        # Every span links to its parent inside the tree: no orphans.
+        assert obs_events.connected_spans(
+            spans, root_parent=root.get("parent_span_id"))
+    run_record = by_op["run"]
+    names = set()
+
+    def walk(node):
+        names.add(node["name"])
+        for child in node.get("children", ()):
+            walk(child)
+
+    walk(run_record.spans[0])
+    assert "serve.op" in names
+    assert "sim.run" in names
+
+
+def test_client_span_parents_daemon_tree(make_server, tmp_path):
+    """With tracing on in the client process, the daemon's root span
+    hangs off the client's serve.client.request span id."""
+    from repro import obs
+    from repro.obs import events as obs_events
+    from repro.obs import trace as obs_trace
+
+    events_path = str(tmp_path / "events.jsonl")
+    obs_events.configure(events_path)
+    obs.enable()
+    try:
+        server = make_server()
+        with _client(server) as client:
+            client.ping()
+        client_roots = obs_trace.TRACER.tree()
+        server.request_drain()
+        assert server.wait_drained(15.0)
+    finally:
+        obs.disable()
+        obs.reset()
+        obs_events.unconfigure()
+
+    client_spans = [node for node in client_roots
+                    if node["name"] == "serve.client.request"]
+    assert len(client_spans) == 1
+    client_span = client_spans[0]
+    traces = obs_events.build_traces(obs_events.load_events(events_path))
+    record = next(r for r in traces.values() if r.op == "ping")
+    assert record.trace_id == client_span["trace_id"]
+    root = record.spans[0]
+    assert root["parent_span_id"] == client_span["span_id"]
+
+
+# ----------------------------------------------------------------------
+# Live introspection: the top op
+# ----------------------------------------------------------------------
+
+def test_top_op_reports_latency_and_counter_deltas(make_server):
+    server = make_server()
+    with _client(server) as client:
+        for _ in range(3):
+            assert client.ping()["pong"] is True
+        first = client.top()
+        assert first["incremental"] is False
+        assert first["counters"]["serve.requests"] >= 3
+        ping_latency = first["latency"]["ping"]
+        for key in ("count", "p50", "p95", "p99", "min", "max", "mean"):
+            assert key in ping_latency
+        assert ping_latency["count"] >= 3
+        assert first["queue_wait"]["count"] >= 3
+        server_state = first["server"]
+        assert server_state["workers_alive"] == 2
+        assert set(server_state["worker_states"].values()) <= \
+            {"idle", "top", "ping"}
+        assert server_state["uptime_s"] > 0
+        # Second snapshot with the cursor: deltas, not absolutes.
+        assert client.ping()["pong"] is True
+        second = client.top(first["cursor"])
+        assert second["incremental"] is True
+        assert second["counters"]["serve.requests"] == 2  # ping + top
+        assert second["cursor"] > first["cursor"]
+
+
+def test_top_cursor_history_is_bounded(make_server):
+    server = make_server()
+    with _client(server) as client:
+        for _ in range(12):
+            client.top()
+    assert len(server._top_snapshots) <= 8
+
+
+def test_cli_top_renders_snapshot(make_server, capsys):
+    from repro import cli
+
+    server = make_server()
+    with _client(server) as client:
+        client.ping()
+    rc = cli.main(["top", "--socket", server.config.socket_path])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "repro-serve pid" in out
+    assert "serve.requests" in out
+    assert "latency:" in out
