@@ -120,7 +120,8 @@ def _cmd_run(args):
         simulator = run_image(read_image(args.executable),
                               stdin_text=args.stdin or "",
                               max_steps=args.max_steps,
-                              strict_memory=args.strict_memory)
+                              strict_memory=args.strict_memory,
+                              engine=args.engine)
     except SimulationError as error:
         print("simulation error: %s" % error, file=sys.stderr)
         return 1
@@ -569,6 +570,10 @@ def main(argv=None):
     run.add_argument("--strict-memory", action="store_true",
                      help="fault on misaligned memory accesses instead "
                           "of byte-wise emulation")
+    run.add_argument("--engine", choices=("block", "handwritten", "spawn"),
+                     default=None,
+                     help="execution engine (default: $REPRO_SIM_ENGINE "
+                          "or the block compiler)")
     _add_obs_flags(run)
     run.set_defaults(func=_cmd_run)
 

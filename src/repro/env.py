@@ -44,6 +44,25 @@ def env_int(name, default, minimum=None):
     return value
 
 
+def env_choice(name, default, choices):
+    """Value of ``$name`` restricted to *choices*, or *default*.
+
+    Comparison is case-insensitive; anything outside the set counts as
+    garbage and falls back with the usual one-line warning.  Used for
+    mode selectors like ``REPRO_SIM_ENGINE``.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        if raw is not None:
+            _warn(name, raw, default)
+        return default
+    value = raw.strip().lower()
+    if value not in choices:
+        _warn(name, raw, default)
+        return default
+    return value
+
+
 def env_float(name, default, minimum=None):
     """Float value of ``$name`` with the same fallback contract."""
     raw = os.environ.get(name)

@@ -21,7 +21,11 @@ Schema ``repro.obs/1``::
                  evictions, hit_rate, latency },  # analysis-cache state
       "serve": { requests, ok, errors, rejected, timeouts, retries,
                  coalesced, degraded, worker_deaths, ok_rate,
-                 latency, queue_wait }
+                 latency, queue_wait },
+      "sim": { default_engine, instructions, runs,
+               flyweight: {hits, misses, compiles, evictions, hit_rate},
+               blocks: {hits, misses, compiles, evictions,
+                        invalidations, hit_rate} }
     }
 
 Benchmark results use schema ``repro.obs.bench/1``::
@@ -60,6 +64,16 @@ for _name in ("runs", "passed", "failed", "lints_run", "findings",
               "cosim_syncs", "cosim_divergences", "memo_hits",
               "memo_misses", "parallel_fallbacks"):
     metrics.counter("verify." + _name)
+
+# And the simulator engines: the prepared-op flyweight (per-instruction
+# engine) and the block-compilation cache (block engine) both report
+# here, so a report carries the full key set whichever engine ran.
+for _name in ("instructions", "runs", "flyweight.hits",
+              "flyweight.misses", "flyweight.compiles",
+              "flyweight.evictions", "blocks.hits", "blocks.misses",
+              "blocks.compiles", "blocks.evictions",
+              "blocks.invalidations"):
+    metrics.counter("sim." + _name)
 del _name
 
 SCHEMA = "repro.obs/1"
@@ -98,6 +112,11 @@ def derived_metrics(counters, histograms=None):
     rate = _ratio(hits, hits + misses)
     if rate is not None:
         derived["sim.flyweight.hit_rate"] = rate
+    bhits = counters.get("sim.blocks.hits", 0)
+    bmisses = counters.get("sim.blocks.misses", 0)
+    rate = _ratio(bhits, bhits + bmisses)
+    if rate is not None:
+        derived["sim.blocks.hit_rate"] = rate
     resolved = sum(counters.get("indirect.%s" % status, 0)
                    for status in ("table", "literal", "tailcall"))
     fallback = counters.get("indirect.unanalyzable", 0)
@@ -176,6 +195,38 @@ def serve_section(counters, histograms=None):
     }
 
 
+def sim_section(counters):
+    """Simulator engine state: which engine new simulators get by
+    default, flyweight (per-instruction) and block-cache (block
+    engine) traffic with hit rates."""
+    from repro.sim.machine import default_engine
+
+    fly_hits = counters.get("sim.flyweight.hits", 0)
+    fly_misses = counters.get("sim.flyweight.misses", 0)
+    blk_hits = counters.get("sim.blocks.hits", 0)
+    blk_misses = counters.get("sim.blocks.misses", 0)
+    return {
+        "default_engine": default_engine(),
+        "instructions": counters.get("sim.instructions", 0),
+        "runs": counters.get("sim.runs", 0),
+        "flyweight": {
+            "hits": fly_hits,
+            "misses": fly_misses,
+            "compiles": counters.get("sim.flyweight.compiles", 0),
+            "evictions": counters.get("sim.flyweight.evictions", 0),
+            "hit_rate": _ratio(fly_hits, fly_hits + fly_misses),
+        },
+        "blocks": {
+            "hits": blk_hits,
+            "misses": blk_misses,
+            "compiles": counters.get("sim.blocks.compiles", 0),
+            "evictions": counters.get("sim.blocks.evictions", 0),
+            "invalidations": counters.get("sim.blocks.invalidations", 0),
+            "hit_rate": _ratio(blk_hits, blk_hits + blk_misses),
+        },
+    }
+
+
 def phases_section(histograms):
     """Percentile summary of every per-phase latency histogram
     (refinement, CFG build, indirect resolution, layout, cosim,
@@ -198,6 +249,7 @@ def build_report():
         "phases": phases_section(snap["histograms"]),
         "cache": cache_section(snap["counters"], snap["histograms"]),
         "serve": serve_section(snap["counters"], snap["histograms"]),
+        "sim": sim_section(snap["counters"]),
     }
 
 

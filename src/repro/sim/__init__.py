@@ -4,18 +4,31 @@ The simulator is the stand-in for the paper's SPARCstation: it runs
 original and edited binaries, provides ground-truth execution counts for
 validating instrumentation, and reports instruction counts that serve as
 the time metric in the benchmark harness.
+
+Two interchangeable engines execute instructions (plus the
+description-driven ``spawn`` engine): the per-instruction
+``handwritten`` interpreter and the default ``block`` engine, which
+compiles basic blocks into specialized Python functions
+(:mod:`repro.sim.blocks`).  Select per Simulator with ``engine=`` or
+process-wide with ``$REPRO_SIM_ENGINE``.
 """
 
 from repro.sim.machine import (
+    ENGINES,
     SimulationError,
+    SimulationTimeout,
     Simulator,
+    default_engine,
     run_image,
 )
 from repro.sim.memory import Memory, MemoryFault
 
 __all__ = [
+    "ENGINES",
     "Simulator",
     "SimulationError",
+    "SimulationTimeout",
+    "default_engine",
     "run_image",
     "Memory",
     "MemoryFault",

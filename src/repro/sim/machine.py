@@ -11,6 +11,7 @@ of closures small.
 """
 
 from repro.binfmt import layout
+from repro.env import env_choice
 from repro.isa import bits, get_codec
 from repro.isa.base import Category
 from repro.obs import metrics as _metrics
@@ -26,12 +27,37 @@ _C_FLY_HITS = _metrics.counter("sim.flyweight.hits")
 _C_FLY_MISSES = _metrics.counter("sim.flyweight.misses")
 _C_FLY_COMPILES = _metrics.counter("sim.flyweight.compiles")
 _C_FLY_EVICTIONS = _metrics.counter("sim.flyweight.evictions")
+_C_BLK_HITS = _metrics.counter("sim.blocks.hits")
+_C_BLK_MISSES = _metrics.counter("sim.blocks.misses")
+_C_BLK_COMPILES = _metrics.counter("sim.blocks.compiles")
+_C_BLK_EVICTIONS = _metrics.counter("sim.blocks.evictions")
+_C_BLK_INVALIDATIONS = _metrics.counter("sim.blocks.invalidations")
 _C_RUNS = _metrics.counter("sim.runs")
 
 # Default cap on prepared-op closures per CPU.  Large enough that a
 # whole program compiles once (hit rates stay ~1), small enough that a
 # long-lived session simulating many binaries cannot grow without bound.
 PREPARED_CACHE_CAP = 4096
+
+# Block-engine defaults: compiled blocks cached per CPU, and the
+# maximum instructions fused into one block (also the conservative
+# bound the budget check uses before entering a block).
+BLOCK_CACHE_CAP = 1024
+BLOCK_MAX_LEN = 48
+
+# Execution engines: "block" compiles basic blocks to specialized
+# Python (repro.sim.blocks), "handwritten" is the seed per-instruction
+# interpreter, "spawn" derives per-instruction semantics from the
+# machine description (no block compilation — see repro.spawn.executor).
+ENGINES = ("block", "handwritten", "spawn")
+DEFAULT_ENGINE = "block"
+
+
+def default_engine():
+    """The engine used when a Simulator is built without an explicit
+    choice: ``$REPRO_SIM_ENGINE`` when set to a valid engine name,
+    else ``"block"``."""
+    return env_choice("REPRO_SIM_ENGINE", DEFAULT_ENGINE, ENGINES)
 
 
 class SimulationError(Exception):
@@ -58,10 +84,26 @@ class Simulator:
 
     def __init__(self, image, stdin_text="", max_steps=50_000_000,
                  count_pcs=False, mem_hook=None, brk_base=None,
-                 engine="handwritten", prepared_cache_cap=PREPARED_CACHE_CAP,
-                 strict_memory=False):
+                 engine=None, prepared_cache_cap=PREPARED_CACHE_CAP,
+                 strict_memory=False, block_cache_cap=BLOCK_CACHE_CAP,
+                 block_max_len=BLOCK_MAX_LEN):
         self.image = image
+        # A zero or negative cap would evict the entry just inserted
+        # (the only one), recompiling every instruction forever while
+        # the hit counters read as all-miss — a configuration error,
+        # not a mode.
+        if prepared_cache_cap < 1:
+            raise ValueError("prepared_cache_cap must be >= 1, got %r"
+                             % (prepared_cache_cap,))
+        if block_cache_cap < 1:
+            raise ValueError("block_cache_cap must be >= 1, got %r"
+                             % (block_cache_cap,))
+        if block_max_len < 1:
+            raise ValueError("block_max_len must be >= 1, got %r"
+                             % (block_max_len,))
         self.prepared_cache_cap = prepared_cache_cap
+        self.block_cache_cap = block_cache_cap
+        self.block_max_len = block_max_len
         self.memory = Memory(strict=strict_memory)
         for section in image.sections.values():
             if section.flags & 4:  # SEC_NOBITS: zero pages materialize lazily
@@ -81,23 +123,45 @@ class Simulator:
         self._reported_instructions = 0
         self._reported_compiles = 0
         self._reported_evictions = 0
+        self._reported_fly_hits = 0
+        self._reported_blocks = {}
         self._reported_categories = {}
         self.count_pcs = count_pcs
         self.pc_counts = {}
         self.mem_hook = mem_hook
         self.syscalls = SyscallHandler(self, stdin_text=stdin_text)
+        if engine is None:
+            engine = default_engine()
+        self.engine = engine
         if engine == "spawn":
             # Description-driven execution: semantics come from the spawn
             # machine description instead of the handwritten CPU model.
+            # Per-instruction by design (the description has no block
+            # view); it still gets the shared dispatch-loop fixes.
             from repro.spawn.executor import SpawnCPU
 
             self.cpu = SpawnCPU(self)
-        elif image.arch == "sparc":
-            self.cpu = SparcCPU(self)
-        elif image.arch == "mips":
-            self.cpu = MipsCPU(self)
+        elif engine == "block":
+            from repro.sim.blocks import BlockMipsCPU, BlockSparcCPU
+
+            if image.arch == "sparc":
+                self.cpu = BlockSparcCPU(self)
+            elif image.arch == "mips":
+                self.cpu = BlockMipsCPU(self)
+            else:
+                raise SimulationError("no CPU model for arch %r"
+                                      % image.arch)
+        elif engine == "handwritten":
+            if image.arch == "sparc":
+                self.cpu = SparcCPU(self)
+            elif image.arch == "mips":
+                self.cpu = MipsCPU(self)
+            else:
+                raise SimulationError("no CPU model for arch %r"
+                                      % image.arch)
         else:
-            raise SimulationError("no CPU model for arch %r" % image.arch)
+            raise ValueError("unknown engine %r (expected one of %s)"
+                             % (engine, ", ".join(ENGINES)))
 
     def sbrk(self, increment):
         old = self.brk
@@ -125,7 +189,9 @@ class Simulator:
                     return exit_request.code
         finally:
             self._record_telemetry()
-        raise SimulationTimeout(self.cpu.pc, self.max_steps)
+        # Cumulative work, not the per-call budget: a resumed run that
+        # times out again reports everything executed so far.
+        raise SimulationTimeout(self.cpu.pc, self.instructions_executed)
 
     def _record_telemetry(self):
         """Flush flyweight/instruction metrics accrued since last flush.
@@ -139,9 +205,10 @@ class Simulator:
         re-count everything already reported, so only the delta since
         the previous flush is merged.
         """
+        cpu = self.cpu
         executed = self.instructions_executed - self._reported_instructions
-        compiles = getattr(self.cpu, "compiles", 0)
-        evictions = getattr(self.cpu, "evictions", 0)
+        compiles = getattr(cpu, "compiles", 0)
+        evictions = getattr(cpu, "evictions", 0)
         compiles_delta = compiles - self._reported_compiles
         evictions_delta = evictions - self._reported_evictions
         self._reported_instructions += executed
@@ -151,8 +218,30 @@ class Simulator:
         _C_INSTRUCTIONS.inc(executed)
         _C_FLY_COMPILES.inc(compiles_delta)
         _C_FLY_MISSES.inc(compiles_delta)
-        _C_FLY_HITS.inc(max(0, executed - compiles_delta))
+        fly_hits = getattr(cpu, "fly_hits", None)
+        if fly_hits is None:
+            # Per-instruction engines: every executed instruction either
+            # hit the prepared cache or compiled, so the difference is
+            # the exact hit count (the cap validation above guarantees
+            # an insert is never its own eviction victim).
+            _C_FLY_HITS.inc(executed - compiles_delta)
+        else:
+            # Block engine: most instructions execute inside compiled
+            # blocks and never touch the prepared cache, so the CPU
+            # counts its single-step hits exactly.
+            _C_FLY_HITS.inc(fly_hits - self._reported_fly_hits)
+            self._reported_fly_hits = fly_hits
         _C_FLY_EVICTIONS.inc(evictions_delta)
+        for counter, attr in ((_C_BLK_HITS, "block_hits"),
+                              (_C_BLK_MISSES, "block_misses"),
+                              (_C_BLK_COMPILES, "block_compiles"),
+                              (_C_BLK_EVICTIONS, "block_evictions"),
+                              (_C_BLK_INVALIDATIONS, "block_invalidations")):
+            total = getattr(cpu, attr, 0)
+            reported = self._reported_blocks.get(attr, 0)
+            if total != reported:
+                counter.inc(total - reported)
+                self._reported_blocks[attr] = total
         categories = getattr(self.cpu, "category_counts", None)
         if categories:
             for category, count in categories.items():
@@ -163,10 +252,11 @@ class Simulator:
 
 
 def run_image(image, stdin_text="", max_steps=50_000_000, count_pcs=False,
-              strict_memory=False):
+              strict_memory=False, engine=None):
     """Convenience: simulate *image* and return the finished Simulator."""
     simulator = Simulator(image, stdin_text=stdin_text, max_steps=max_steps,
-                          count_pcs=count_pcs, strict_memory=strict_memory)
+                          count_pcs=count_pcs, strict_memory=strict_memory,
+                          engine=engine)
     simulator.run()
     return simulator
 
@@ -199,11 +289,14 @@ class _BaseCPU:
         decode = self.codec.decode
         prepared = self._prepared
         cap = self._prepared_cap
-        max_steps = simulator.max_steps
+        # The budget is cumulative across resumed runs: a timed-out
+        # simulator run() again continues with what remains of
+        # max_steps, it does not get a fresh allowance.
+        budget = simulator.max_steps - simulator.instructions_executed
         count_pcs = simulator.count_pcs
         pc_counts = simulator.pc_counts
         steps = 0
-        while steps < max_steps:
+        while steps < budget:
             pc = self.pc
             if count_pcs:
                 pc_counts[pc] = pc_counts.get(pc, 0) + 1
@@ -241,9 +334,22 @@ class _BaseCPU:
         decode = self.codec.decode
         prepared = self._prepared
         cap = self._prepared_cap
+        # The same counting split as run(): a cosim-driven run under
+        # telemetry (or with count_pcs) must profile every stepped
+        # instruction, not silently skip them.
+        count_pcs = simulator.count_pcs
+        pc_counts = simulator.pc_counts
+        categories = None
+        if _TRACER.enabled:
+            categories = self.category_counts
+            if categories is None:
+                categories = self.category_counts = {}
         steps = 0
         while steps < budget:
-            word = memory.load(self.pc, 4)
+            pc = self.pc
+            if count_pcs:
+                pc_counts[pc] = pc_counts.get(pc, 0) + 1
+            word = memory.load(pc, 4)
             inst = decode(word)
             op = prepared.get(inst)
             if op is None:
@@ -253,6 +359,9 @@ class _BaseCPU:
                 if len(prepared) > cap:
                     prepared.pop(next(iter(prepared)))
                     self.evictions += 1
+            if categories is not None:
+                categories[inst.category] = \
+                    categories.get(inst.category, 0) + 1
             steps += 1
             simulator.instructions_executed += 1
             op()
@@ -272,7 +381,7 @@ class _BaseCPU:
         decode = self.codec.decode
         prepared = self._prepared
         cap = self._prepared_cap
-        max_steps = simulator.max_steps
+        budget = simulator.max_steps - simulator.instructions_executed
         count_pcs = simulator.count_pcs
         pc_counts = simulator.pc_counts
         # Cumulative across resumed runs, like compiles/evictions: the
@@ -281,7 +390,7 @@ class _BaseCPU:
         if categories is None:
             categories = self.category_counts = {}
         steps = 0
-        while steps < max_steps:
+        while steps < budget:
             pc = self.pc
             if count_pcs:
                 pc_counts[pc] = pc_counts.get(pc, 0) + 1

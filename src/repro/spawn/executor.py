@@ -120,7 +120,17 @@ def _divzero_check(b):
 
 
 class SpawnCPU(_BaseCPU):
-    """CPU whose instruction semantics come from the machine description."""
+    """CPU whose instruction semantics come from the machine description.
+
+    Engine parity note: ``engine="spawn"`` deliberately stays on the
+    per-instruction dispatch loop rather than growing a block-compiling
+    twin — its purpose is validating the generated semantics against
+    the handwritten model, where one-prepared-op-per-instruction is the
+    property under test.  It inherits the shared ``_BaseCPU`` loops,
+    so the dispatch-loop fixes (cumulative step budgets, ``run_until``
+    pc/category counting) apply here unchanged; block compilation is
+    an explicit non-goal for this engine.
+    """
 
     def __init__(self, simulator):
         super().__init__(simulator)

@@ -285,6 +285,14 @@ class CosimOracle:
     def _advance(self, side):
         """Run one side to its next sync point.  Returns an event tuple:
         ("sync", pc) | ("exit", code) | ("timeout", exc) | ("crash", exc).
+
+        Stop-pc contract with the engines: ``side.stops`` is a frozenset
+        built once per oracle (``run_until`` caches compiled blocks
+        against its identity), its members are block-start addresses
+        only — never delay-slot addresses — and every engine guarantees
+        control pauses *between* instructions at a stop pc: the block
+        engine truncates compiled blocks so no interior pc is a stop,
+        and the per-instruction engine checks after every step.
         """
         try:
             side.sim.cpu.run_until(side.stops, self.sync_budget)

@@ -242,7 +242,7 @@ def test_report_schema_stability(tmp_path):
     # Top-level key set is the schema contract: widen deliberately only.
     assert sorted(built) == [
         "cache", "counters", "derived", "gauges", "histograms", "phases",
-        "schema", "serve", "spans",
+        "schema", "serve", "sim", "spans",
     ]
     assert built["schema"] == "repro.obs/1"
     assert sorted(built["cache"]) == [
@@ -255,6 +255,18 @@ def test_report_schema_stability(tmp_path):
         "queue_wait", "rejected", "requests", "retries", "timeouts",
         "worker_deaths",
     ]
+    assert sorted(built["sim"]) == [
+        "blocks", "default_engine", "flyweight", "instructions", "runs",
+    ]
+    assert sorted(built["sim"]["flyweight"]) == [
+        "compiles", "evictions", "hit_rate", "hits", "misses",
+    ]
+    assert sorted(built["sim"]["blocks"]) == [
+        "compiles", "evictions", "hit_rate", "hits", "invalidations",
+        "misses",
+    ]
+    from repro.sim import ENGINES
+    assert built["sim"]["default_engine"] in ENGINES
     assert built["derived"]["sim.flyweight.hit_rate"] == 0.9
     assert built["derived"]["indirect.resolved"] == 3
     assert built["derived"]["indirect.fallback"] == 1
@@ -297,7 +309,10 @@ def test_stats_pipeline_populates_required_counters(monkeypatch):
     exe = Executable(image).read_contents()
     for routine in exe.all_routines():
         routine.control_flow_graph()
-    run_image(image)
+    # One run per engine: the per-instruction engine feeds the
+    # flyweight counters, the block engine feeds the block cache.
+    run_image(image, engine="handwritten")
+    run_image(image, engine="block")
     built = report.build_report()
     counters = built["counters"]
     assert counters["cfg.blocks"] > 0
@@ -306,6 +321,8 @@ def test_stats_pipeline_populates_required_counters(monkeypatch):
     assert counters["indirect.table"] >= 1
     assert counters["sim.instructions"] > 0
     assert 0 < built["derived"]["sim.flyweight.hit_rate"] < 1
+    assert 0 < built["derived"]["sim.blocks.hit_rate"] <= 1
+    assert counters["sim.blocks.compiles"] > 0
     # Refinement stage timings appear as spans under exe.read_contents.
     names = _all_span_names(built["spans"])
     assert "refine.stage1_symtab" in names
@@ -357,7 +374,10 @@ def test_disabled_overhead_bound():
     from repro.sim import Simulator
 
     image = _busy_image(250_000)  # 4-instruction loop body -> ~1M steps
-    simulator = Simulator(image)
+    # The 5% bound is calibrated against the per-instruction engine;
+    # the block engine executes the same work several times faster and
+    # would turn this into a test of block-compilation throughput.
+    simulator = Simulator(image, engine="handwritten")
     started = time.perf_counter()
     simulator.run()
     sim_elapsed = time.perf_counter() - started

@@ -374,7 +374,10 @@ def test_flyweight_cache_cap_and_eviction():
         ta 0
     """
     image = link([assemble(source, "sparc")])
-    simulator = Simulator(image, prepared_cache_cap=4)
+    # Pinned to the per-instruction engine: the prepared-op cache is
+    # the subject here, and the block engine only touches it on its
+    # single-step fallback.
+    simulator = Simulator(image, prepared_cache_cap=4, engine="handwritten")
     simulator.run()
     assert simulator.output == "100"
     cpu = simulator.cpu
@@ -385,9 +388,13 @@ def test_flyweight_cache_cap_and_eviction():
     assert cpu.compiles > 4  # the loop body re-misses after eviction
 
     # An uncapped run of the same program never evicts.
-    simulator = Simulator(image)
+    simulator = Simulator(image, engine="handwritten")
     simulator.run()
     assert simulator.cpu.evictions == 0
+
+    # A cap below one is a configuration error, not a mode.
+    with pytest.raises(ValueError):
+        Simulator(image, prepared_cache_cap=0)
 
 
 # -- MIPS ---------------------------------------------------------------
@@ -495,7 +502,9 @@ def test_telemetry_flush_reports_deltas_not_totals():
         ta 0
     """
     image = link([assemble(source, "sparc")])
-    simulator = Simulator(image, prepared_cache_cap=4)
+    # Handwritten engine: the flyweight eviction regression under test
+    # lives in the per-instruction dispatch loop.
+    simulator = Simulator(image, prepared_cache_cap=4, engine="handwritten")
     simulator.run()
     names = ("sim.instructions", "sim.flyweight.compiles",
              "sim.flyweight.evictions", "sim.flyweight.hits")
