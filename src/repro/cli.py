@@ -10,6 +10,7 @@
     python -m repro.cli verify <workload> [--all] [--tool qpt|sfi|elsie]
     python -m repro.cli fuzz   [--seeds N] [--jobs N] [--corpus-only]
     python -m repro.cli serve  [--socket PATH] [--jobs N] [--queue N]
+    python -m repro.cli fleet  [--address ADDR] [--shards N] [--events PATH]
     python -m repro.cli client <op> [--workload NAME] [--image PATH]
     python -m repro.cli trace  <events.jsonl> [--id TRACE]
     python -m repro.cli top    [--socket PATH] [--watch N]
@@ -360,8 +361,23 @@ def _cmd_serve(args):
     config = ServeConfig(socket_path=args.socket, jobs=args.jobs,
                          queue_size=args.queue, timeout_s=args.timeout,
                          chaos=True if args.chaos else None,
-                         events_path=args.events)
+                         events_path=args.events,
+                         shard_id=args.shard_id)
     return serve_main(config, stats_json=args.stats_json, trace=args.trace)
+
+
+def _cmd_fleet(args):
+    """Run the sharded serving fleet: gateway + N shard daemons."""
+    from repro.fleet import FleetConfig, fleet_main
+
+    config = FleetConfig(address=args.address, shards=args.shards,
+                         run_dir=args.dir, shard_jobs=args.shard_jobs,
+                         queue_size=args.queue,
+                         forwarders=args.forwarders,
+                         starvation_limit=args.starvation_limit,
+                         events_path=args.events)
+    return fleet_main(config, stats_json=args.stats_json,
+                      trace=args.trace)
 
 
 def _cmd_client(args):
@@ -384,6 +400,8 @@ def _cmd_client(args):
     if args.op == "instrument":
         params["run"] = args.run
         params["return_image"] = False
+    if args.op == "hot_restart" and args.shard is not None:
+        params["shard"] = args.shard
     if args.stdin:
         params["stdin"] = args.stdin
     client = ServeClient(args.socket, io_timeout=args.timeout,
@@ -451,11 +469,34 @@ def _cmd_trace(args):
 def _render_top(snapshot):
     """Human-oriented rendering of one ``top`` snapshot."""
     server = snapshot.get("server", {})
-    lines = ["repro-serve pid %s  uptime %.1fs  queue %s  workers %s%s%s"
-             % (server.get("pid"), server.get("uptime_s", 0.0),
-                server.get("queue_depth"), server.get("workers_alive"),
-                "  DEGRADED" if server.get("degraded") else "",
-                "  DRAINING" if server.get("draining") else "")]
+    if server.get("fleet"):
+        queues = server.get("queues") or {}
+        lines = ["repro-fleet pid %s  uptime %.1fs  shards %s/%s live  "
+                 "queue i=%s b=%s%s"
+                 % (server.get("pid"), server.get("uptime_s", 0.0),
+                    len(server.get("live") or ()), server.get("shards"),
+                    queues.get("interactive"), queues.get("bulk"),
+                    "  DRAINING" if server.get("draining") else "")]
+    else:
+        lines = ["repro-serve pid %s  uptime %.1fs  queue %s  workers %s%s%s"
+                 % (server.get("pid"), server.get("uptime_s", 0.0),
+                    server.get("queue_depth"), server.get("workers_alive"),
+                    "  DEGRADED" if server.get("degraded") else "",
+                    "  DRAINING" if server.get("draining") else "")]
+    shards = snapshot.get("shards") or {}
+    if shards:
+        lines.append("shards:   %-5s %-6s %-4s %8s %8s %8s %8s %9s %5s"
+                     % ("id", "alive", "gen", "pid", "reqs", "ok",
+                        "errors", "rerouted", "warm"))
+        for shard_id in sorted(shards, key=lambda s: int(s)):
+            entry = shards[shard_id]
+            lines.append(
+                "          %-5s %-6s %-4s %8s %8d %8d %8d %9d %5d"
+                % (shard_id, "up" if entry.get("alive") else "DOWN",
+                   entry.get("generation"), entry.get("pid"),
+                   entry.get("requests", 0), entry.get("ok", 0),
+                   entry.get("errors", 0), entry.get("rerouted_away", 0),
+                   entry.get("warm_keys", 0)))
     states = server.get("worker_states") or {}
     if states:
         lines.append("workers: " + "  ".join(
@@ -690,14 +731,55 @@ def main(argv=None):
                        help="append request/worker lifecycle events "
                             "(repro.events/1 JSONL) to PATH "
                             "(default: $REPRO_SERVE_EVENTS or off)")
+    serve.add_argument("--shard-id", type=int, default=None, metavar="N",
+                       help="fleet shard identity: stamped on responses, "
+                            "events, and spans (set by the fleet gateway; "
+                            "default: standalone)")
     _add_obs_flags(serve)
     serve.set_defaults(func=_cmd_serve, obs_managed=True)
+
+    fleet = sub.add_parser("fleet",
+                           help="run the sharded serving fleet: one "
+                                "gateway + N shard daemons (foreground)")
+    fleet.add_argument("--address", default=None, metavar="ADDR",
+                       help="gateway listen address: a unix socket path "
+                            "or tcp://host:port (default: "
+                            "$REPRO_FLEET_ADDRESS or a per-user path)")
+    fleet.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="shard daemon processes "
+                            "(default: $REPRO_FLEET_SHARDS or 2)")
+    fleet.add_argument("--dir", default=None, metavar="DIR",
+                       help="run directory for shard sockets and event "
+                            "logs (default: $REPRO_FLEET_DIR or a "
+                            "per-pid temp dir)")
+    fleet.add_argument("--shard-jobs", type=int, default=None, metavar="N",
+                       help="worker threads per shard (default: "
+                            "$REPRO_FLEET_SHARD_JOBS or 2)")
+    fleet.add_argument("--queue", type=int, default=None, metavar="N",
+                       help="gateway admission-queue bound (default: "
+                            "$REPRO_FLEET_QUEUE or 256)")
+    fleet.add_argument("--forwarders", type=int, default=None, metavar="N",
+                       help="concurrent forwarding threads (default: "
+                            "$REPRO_FLEET_FORWARDERS or 8)")
+    fleet.add_argument("--starvation-limit", type=int, default=None,
+                       metavar="K",
+                       help="dispatch one bulk request after K "
+                            "consecutive interactive ones while bulk "
+                            "waits (default: $REPRO_FLEET_STARVATION "
+                            "or 8)")
+    fleet.add_argument("--events", default=None, metavar="PATH",
+                       help="gateway event log; shards get derived logs "
+                            "under --dir (default: $REPRO_FLEET_EVENTS "
+                            "or off)")
+    _add_obs_flags(fleet)
+    fleet.set_defaults(func=_cmd_fleet, obs_managed=True)
 
     client = sub.add_parser("client",
                             help="send one request to a running daemon")
     client.add_argument("op", choices=("ping", "run", "routines", "disasm",
                                        "instrument", "verify", "stats",
-                                       "top", "shutdown"))
+                                       "top", "shutdown", "handoff",
+                                       "hot_restart"))
     client.add_argument("--socket", default=None, metavar="PATH")
     client.add_argument("--workload", default=None)
     client.add_argument("--image", default=None, metavar="PATH",
@@ -707,6 +789,9 @@ def main(argv=None):
     client.add_argument("--mode", choices=("block", "edge"), default="edge")
     client.add_argument("--run", action="store_true",
                         help="run the edited image after instrumenting")
+    client.add_argument("--shard", type=int, default=None, metavar="N",
+                        help="hot_restart one fleet shard instead of a "
+                             "rolling restart of all of them")
     client.add_argument("--stdin", default="")
     client.add_argument("--timeout", type=float, default=120.0,
                         help="client-side I/O timeout (seconds)")

@@ -131,6 +131,10 @@ class EventLog:
 
 LOG = None
 
+# Fields stamped onto every record emitted through the global log
+# (e.g. ``shard=2`` on a fleet member); explicit per-emit fields win.
+_BOUND = {}
+
 
 def configure(path, max_bytes=None, max_files=None):
     """Open the process-global event log at *path*; returns it."""
@@ -147,12 +151,29 @@ def unconfigure():
     if LOG is not None:
         LOG.close()
         LOG = None
+    _BOUND.clear()
+
+
+def bind(**fields):
+    """Stamp *fields* onto every future :func:`emit` record.
+
+    A fleet shard binds ``shard=N`` once at startup instead of
+    threading the id through every emit site; ``None`` values are
+    ignored so ``bind(shard=config.shard_id)`` is safe standalone.
+    """
+    for key, value in fields.items():
+        if value is not None:
+            _BOUND[key] = value
 
 
 def emit(kind, **fields):
     """Append to the global log; silently a no-op while unconfigured."""
     if LOG is None:
         return None
+    if _BOUND:
+        merged = dict(_BOUND)
+        merged.update(fields)
+        fields = merged
     return LOG.emit(kind, **fields)
 
 
@@ -239,6 +260,23 @@ class TraceRecord:
     @property
     def spans(self):
         return self.finish.get("spans") if self.finish else None
+
+    @property
+    def span_union(self):
+        """Every span forest any event of this trace carried, merged.
+
+        Under a fleet one trace_id produces finish events in *two*
+        logs — the gateway's (``fleet.request`` spans) and the serving
+        shard's (``serve.request`` spans whose root points at the
+        gateway's forward span).  Merging the forests lets
+        :func:`connected_spans` validate the cross-process hop.
+        """
+        forests = []
+        for event in self.events:
+            spans = event.get("spans")
+            if spans:
+                forests.extend(spans)
+        return forests
 
 
 def build_traces(events):

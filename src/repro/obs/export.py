@@ -75,4 +75,32 @@ def prometheus_text(report=None):
         metric = metric_name("derived." + name)
         lines.append("# TYPE %s gauge" % metric)
         lines.append("%s %s" % (metric, _format_value(value)))
+    lines.extend(_shard_lines(report))
     return "\n".join(lines) + "\n"
+
+
+def _shard_lines(report):
+    """Per-shard samples, labeled ``{shard="N"}``, from a gateway report.
+
+    A report taken from a fleet gateway carries a populated
+    ``fleet.shards`` table; each numeric field of each shard becomes a
+    ``repro_fleet_shard_<field>{shard="N"}`` sample so one scrape of
+    the gateway covers the whole fleet.  Standalone reports have an
+    empty table and contribute nothing.
+    """
+    shards = (report.get("fleet") or {}).get("shards") or {}
+    lines = []
+    typed = set()
+    for shard_id in sorted(shards, key=str):
+        entry = shards[shard_id] or {}
+        for field in sorted(entry):
+            value = entry[field]
+            if not isinstance(value, (int, float, bool)):
+                continue
+            metric = metric_name("fleet.shard." + field)
+            if metric not in typed:
+                typed.add(metric)
+                lines.append("# TYPE %s gauge" % metric)
+            lines.append('%s{shard="%s"} %s'
+                         % (metric, shard_id, _format_value(value)))
+    return lines

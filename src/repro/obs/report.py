@@ -22,6 +22,10 @@ Schema ``repro.obs/1``::
       "serve": { requests, ok, errors, rejected, timeouts, retries,
                  coalesced, degraded, worker_deaths, ok_rate,
                  latency, queue_wait },
+      "fleet": { requests, forwarded, rerouted, retries, rejected,
+                 shard_deaths, respawns, hot_restarts, forward_rate,
+                 queues: {interactive, bulk}, queue_wait,
+                 shards: {id: {...}} },  # shards filled by a gateway
       "sim": { default_engine, instructions, runs,
                flyweight: {hits, misses, compiles, evictions, hit_rate},
                blocks: {hits, misses, compiles, evictions,
@@ -64,6 +68,13 @@ for _name in ("runs", "passed", "failed", "lints_run", "findings",
               "cosim_syncs", "cosim_divergences", "memo_hits",
               "memo_misses", "parallel_fallbacks"):
     metrics.counter("verify." + _name)
+
+# The fleet gateway: forwarding outcomes and lifecycle counters, so a
+# gateway's --stats-json (and the `stats` op it serves) always carries
+# the full key set, and a non-gateway process reports them as zeros.
+for _name in ("requests", "forwarded", "rerouted", "retries",
+              "rejected", "shard_deaths", "respawns", "hot_restarts"):
+    metrics.counter("fleet." + _name)
 
 # And the simulator engines: the prepared-op flyweight (per-instruction
 # engine) and the block-compilation cache (block engine) both report
@@ -195,6 +206,39 @@ def serve_section(counters, histograms=None):
     }
 
 
+def fleet_section(counters, gauges=None, histograms=None):
+    """Fleet gateway state: forwarding outcomes, queue depths, and the
+    per-shard table.
+
+    ``shards`` is empty here — only a live gateway knows its shard
+    processes, and it grafts its table into this section when it
+    answers the ``stats`` op (see ``fleet.gateway``).  Every other
+    field comes from the process-local metrics registry, so the
+    section exists (zero-valued) in any process's report.
+    """
+    gauges = gauges or {}
+    histograms = histograms or {}
+    requests = counters.get("fleet.requests", 0)
+    forwarded = counters.get("fleet.forwarded", 0)
+    return {
+        "requests": requests,
+        "forwarded": forwarded,
+        "rerouted": counters.get("fleet.rerouted", 0),
+        "retries": counters.get("fleet.retries", 0),
+        "rejected": counters.get("fleet.rejected", 0),
+        "shard_deaths": counters.get("fleet.shard_deaths", 0),
+        "respawns": counters.get("fleet.respawns", 0),
+        "hot_restarts": counters.get("fleet.hot_restarts", 0),
+        "forward_rate": _ratio(forwarded, requests),
+        "queues": {
+            "interactive": gauges.get("fleet.queue.interactive", 0),
+            "bulk": gauges.get("fleet.queue.bulk", 0),
+        },
+        "queue_wait": _percentiles(histograms.get("fleet.queue_wait")),
+        "shards": {},
+    }
+
+
 def sim_section(counters):
     """Simulator engine state: which engine new simulators get by
     default, flyweight (per-instruction) and block-cache (block
@@ -249,6 +293,8 @@ def build_report():
         "phases": phases_section(snap["histograms"]),
         "cache": cache_section(snap["counters"], snap["histograms"]),
         "serve": serve_section(snap["counters"], snap["histograms"]),
+        "fleet": fleet_section(snap["counters"], snap["gauges"],
+                               snap["histograms"]),
         "sim": sim_section(snap["counters"]),
     }
 

@@ -3,12 +3,22 @@
 ``ServeClient`` keeps a persistent connection and issues one request
 at a time (concurrency comes from multiple clients/connections, which
 is how the daemon's admission queue is meant to be exercised).  The
-client honors the daemon's backpressure contract: ``overloaded`` and
-``timeout`` errors carry ``retry_after`` and are retried with that
-delay up to a bounded attempt count; everything else raises
-:class:`ServeError` immediately.
+client honors the daemon's backpressure contract: ``overloaded``,
+``timeout``, and ``draining`` errors carry ``retry_after`` hints and
+are retried with bounded client-side backoff (each delay capped at
+``max_retry_after``) up to ``retries`` attempts; everything else
+raises :class:`ServeError` immediately.  How hard the client had to
+work is surfaced as response metadata: :attr:`ServeClient.last_meta`
+records the attempt count, total backoff, and serving shard of the
+most recent request, and any request that needed more than one attempt
+gets the same record injected into its result dict under ``"_meta"``.
+
+Addresses are Unix socket paths by default; a ``tcp://host:port``
+address connects over TCP instead (the fleet gateway can listen on
+both).
 """
 
+import errno
 import itertools
 import socket
 import time
@@ -17,11 +27,23 @@ from repro.obs import context as _context
 from repro.obs import trace as _trace
 from repro.serve.config import ServeConfig, default_socket_path
 from repro.serve.protocol import (
-    RETRYABLE,
+    CLIENT_RETRYABLE,
     LineReader,
     ProtocolError,
     encode,
 )
+
+
+def parse_address(address):
+    """``("tcp", (host, port))`` or ``("unix", path)`` for *address*."""
+    if isinstance(address, str) and address.startswith("tcp://"):
+        rest = address[len("tcp://"):]
+        host, _sep, port = rest.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError("bad TCP address %r (want tcp://host:port)"
+                             % address)
+        return "tcp", (host, int(port))
+    return "unix", address
 
 
 class ServeError(Exception):
@@ -47,14 +69,38 @@ class ServeClient:
         self._ids = itertools.count(1)
         self._sock = None
         self._reader = None
+        # Metadata of the most recent request: attempts, backoff paid,
+        # and which fleet shard (if any) served it.
+        self.last_meta = None
 
     # ------------------------------------------------------------------
     def connect(self):
         if self._sock is not None:
             return self
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        sock.settimeout(self.connect_timeout)
-        sock.connect(self.socket_path)
+        family, target = parse_address(self.socket_path)
+        # A busy daemon's accept backlog overflows transiently — Linux
+        # answers EAGAIN (unix) or ECONNREFUSED/ECONNRESET (tcp) rather
+        # than blocking, so keep knocking within connect_timeout.
+        deadline = time.monotonic() + self.connect_timeout
+        pause = 0.01
+        while True:
+            sock = socket.socket(
+                socket.AF_INET if family == "tcp" else socket.AF_UNIX,
+                socket.SOCK_STREAM)
+            sock.settimeout(self.connect_timeout)
+            try:
+                sock.connect(target)
+            except OSError as error:
+                sock.close()
+                transient = error.errno in (errno.EAGAIN,
+                                            errno.ECONNREFUSED,
+                                            errno.ECONNRESET)
+                if not transient or time.monotonic() >= deadline:
+                    raise
+                time.sleep(pause)
+                pause = min(pause * 2, 0.25)
+                continue
+            break
         sock.settimeout(self.io_timeout)
         self._sock = sock
         self._reader = LineReader(sock)
@@ -97,23 +143,47 @@ class ServeClient:
             params = dict(params)
             params["trace"] = wire.to_wire()
             attempt = 0
+            backoff_total = 0.0
             while True:
                 response = self._roundtrip(op, params)
                 if response.get("ok"):
-                    return response.get("result")
+                    meta = {"attempts": attempt + 1,
+                            "backoff_s": backoff_total}
+                    if response.get("shard") is not None:
+                        meta["shard"] = response["shard"]
+                    self.last_meta = meta
+                    result = response.get("result")
+                    # Surface how hard the client had to work, but only
+                    # when it *did* retry: first-attempt results stay
+                    # byte-identical to what the daemon sent.
+                    if attempt and isinstance(result, dict):
+                        result["_meta"] = meta
+                    return result
                 error = response.get("error") or {}
                 code = error.get("code", "internal")
                 retry_after = response.get("retry_after")
-                if code in RETRYABLE and attempt < self.retries:
+                if code in CLIENT_RETRYABLE and attempt < self.retries:
                     attempt += 1
                     delay = min(retry_after
                                 if retry_after is not None else 0.1,
                                 self.max_retry_after)
+                    backoff_total += delay
                     time.sleep(delay)
                     continue
+                self.last_meta = {"attempts": attempt + 1,
+                                  "backoff_s": backoff_total}
                 raise ServeError(code,
                                  error.get("message", "request failed"),
                                  retry_after)
+
+    def roundtrip(self, op, **params):
+        """One raw request/response exchange: no retries, no result
+        unwrapping.  The fleet gateway relays shard responses (ok and
+        error alike) back to its own clients, so it needs the whole
+        response object rather than :meth:`request`'s unwrapped
+        result.  Raises :class:`ServeError` only for transport-level
+        failures (closed connection, id mismatch)."""
+        return self._roundtrip(op, params)
 
     def _roundtrip(self, op, params):
         self.connect()
@@ -189,4 +259,4 @@ def wait_for_daemon(socket_path=None, timeout=20.0, interval=0.05):
 
 
 __all__ = ["ServeClient", "ServeError", "ServeConfig", "daemon_running",
-           "wait_for_daemon"]
+           "parse_address", "wait_for_daemon"]

@@ -28,10 +28,16 @@ class ServeConfig:
     def __init__(self, socket_path=None, jobs=None, queue_size=None,
                  timeout_s=None, retries=None, backoff_s=None,
                  retry_after_s=None, restarts=None, warm_cap=None,
-                 drain_timeout_s=None, chaos=None, events_path=None):
+                 drain_timeout_s=None, chaos=None, events_path=None,
+                 shard_id=None):
         env = os.environ
         self.socket_path = socket_path or env.get("REPRO_SERVE_SOCKET") \
             or default_socket_path()
+        # Identity within a repro.fleet: stamped onto responses, events,
+        # and the request span so fleet telemetry is per-shard.  None
+        # means a standalone daemon.
+        self.shard_id = shard_id if shard_id is not None \
+            else env_int("REPRO_SERVE_SHARD", None, minimum=0)
         # Durable event log (repro.events/1 JSONL); no log by default.
         self.events_path = events_path \
             if events_path is not None \

@@ -17,12 +17,14 @@ children) and the cache's in-memory warm layer is enabled, so all
 requests share one warm analysis state under one lock discipline.
 """
 
+import errno
 import os
 import queue
 import socket
 import sys
 import threading
 import time
+from collections import OrderedDict
 from time import perf_counter
 
 from repro.obs import context as _context
@@ -47,6 +49,32 @@ _C_DEATHS = _metrics.counter("serve.worker_deaths")
 _H_QUEUE_WAIT = _metrics.histogram("serve.queue_wait")
 
 _STOP = object()  # queue sentinel: worker exits cleanly
+
+_WARM_KEYS_CAP = 64  # recent workloads remembered for hot-restart handoff
+
+
+def socket_in_use(path):
+    """True when a live daemon still answers connections at *path*.
+
+    Distinguishes a *stale* socket file (the previous daemon was
+    killed; connecting is refused) from a *live* one (another daemon is
+    serving it right now).  Unlinking a live daemon's socket would
+    silently steal its rendezvous point — two daemons would both
+    believe they own the path while only the thief receives
+    connections.
+    """
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(0.5)
+    try:
+        probe.connect(path)
+    except OSError:
+        return False  # refused / gone / not a socket: safe to clobber
+    finally:
+        try:
+            probe.close()
+        except OSError:
+            pass
+    return True
 
 
 class _Job:
@@ -102,6 +130,8 @@ class EditServer:
         self._top_lock = threading.Lock()
         self._top_cursor = 0
         self._top_snapshots = {}      # cursor -> counter snapshot
+        self._warm_lock = threading.Lock()
+        self._warm_keys = OrderedDict()  # workload name -> True (LRU)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -116,10 +146,19 @@ class EditServer:
         suppress_pools()
         path = self.config.socket_path
         if os.path.exists(path):
-            os.unlink(path)  # stale socket from a killed daemon
+            # Probe before unlink: a *stale* socket (previous daemon
+            # was killed) is clobbered; a *live* one is refused, so two
+            # daemons can never silently steal each other's path.
+            if socket_in_use(path):
+                raise OSError(errno.EADDRINUSE,
+                              "socket %s is served by a live daemon; "
+                              "refusing to steal it" % path)
+            os.unlink(path)
         self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         self._listener.bind(path)
-        self._listener.listen(64)
+        # Backlog sized for a whole client fleet connecting at once;
+        # the kernel clamps to net.core.somaxconn.
+        self._listener.listen(min(socket.SOMAXCONN, 512))
         self._listener.settimeout(0.2)
         self.started_at = time.monotonic()
         for _ in range(self.config.jobs):
@@ -145,6 +184,7 @@ class EditServer:
             states = dict(self._worker_states)
         return {
             "pid": os.getpid(),
+            "shard": self.config.shard_id,
             "socket": self.config.socket_path,
             "jobs": self.config.jobs,
             "workers_alive": alive,
@@ -235,6 +275,21 @@ class EditServer:
             self._chaos_counts[key] = self._chaos_counts.get(key, 0) + 1
             return self._chaos_counts[key]
 
+    def note_warm(self, workload):
+        """Remember that *workload* is warm here (handoff snapshot)."""
+        with self._warm_lock:
+            self._warm_keys.pop(workload, None)
+            self._warm_keys[workload] = True
+            while len(self._warm_keys) > _WARM_KEYS_CAP:
+                self._warm_keys.popitem(last=False)
+
+    def warm_workloads(self):
+        """Recently served workloads, oldest first — what a hot-restart
+        replacement should pre-analyze before taking this daemon's
+        traffic."""
+        with self._warm_lock:
+            return list(self._warm_keys)
+
     # ------------------------------------------------------------------
     # Accept / connection handling
     # ------------------------------------------------------------------
@@ -286,6 +341,8 @@ class EditServer:
         def _tagged(response):
             if isinstance(response, dict):
                 response.setdefault("trace_id", ctx.trace_id)
+                if self.config.shard_id is not None:
+                    response.setdefault("shard", self.config.shard_id)
             return response
 
         if not isinstance(op, str):
@@ -302,8 +359,12 @@ class EditServer:
             _C_DRAINING.inc()
             _events.emit("request.error", trace_id=ctx.trace_id,
                          id=request_id, op=op, code=protocol.E_DRAINING)
+            # retry_after: under a fleet, a draining shard is being
+            # replaced — a brief client backoff usually lands on the
+            # warm successor instead of failing.
             return _tagged(protocol.error_response(
-                request_id, protocol.E_DRAINING, "daemon is draining"))
+                request_id, protocol.E_DRAINING, "daemon is draining",
+                retry_after=self.config.retry_after_s))
         params = {key: value for key, value in message.items()
                   if key not in ("id", "op", "trace")}
         job = _Job(request_id, op, params, context=ctx)
@@ -425,9 +486,12 @@ class EditServer:
         queue_wait = started - job.admitted
         _H_QUEUE_WAIT.observe(queue_wait)
         token = _context.attach(job.context)
-        root_span = _trace.TRACER.request_span(
-            "serve.request", op=job.op, request_id=job.id,
-            worker=threading.current_thread().name)
+        span_attrs = {"op": job.op, "request_id": job.id,
+                      "worker": threading.current_thread().name}
+        if self.config.shard_id is not None:
+            span_attrs["shard"] = self.config.shard_id
+        root_span = _trace.TRACER.request_span("serve.request",
+                                               **span_attrs)
         root_span.__enter__()
         status, code = "ok", None
         try:
@@ -605,14 +669,25 @@ def serve_main(config, stats_json=None, trace=False):
         obs.enable()
     if config.events_path:
         _events.configure(config.events_path)
-    server = EditServer(config).start()
+        if config.shard_id is not None:
+            # Every record this process writes names its shard.
+            _events.bind(shard=config.shard_id)
+    try:
+        server = EditServer(config).start()
+    except OSError as error:
+        print("repro-serve: %s" % error, file=sys.stderr, flush=True)
+        if config.events_path:
+            _events.unconfigure()
+        return 1
     _events.emit("daemon.start", pid=os.getpid(),
                  socket=config.socket_path, jobs=config.jobs,
                  queue_size=config.queue_size,
                  tracing=bool(stats_json or trace))
-    print("repro-serve: listening on %s (%d workers, queue %d, pid %d)"
+    shard_tag = "" if config.shard_id is None \
+        else ", shard %d" % config.shard_id
+    print("repro-serve: listening on %s (%d workers, queue %d, pid %d%s)"
           % (config.socket_path, config.jobs, config.queue_size,
-             os.getpid()), file=sys.stderr, flush=True)
+             os.getpid(), shard_tag), file=sys.stderr, flush=True)
 
     def _request_drain(_signum=None, _frame=None):
         server.request_drain()

@@ -64,11 +64,19 @@ def _workload_image(name):
     raise OpError(E_BAD_REQUEST, "unknown workload %r" % (name,))
 
 
-def _resolve_image(params):
-    """The Image a request names, via workload or inline base64."""
+def _resolve_image(server, params):
+    """The Image a request names, via workload or inline base64.
+
+    Workload names are noted on the server as warm keys: they are the
+    handoff snapshot a hot-restart replacement pre-analyzes (inline
+    images are not — re-shipping megabytes of base64 through a restart
+    would cost more than the cold analysis it saves).
+    """
     name = params.get("workload")
     if name is not None:
-        return _workload_image(name)
+        image = _workload_image(name)
+        server.note_warm(name)
+        return image
     blob = params.get("image")
     if blob is not None:
         from repro.binfmt.serialize import FormatError, image_from_bytes
@@ -110,11 +118,14 @@ def _encode_image(image):
 def _op_ping(server, params):
     import os
 
-    return {"pong": True, "protocol": PROTOCOL, "pid": os.getpid()}
+    result = {"pong": True, "protocol": PROTOCOL, "pid": os.getpid()}
+    if server.config.shard_id is not None:
+        result["shard"] = server.config.shard_id
+    return result
 
 
 def _op_routines(server, params):
-    exe = _analyzed(server, _resolve_image(params))
+    exe = _analyzed(server, _resolve_image(server, params))
     rows = []
     for routine in sorted(exe.all_routines(), key=lambda r: r.start):
         cfg = routine.control_flow_graph()
@@ -132,7 +143,7 @@ def _op_routines(server, params):
 def _op_disasm(server, params):
     from repro.asm.disassembler import disassemble_section
 
-    image = _resolve_image(params)
+    image = _resolve_image(server, params)
     annotations = {}
     try:
         exe = _analyzed(server, image)
@@ -169,7 +180,7 @@ def _run_simulation(image, params, configure=None):
 
 
 def _op_run(server, params):
-    return _run_simulation(_resolve_image(params), params)
+    return _run_simulation(_resolve_image(server, params), params)
 
 
 def _op_instrument(server, params):
@@ -179,7 +190,7 @@ def _op_instrument(server, params):
     if tool not in tool_names():
         raise OpError(E_BAD_REQUEST, "unknown tool %r (have: %s)"
                       % (tool, ", ".join(tool_names())))
-    image = _resolve_image(params)
+    image = _resolve_image(server, params)
     _analyzed(server, image)  # coalesce the cold analysis across requests
     try:
         session = instrument_image(
@@ -204,6 +215,7 @@ def _op_verify(server, params):
     mode = params.get("mode", "edge")
     if name not in corpus_names():
         raise OpError(E_BAD_REQUEST, "unknown workload %r" % (name,))
+    server.note_warm(name)
     if tool not in TOOLS:
         raise OpError(E_BAD_REQUEST, "unknown tool %r" % (tool,))
     # Identical concurrent verifies coalesce: the leader runs the full
@@ -247,6 +259,42 @@ def _op_top(server, params):
     return server.top_snapshot(cursor)
 
 
+def _op_handoff(server, params):
+    """Warm-state snapshot for a hot-restart replacement.
+
+    Returns the workload names this daemon has analyzed recently (its
+    warm key set, newest last).  A replacement shard pre-warms from
+    this list via the ``warm`` op before the old process drains, so a
+    rolling restart never serves cold.
+    """
+    return {"workloads": server.warm_workloads(),
+            "shard": server.config.shard_id}
+
+
+def _op_warm(server, params):
+    """Pre-analyze a list of workloads (the hot-restart pre-warm path).
+
+    Best-effort by design: a workload that fails to build or analyze
+    is skipped rather than failing the whole warm-up — a replacement
+    shard with a partial cache still beats a cold one.
+    """
+    names = params.get("workloads")
+    if not isinstance(names, list) \
+            or not all(isinstance(n, str) for n in names):
+        raise OpError(E_BAD_REQUEST,
+                      "'workloads' must be a list of workload names")
+    warmed = 0
+    skipped = 0
+    for name in names:
+        try:
+            _analyzed(server, _workload_image(name))
+            server.note_warm(name)
+            warmed += 1
+        except Exception:
+            skipped += 1
+    return {"warmed": warmed, "skipped": skipped}
+
+
 def _op_chaos(server, params):
     """Deliberate failures for the lifecycle tests (config-gated)."""
     if not server.config.chaos:
@@ -277,6 +325,8 @@ HANDLERS = {
     "verify": _op_verify,
     "stats": _op_stats,
     "top": _op_top,
+    "handoff": _op_handoff,
+    "warm": _op_warm,
     "chaos": _op_chaos,
 }
 

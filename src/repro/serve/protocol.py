@@ -10,9 +10,19 @@ responses are either::
      "retry_after": seconds?}
 
 ``retry_after`` appears only on errors worth retrying (``overloaded``,
-``timeout``): it is the daemon telling the client when the attempt is
-likely to succeed.  Lines are capped at :data:`MAX_LINE` bytes so a
-corrupt or hostile peer cannot grow a read buffer without bound.
+``timeout``, ``draining``): it is the daemon telling the client when
+the attempt is likely to succeed.  ``draining`` became retryable with
+the fleet: a draining shard is usually seconds away from a warm
+replacement answering on the same gateway, so a client that backs off
+briefly lands instead of failing.  Lines are capped at
+:data:`MAX_LINE` bytes so a corrupt or hostile peer cannot grow a read
+buffer without bound.
+
+Responses from a fleet member additionally carry ``shard`` — the shard
+slot that actually served the request (stamped by the shard daemon
+itself via ``ServeConfig.shard_id`` and re-stamped authoritatively by
+the gateway), so clients and logs can attribute every answer to one
+process in the fleet.
 
 Requests may carry a ``trace`` object — ``{"trace_id": hex,
 "parent_span_id": hex?}`` (the wire form of
@@ -33,12 +43,18 @@ MAX_LINE = 32 << 20  # images travel base64-encoded inside one line
 E_BAD_REQUEST = "bad_request"    # unparseable or malformed request
 E_UNKNOWN_OP = "unknown_op"      # op name not in the registry
 E_OVERLOADED = "overloaded"      # admission queue full; retry later
-E_DRAINING = "draining"          # daemon shutting down; do not retry
+E_DRAINING = "draining"          # daemon shutting down / being replaced
 E_TIMEOUT = "timeout"            # per-request deadline expired
 E_UNAVAILABLE = "unavailable"    # op needs state the daemon lacks
 E_INTERNAL = "internal"          # handler raised; retries exhausted
 
+# Codes the *daemon* attaches retry_after hints to when rejecting.
 RETRYABLE = (E_OVERLOADED, E_TIMEOUT)
+
+# Codes a *client* should back off and retry: the two above, plus
+# draining — under a fleet, a draining shard is mid-hot-restart and a
+# warm replacement is about to take over the same address.
+CLIENT_RETRYABLE = RETRYABLE + (E_DRAINING,)
 
 
 class ProtocolError(Exception):

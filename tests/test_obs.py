@@ -241,8 +241,8 @@ def test_report_schema_stability(tmp_path):
     built = report.build_report()
     # Top-level key set is the schema contract: widen deliberately only.
     assert sorted(built) == [
-        "cache", "counters", "derived", "gauges", "histograms", "phases",
-        "schema", "serve", "sim", "spans",
+        "cache", "counters", "derived", "fleet", "gauges", "histograms",
+        "phases", "schema", "serve", "sim", "spans",
     ]
     assert built["schema"] == "repro.obs/1"
     assert sorted(built["cache"]) == [
@@ -255,6 +255,12 @@ def test_report_schema_stability(tmp_path):
         "queue_wait", "rejected", "requests", "retries", "timeouts",
         "worker_deaths",
     ]
+    assert sorted(built["fleet"]) == [
+        "forward_rate", "forwarded", "hot_restarts", "queue_wait",
+        "queues", "rejected", "requests", "rerouted", "respawns",
+        "retries", "shard_deaths", "shards",
+    ]
+    assert built["fleet"]["shards"] == {}  # populated only by a gateway
     assert sorted(built["sim"]) == [
         "blocks", "default_engine", "flyweight", "instructions", "runs",
     ]

@@ -421,6 +421,103 @@ def test_cli_client_without_daemon_fails_cleanly(tmp_path, capsys):
 
 
 # ----------------------------------------------------------------------
+# Socket startup: stale paths clobbered, live daemons never robbed
+# ----------------------------------------------------------------------
+
+def test_startup_refuses_to_steal_live_socket(make_server):
+    """Two daemons pointed at one path: the second must refuse, and the
+    first must keep receiving connections (the unlink race fix)."""
+    import errno
+
+    server = make_server()
+    rival = EditServer(ServeConfig(
+        socket_path=server.config.socket_path, jobs=1))
+    with pytest.raises(OSError) as err:
+        rival.start()
+    assert err.value.errno == errno.EADDRINUSE
+    # The incumbent survived the attempted theft.
+    with _client(server) as client:
+        assert client.ping()["pong"] is True
+
+
+def test_startup_clobbers_stale_socket(tmp_path, make_server):
+    """A socket file whose daemon is gone (nothing accepts) is stale:
+    startup unlinks it and binds normally."""
+    path = str(tmp_path / "stale.sock")
+    dead = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    dead.bind(path)
+    dead.close()  # file remains; connections are refused
+    assert os.path.exists(path)
+    server = make_server(socket_path=path)
+    with _client(server) as client:
+        assert client.ping()["pong"] is True
+
+
+# ----------------------------------------------------------------------
+# Client backoff metadata (retry_after honoring)
+# ----------------------------------------------------------------------
+
+def _scripted_peer(responses):
+    """A ServeClient wired to a fake daemon that answers request N with
+    ``responses[N](request)`` (the multi-request _misbehaving_peer)."""
+    left, right = socket.socketpair()
+    client = ServeClient("unused.sock")
+    client._sock = left
+    client._reader = protocol.LineReader(left)
+
+    def responder():
+        reader = protocol.LineReader(right)
+        try:
+            for factory in responses:
+                request = reader.next_message()
+                if request is None:
+                    return
+                right.sendall(protocol.encode(factory(request)))
+        except (OSError, protocol.ProtocolError):
+            pass
+
+    threading.Thread(target=responder, daemon=True).start()
+    return client
+
+
+def test_client_retry_surfaces_attempt_metadata():
+    """overloaded-with-retry_after then ok: the client backs off, wins,
+    and reports how hard it worked in last_meta and result['_meta']."""
+    client = _scripted_peer([
+        lambda req: protocol.error_response(
+            req["id"], protocol.E_OVERLOADED, "busy", retry_after=0.01),
+        lambda req: protocol.ok_response(req["id"], {"pong": True}),
+    ])
+    result = client.request("ping")
+    assert result["pong"] is True
+    assert result["_meta"]["attempts"] == 2
+    assert result["_meta"]["backoff_s"] == pytest.approx(0.01)
+    assert client.last_meta["attempts"] == 2
+
+
+def test_client_retries_draining_responses():
+    """draining is client-retryable (a fleet shard mid-hot-restart is
+    seconds from a warm replacement)."""
+    client = _scripted_peer([
+        lambda req: protocol.error_response(
+            req["id"], protocol.E_DRAINING, "draining", retry_after=0.01),
+        lambda req: protocol.ok_response(req["id"], {"pong": True}),
+    ])
+    result = client.request("ping")
+    assert result["pong"] is True
+    assert result["_meta"]["attempts"] == 2
+
+
+def test_client_first_attempt_results_carry_no_meta(make_server):
+    """No-retry responses stay byte-identical to what the daemon sent:
+    _meta appears only when the client actually backed off."""
+    with _client(make_server()) as client:
+        result = client.ping()
+        assert "_meta" not in result
+        assert client.last_meta == {"attempts": 1, "backoff_s": 0.0}
+
+
+# ----------------------------------------------------------------------
 # Response correlation: exact id match only
 # ----------------------------------------------------------------------
 
