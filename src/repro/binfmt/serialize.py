@@ -28,7 +28,11 @@ ANALYSIS_MAGIC = b"EELA"
 #    rodata dispatch idiom (lw off(base_plus_scaled)) as a table.
 # 3: CFG summaries carry the cti_in_slot flag (control transfer in a
 #    delay slot — routines tools must refuse to edit).
-ANALYSIS_VERSION = 3
+# 4: blobs carry the per-routine fact table (repro.core.facts): routine
+#    entries shrink to identities, and the "facts" section holds every
+#    derived fact plus its dependency edges so warm restores hydrate
+#    the incremental fact store directly.
+ANALYSIS_VERSION = 4
 
 
 class FormatError(Exception):

@@ -3,12 +3,18 @@
 A summary captures what EEL computes once per executable (paper
 section 3): the refined routine set and, per routine, the CFG shape
 (with delay-slot hoists and indirect-jump resolutions baked in) and the
-liveness solution.  Restoring a summary puts an Executable in the same
-analyzed state without re-running refinement or any per-routine
-analysis.
+liveness solution.  Since ANALYSIS_VERSION 4 the blob's routine entries
+are identities only; every derived analysis lives in a ``facts`` table
+(see :mod:`repro.core.facts`) that restores straight into the
+executable's incremental fact store, so a warm image can invalidate and
+re-derive single routines without a cold re-analysis.
 """
 
+from repro.obs import metrics as _metrics
 from repro.obs.trace import span as _span
+
+_C_HYDRATED = _metrics.counter("facts.hydrated")
+_C_HYDRATE_REJECTS = _metrics.counter("facts.hydrate_rejects")
 
 
 def summarize_routine(routine):
@@ -40,54 +46,86 @@ def analyze_routines(executable, routines, jobs=1):
     return [summarize_routine(routine) for routine in routines]
 
 
+def _populate_store(executable, routines, summaries):
+    """Assert routine/cfg/liveness facts from computed *summaries*, then
+    derive the downstream kinds from the CFG payloads (no CFG builds)."""
+    from repro.core.facts import rules as _fact_rules
+
+    store = executable.fact_store()
+    for routine, summary in zip(routines, summaries):
+        identity = {key: summary[key]
+                    for key in ("name", "start", "end", "entries", "hidden")}
+        store.put("routine", routine.start, identity)
+        store.put("cfg", routine.start, summary["cfg"],
+                  (("routine", routine.start),))
+        store.put("liveness", routine.start, summary["liveness"],
+                  (("cfg", routine.start),))
+    for kind in ("cti", "dispatch", "islands", "callsites"):
+        for routine in routines:
+            _fact_rules.ensure(executable, store, kind, routine)
+    return store
+
+
 def executable_to_summary(executable, jobs=1):
     """Summarize *executable*'s refined, analyzed state.
 
     Must run after ``read_contents``; building the per-routine CFGs
     claims dispatch-table data, so the claimed set is recorded last.
     """
+    from repro.core.symtab_refine import routine_identity
+
     routines = list(executable._routines)
     hidden = list(executable._hidden)
     with _span("cache.analyze", jobs=jobs,
                routines=len(routines) + len(hidden)):
         summaries = analyze_routines(executable, routines + hidden,
                                      jobs=jobs)
-    routine_summaries = summaries[: len(routines)]
-    hidden_summaries = summaries[len(routines):]
     _attach(routines + hidden, summaries)
+    store = _populate_store(executable, routines + hidden, summaries)
     return {
         "arch": executable.arch,
-        "routines": routine_summaries,
-        "hidden": hidden_summaries,
+        "routines": [routine_identity(routine) for routine in routines],
+        "hidden": [routine_identity(routine) for routine in hidden],
         "claimed": sorted(executable._claimed),
+        "facts": store.to_summary(),
     }
 
 
 def restore_executable(executable, summary):
-    """Recreate the refined routine sets from *summary*.
+    """Recreate the refined routine sets and fact store from *summary*.
 
     Returns (routines, hidden) lists of Routine objects with analysis
-    summaries attached; CFGs and liveness restore lazily on first use.
-    Returns None when the summary does not describe this executable.
+    views attached (CFGs and liveness restore lazily on first use) and
+    leaves the hydrated :class:`FactStore` on ``executable.facts``.
+    Returns None — a clean miss, never a partial hydrate — when the
+    summary does not describe this executable, its fact table is
+    malformed, or any routine lacks its core facts
+    (``facts.hydrate_rejects`` counts the last two).
     """
+    from repro.core.facts import FactStore
+    from repro.core.facts import rules as _fact_rules
     from repro.core.symtab_refine import routine_from_identity
 
     if summary.get("arch") != executable.arch:
         return None
+    store = FactStore.from_summary(summary.get("facts"))
+    if store is None:
+        _C_HYDRATE_REJECTS.inc()
+        return None
     with _span("cache.restore",
                routines=len(summary["routines"]),
                hidden=len(summary["hidden"])):
+        routines = [routine_from_identity(executable, entry)
+                    for entry in summary["routines"]]
+        hidden = [routine_from_identity(executable, entry)
+                  for entry in summary["hidden"]]
+        for routine in routines + hidden:
+            if _fact_rules.attach_view(store, routine) is None:
+                _C_HYDRATE_REJECTS.inc()
+                return None
         executable._claimed = set(summary["claimed"])
-        routines = []
-        for entry in summary["routines"]:
-            routine = routine_from_identity(executable, entry)
-            routine.analysis_summary = entry
-            routines.append(routine)
-        hidden = []
-        for entry in summary["hidden"]:
-            routine = routine_from_identity(executable, entry)
-            routine.analysis_summary = entry
-            hidden.append(routine)
+        executable.facts = store
+    _C_HYDRATED.inc(len(store))
     return routines, hidden
 
 

@@ -6,9 +6,13 @@ literal targets), and — when analyzable — dispatch-table-free indirect
 calls.  Tools use it to process callees before callers, to find leaf
 routines (candidates for cheap instrumentation), and to compute
 reachability from the entry point.
-"""
 
-from repro.isa.base import Category
+The graph is a pure view over ``callsites`` facts (see
+:mod:`repro.core.facts`): building it derives any missing fact lazily,
+and a warm fact store (restored from the analysis cache, or kept
+current by :meth:`Executable.reanalyze`) makes construction free of CFG
+work entirely.
+"""
 
 
 class CallSite:
@@ -36,26 +40,15 @@ class CallGraph:
         self._build()
 
     def _build(self):
+        from repro.core.facts import rules as _fact_rules
+
         executable = self.executable
-        for routine in executable.all_routines():
-            cfg = routine.control_flow_graph()
-            sites = []
-            for block in cfg.normal_blocks():
-                last = block.last_instruction
-                if last is None:
-                    continue
-                addr = block.instructions[-1][0]
-                if last.category is Category.CALL:
-                    target_addr = last.target(addr)
-                    sites.append(self._site(routine, addr, target_addr,
-                                            "call"))
-                elif last.category is Category.CALL_INDIRECT:
-                    sites.append(CallSite(routine, addr, None, "indirect"))
-            for info in cfg.indirect_jumps:
-                if info.status == "tailcall":
-                    jump_addr = info.block.instructions[-1][0]
-                    sites.append(self._site(routine, jump_addr,
-                                            info.literal, "tailcall"))
+        routines = executable.all_routines()  # triggers read_contents
+        store = executable.fact_store()
+        for routine in routines:
+            payload = _fact_rules.ensure(executable, store, "callsites",
+                                         routine)
+            sites = [self._site(routine, record) for record in payload]
             self.calls[routine.name] = sites
             self.sites.extend(sites)
         for site in self.sites:
@@ -63,11 +56,12 @@ class CallGraph:
                 self.callers.setdefault(site.target.name, set()).add(
                     site.caller.name)
 
-    def _site(self, routine, addr, target_addr, kind):
+    def _site(self, routine, record):
+        """A CallSite from one ``callsites`` fact record."""
         target = None
-        if target_addr is not None:
-            target = self.executable.routine_at(target_addr)
-        return CallSite(routine, addr, target, kind)
+        if record["target"] is not None:
+            target = self.executable.routine_at(record["target"])
+        return CallSite(routine, record["addr"], target, record["kind"])
 
     # ------------------------------------------------------------------
     def callees(self, routine_name):

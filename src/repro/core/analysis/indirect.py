@@ -46,6 +46,19 @@ def record_indirect_outcome(info):
         _H_TABLE.observe(len(info.targets))
 
 
+def table_extent(info):
+    """(address, byte size) of a resolved dispatch table.
+
+    The extent every consumer must agree on: data claiming in the
+    routine layer, the ``dispatch`` fact rule, and the fuzz manifest
+    checks all derive it from here.  *info* may be an
+    :class:`IndirectJumpInfo` or its summary-dict form.
+    """
+    if isinstance(info, dict):
+        return info["table_addr"], 4 * len(info["targets"])
+    return info.table_addr, 4 * len(info.targets)
+
+
 # -- abstract values ----------------------------------------------------
 
 class _Const:

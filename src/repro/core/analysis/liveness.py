@@ -71,8 +71,13 @@ class LivenessAnalysis:
             if cfg.codec.arch == "sparc" else {}
 
     # ------------------------------------------------------------------
-    # Summaries: persistable solution for repro.cache
+    # Summaries: persistable solution for the ``liveness`` fact
     # ------------------------------------------------------------------
+    @classmethod
+    def from_summary(cls, cfg, summary):
+        """Adopt a cached/fact-store solution instead of solving."""
+        return cls(cfg, _summary=summary)
+
     def to_summary(self):
         """JSON-ready per-block solution, dense by block id."""
         blocks = self.cfg.blocks

@@ -627,8 +627,11 @@ class CFG:
         from repro.core.analysis.liveness import LivenessAnalysis
 
         if self._liveness is None:
-            self._liveness = LivenessAnalysis(self,
-                                              _summary=self._live_summary)
+            if self._live_summary is not None:
+                self._liveness = LivenessAnalysis.from_summary(
+                    self, self._live_summary)
+            else:
+                self._liveness = LivenessAnalysis(self)
         return self._liveness
 
     def backward_slice(self, block, index, reg):

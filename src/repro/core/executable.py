@@ -79,6 +79,8 @@ class Executable:
         self._routines = RoutineList()
         self._hidden = RoutineList()
         self._read = False
+        self.facts = None  # FactStore, set by read_contents
+        self._adopt = None  # start -> adoptable summary (fuzz shrinking)
         self._claimed = set()  # data addresses claimed inside text
         self._edited_routines = {}  # name -> Routine (with .edited set)
         self._added_routines = []  # (name, base_addr, words)
@@ -99,15 +101,23 @@ class Executable:
     # ------------------------------------------------------------------
     # Reading and analysis
     # ------------------------------------------------------------------
-    def read_contents(self, jobs=1):
+    def read_contents(self, jobs=1, adopt=None):
         """Analyze the symbol table and program to find all routines.
 
         With a warm analysis cache (see :mod:`repro.cache`) the refined
-        routine set and per-routine analyses restore from disk instead
-        of being recomputed.  On a cold cache, *jobs* > 1 fans the
-        per-routine analysis out across worker processes.
+        routine set, per-routine analyses, and the fact table restore
+        from disk instead of being recomputed.  On a cold cache, *jobs*
+        > 1 fans the per-routine analysis out across worker processes.
+
+        *adopt* maps routine start addresses to surviving analysis
+        summaries from a closely related executable (the fuzz
+        shrinker's parent plan): routines whose extent, entries, and
+        text bytes match restore their CFGs from the adopted summary
+        instead of rebuilding — even during refinement's stage 4.
         """
         from repro import cache
+        from repro.core.facts import FactStore
+        from repro.core.facts import rules as _fact_rules
         from repro.core.symtab_refine import refine_symbol_table
 
         with _span("exe.read_contents", arch=self.arch) as sp:
@@ -120,13 +130,84 @@ class Executable:
                 sp.set(routines=len(routines), hidden=len(hidden),
                        cached=True)
                 return self
+            self._adopt = adopt or None
             routines, hidden = refine_symbol_table(self)
             sp.set(routines=len(routines), hidden=len(hidden))
             self._routines = RoutineList(routines)
             self._hidden = RoutineList(hidden)
             self._read = True
+            self.facts = FactStore()
+            _fact_rules.assert_routines(self, self.facts)
             cache.store_analysis(self, jobs=jobs)
         return self
+
+    def fact_store(self):
+        """The executable's FactStore, created (with the routine
+        identity facts asserted) on first use."""
+        if self.facts is None:
+            from repro.core.facts import FactStore
+            from repro.core.facts import rules as _fact_rules
+
+            self.facts = FactStore()
+            if self._read:
+                _fact_rules.assert_routines(self, self.facts)
+        return self.facts
+
+    def invalidate_routine(self, routine_or_name):
+        """Mark a routine's facts (and everything depending on them)
+        dirty after its bytes changed; :meth:`reanalyze` recomputes
+        only the dirty set."""
+        routine = self.routine(routine_or_name) \
+            if isinstance(routine_or_name, str) else routine_or_name
+        if routine is None:
+            raise ExecutableError("unknown routine %r" % (routine_or_name,))
+        self.fact_store().invalidate("routine", routine.start)
+        routine.analysis_summary = None
+        routine.delete_control_flow_graph()
+        return routine
+
+    def reanalyze(self):
+        """Re-derive exactly the dirty facts (incremental fixpoint)."""
+        from repro.core.facts import rules as _fact_rules
+
+        _fact_rules.solve(self, self.fact_store())
+        return self
+
+    def _adoption_view(self, routine):
+        """An adopted analysis summary for *routine*, or None.
+
+        Only byte-identical routines with matching identity adopt: the
+        extent, entry points, hidden flag, and a hash of the text bytes
+        must all agree with the donor's record.
+        """
+        if not self._adopt:
+            return None
+        record = self._adopt.get(routine.start)
+        if record is None:
+            return None
+        summary = record.get("summary") or {}
+        if "cfg" not in summary:
+            return None
+        if (summary.get("end") != routine.end
+                or list(summary.get("entries", ())) != routine.entries
+                or bool(summary.get("hidden")) != routine.hidden):
+            return None
+        from repro.core.facts import rules as _fact_rules
+
+        try:
+            if record.get("text_hash") != _fact_rules.text_hash(
+                    self, routine.start, routine.end):
+                return None
+        except (KeyError, IndexError, ValueError):
+            return None
+        from repro.obs import metrics as _metrics
+
+        _metrics.counter("facts.adopted").inc()
+        view = {"name": routine.name, "start": routine.start,
+                "end": routine.end, "entries": list(routine.entries),
+                "hidden": 1 if routine.hidden else 0,
+                "cfg": summary["cfg"], "liveness": summary.get("liveness")}
+        return view
 
     def routines(self):
         if not self._read:

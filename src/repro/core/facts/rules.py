@@ -1,0 +1,289 @@
+"""Declarative rules over the fact store, and the incremental solver.
+
+Each rule derives one fact kind for one routine and declares what it
+read (the dependency edges the store uses for invalidation).  The rule
+table is the paper's stage structure made explicit:
+
+* ``routine`` — stages 1-3 output (identity, extents, entry points);
+* ``cfg`` — stage 4 (CFG build with delay normalization and
+  indirect-jump slicing baked in);
+* ``liveness``/``cti``/``dispatch``/``islands``/``callsites`` — the
+  per-routine analyses tools consume, all derived from the CFG fact.
+
+:func:`solve` drains the store's dirty set as a fixpoint: dirty ``cfg``
+facts force a fresh CFG build (``cfg.builds`` counts them, and
+``facts.rederived`` counts exactly these); every other dirty fact is
+refreshed from the surviving CFG payloads without building anything
+(``facts.refreshed``).  When a rebuilt CFG changes its *interprocedural
+signature* — escape targets, dispatch-table extents, unreached-suffix
+shape — the edit may have moved routine boundaries, so the solver
+escalates to a full re-refinement (``facts.escalations``); a
+byte-identical or intra-routine edit never escalates.
+"""
+
+import hashlib
+
+from repro.core.instruction import instruction_for
+from repro.isa.base import Category
+from repro.obs import metrics as _metrics
+from repro.obs.trace import span as _span
+
+_C_REDERIVED = _metrics.counter("facts.rederived")
+_C_REFRESHED = _metrics.counter("facts.refreshed")
+_C_ESCALATIONS = _metrics.counter("facts.escalations")
+
+# Derivation order: a fact kind only reads kinds to its left.
+KIND_ORDER = ("routine", "cfg", "liveness", "cti", "dispatch", "islands",
+              "callsites")
+DERIVED_KINDS = KIND_ORDER[1:]
+
+
+# ----------------------------------------------------------------------
+# Rules: (payload, deps) for one routine each
+# ----------------------------------------------------------------------
+
+def _derive_routine(executable, routine, store):
+    from repro.core.symtab_refine import routine_identity
+
+    return routine_identity(routine), ()
+
+
+def _derive_cfg(executable, routine, store):
+    cfg = routine.control_flow_graph()
+    return cfg.to_summary(), (("routine", routine.start),)
+
+
+def _derive_liveness(executable, routine, store):
+    liveness = routine.control_flow_graph().live_registers()
+    return liveness.to_summary(), (("cfg", routine.start),)
+
+
+def _derive_cti(executable, routine, store):
+    payload = ensure(executable, store, "cfg", routine)
+    return ({"cti_in_slot": int(payload["cti_in_slot"]),
+             "incomplete": int(payload["incomplete"])},
+            (("cfg", routine.start),))
+
+
+def _derive_dispatch(executable, routine, store):
+    from repro.core.analysis.indirect import table_extent
+
+    payload = ensure(executable, store, "cfg", routine)
+    tables = [list(table_extent(info)) for info in payload["indirect"]
+              if info["status"] == "table"]
+    return sorted(tables), (("cfg", routine.start),)
+
+
+def _derive_islands(executable, routine, store):
+    payload = ensure(executable, store, "cfg", routine)
+    islands = set(payload["data_addrs"])
+    for addr, size in ensure(executable, store, "dispatch", routine):
+        for offset in range(0, size, 4):
+            islands.add(addr + offset)
+    return sorted(islands), (("cfg", routine.start),
+                             ("dispatch", routine.start))
+
+
+def _derive_callsites(executable, routine, store):
+    """Outgoing call sites, from the CFG *payload* (no CFG object).
+
+    Re-deriving a caller's call-graph fact after a callee edit must not
+    rebuild the caller's CFG, so this rule decodes block tails straight
+    from the summary.  Resolved targets add a dependency on the target
+    routine's identity fact — the transitive-invalidation edge.
+    """
+    payload = ensure(executable, store, "cfg", routine)
+    codec = executable.codec
+    sites = []
+    for kind, start, addrs, _editable, _cti in payload["blocks"]:
+        if kind != "normal" or not addrs:
+            continue
+        addr = addrs[-1]
+        inst = instruction_for(codec, executable.word_at(addr))
+        if inst.category is Category.CALL:
+            sites.append({"addr": addr, "kind": "call",
+                          "target": inst.target(addr)})
+        elif inst.category is Category.CALL_INDIRECT:
+            sites.append({"addr": addr, "kind": "indirect", "target": None})
+    for info in payload["indirect"]:
+        if info["status"] == "tailcall":
+            addrs = payload["blocks"][info["block"]][2]
+            sites.append({"addr": addrs[-1], "kind": "tailcall",
+                          "target": info["literal"]})
+    deps = {("cfg", routine.start)}
+    for site in sites:
+        target = site["target"]
+        if target is not None:
+            container = executable.routine_at(target)
+            if container is not None:
+                site["routine"] = container.start
+                deps.add(("routine", container.start))
+    return sites, sorted(deps)
+
+
+DERIVE = {
+    "routine": _derive_routine,
+    "cfg": _derive_cfg,
+    "liveness": _derive_liveness,
+    "cti": _derive_cti,
+    "dispatch": _derive_dispatch,
+    "islands": _derive_islands,
+    "callsites": _derive_callsites,
+}
+
+
+def ensure(executable, store, kind, routine):
+    """The fact's payload, deriving (and recording) it when absent or
+    dirty.  The lazy entry point analyses use (e.g. the call graph)."""
+    payload = store.get(kind, routine.start)
+    if payload is not None and not store.is_dirty(kind, routine.start):
+        return payload
+    payload, deps = DERIVE[kind](executable, routine, store)
+    store.put(kind, routine.start, payload, deps)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Population (cold path) and summary views
+# ----------------------------------------------------------------------
+
+def assert_routines(executable, store):
+    """Assert the identity fact of every refined routine."""
+    for routine in executable.all_routines():
+        store.put("routine", routine.start,
+                  DERIVE["routine"](executable, routine, store)[0])
+
+
+def populate(executable, store, kinds=DERIVED_KINDS):
+    """Derive *kinds* for every routine (the batch fixpoint).
+
+    Runs the stages in rule order so each derivation finds its inputs
+    already asserted; used on the cold path and after an escalation.
+    """
+    with _span("facts.populate", routines=len(executable.all_routines())):
+        assert_routines(executable, store)
+        for kind in kinds:
+            for routine in executable.all_routines():
+                ensure(executable, store, kind, routine)
+
+
+def attach_view(store, routine):
+    """Attach the routine's analysis summary assembled from its facts,
+    so later ``control_flow_graph()`` calls restore instead of build."""
+    identity = store.get("routine", routine.start)
+    cfg = store.get("cfg", routine.start)
+    liveness = store.get("liveness", routine.start)
+    if identity is None or cfg is None or liveness is None:
+        return None
+    view = dict(identity)
+    view["cfg"] = cfg
+    view["liveness"] = liveness
+    routine.analysis_summary = view
+    return view
+
+
+def text_hash(executable, start, end):
+    """Short content hash of the text bytes in [start, end)."""
+    text = executable.image.sections[".text"]
+    lo = start - text.vaddr
+    return hashlib.sha256(bytes(text.data[lo:lo + (end - start)])) \
+        .hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# The incremental solver
+# ----------------------------------------------------------------------
+
+def _interproc_signature(payload):
+    """What other routines can observe of this CFG.
+
+    Escape targets (where control leaves the extent), dispatch-table
+    extents (claimed data other extents must avoid), and the
+    unreached-suffix shape (stage 4's hidden-routine source).  An edit
+    that preserves this signature cannot perturb refinement's routine
+    set, so its effects stay local to the routine's own facts.
+    """
+    escapes = sorted({edge[4] for edge in payload["edges"]
+                      if edge[4] is not None})
+    tables = sorted((info["table_addr"], len(info["targets"]))
+                    for info in payload["indirect"]
+                    if info["status"] == "table")
+    return (tuple(escapes), tuple(tables), bool(payload["unreached"]),
+            bool(payload["incomplete"]))
+
+
+def _escalate(executable, store):
+    """Full re-refinement: the edit moved interprocedural structure.
+
+    Re-runs symbol-table refinement from scratch (clearing claimed data
+    — stale dispatch claims would poison discovery) and re-derives
+    every fact kind that had been derived before.
+    """
+    from repro.core.executable import RoutineList
+    from repro.core.symtab_refine import refine_symbol_table
+
+    _C_ESCALATIONS.inc()
+    derived = {kind for kind, _ in store.dirty_facts()} \
+        | {fact[0] for fact in store._facts}
+    kinds = tuple(kind for kind in DERIVED_KINDS if kind in derived)
+    store.clear()
+    executable._claimed = set()
+    for routine in executable.all_routines():
+        routine.analysis_summary = None
+        routine.delete_control_flow_graph()
+    routines, hidden = refine_symbol_table(executable)
+    executable._routines = RoutineList(routines)
+    executable._hidden = RoutineList(hidden)
+    populate(executable, store, kinds=kinds)
+    for routine in executable.all_routines():
+        attach_view(store, routine)
+
+
+def solve(executable, store, max_rounds=8):
+    """Drain the dirty set; returns (rederived, refreshed) counts.
+
+    Processes dirty facts in rule order so a re-derived CFG is in place
+    before its dependents refresh.  Escalates (and restarts as a full
+    populate) when a rebuilt CFG's interprocedural signature changed.
+    """
+    rederived = refreshed = 0
+    with _span("facts.solve") as sp:
+        for _ in range(max_rounds):
+            dirty = store.dirty_facts()
+            if not dirty:
+                break
+            by_start = {r.start: r for r in executable.all_routines()}
+            for kind in KIND_ORDER:
+                for key in sorted(key for k, key in dirty if k == kind):
+                    if not store.is_dirty(kind, key):
+                        continue
+                    routine = by_start.get(key)
+                    if routine is None:
+                        store.drop(kind, key)
+                        continue
+                    if kind == "cfg":
+                        old = store.get("cfg", key)
+                        routine.analysis_summary = None
+                        routine.delete_control_flow_graph()
+                        payload, deps = _derive_cfg(executable, routine,
+                                                    store)
+                        store.put("cfg", key, payload, deps)
+                        rederived += 1
+                        _C_REDERIVED.inc()
+                        if old is not None and _interproc_signature(old) \
+                                != _interproc_signature(payload):
+                            _escalate(executable, store)
+                            sp.set(escalated=True, rederived=rederived)
+                            return rederived, refreshed
+                    else:
+                        payload, deps = DERIVE[kind](executable, routine,
+                                                     store)
+                        store.put(kind, key, payload, deps)
+                        refreshed += 1
+                        _C_REFRESHED.inc()
+            for key in {key for k, key in dirty if k in ("cfg", "liveness")}:
+                routine = by_start.get(key)
+                if routine is not None:
+                    attach_view(store, routine)
+        sp.set(rederived=rederived, refreshed=refreshed)
+    return rederived, refreshed

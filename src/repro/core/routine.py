@@ -66,17 +66,25 @@ class Routine:
         """The routine's CFG, built on first use (or restored from a
         cached analysis summary when one is attached and still valid)."""
         if self._cfg is None:
+            from repro.core.analysis.indirect import table_extent
             from repro.core.cfg import CFG
 
             summary = self._valid_summary()
+            if summary is None:
+                # Fuzz shrinking: a byte-identical routine from the
+                # parent plan donates its summary (guards in
+                # Executable._adoption_view), skipping the rebuild.
+                summary = self.executable._adoption_view(self)
+                if summary is not None:
+                    self.analysis_summary = summary
             self._cfg = CFG(self, summary=summary["cfg"]
                             if summary is not None else None)
             if summary is not None:
                 self._cfg._live_summary = summary.get("liveness")
             for info in self._cfg.indirect_jumps:
                 if info.status == "table":
-                    size = 4 * len(info.targets)
-                    self.executable.claim_data(info.table_addr, size)
+                    addr, size = table_extent(info)
+                    self.executable.claim_data(addr, size)
         return self._cfg
 
     def delete_control_flow_graph(self):

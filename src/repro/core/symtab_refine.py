@@ -17,13 +17,18 @@ points.  Refinement proceeds in the paper's four stages:
 
 import re
 
+from repro.binfmt.image import BIND_GLOBAL, SYM_FUNC
 from repro.core.instruction import instruction_for
 from repro.isa.base import Category
 from repro.obs import metrics as _metrics
 from repro.obs.trace import span as _span
 
 # Compiler-temporary label pattern (".L12", "L5", ".Lcase3", ...).
-_TEMP_LABEL = re.compile(r"^\.?L")
+# Requires the compiler-temp *shape* — a dot-L prefix, or a bare L
+# followed by a digit.  A plain "^\.?L" would also prune genuine
+# routines whose names merely start with L (e.g. ``List_append``),
+# silently demoting them to hidden routines.
+_TEMP_LABEL = re.compile(r"^(\.L|L\d)")
 
 _C_ROUTINES = _metrics.counter("refine.routines")
 _C_HIDDEN = _metrics.counter("refine.hidden")
@@ -55,8 +60,7 @@ def _stage1_initial_set(executable):
     text = image.sections.get(".text")
     if text is None:
         return {}
-    named = {}
-    seen_addrs = set()
+    best = {}  # addr -> (rank, name): lowest rank wins
     for symbol in image.symbols:
         if symbol.section != ".text":
             continue
@@ -67,11 +71,16 @@ def _stage1_initial_set(executable):
             continue  # temporary/internal label
         if symbol.kind == "object":
             continue  # data-in-text marker, not a routine
-        if addr in seen_addrs:
-            continue  # duplicate label
-        seen_addrs.add(addr)
-        named[addr] = symbol.name
-    return named
+        # Aliases at one address: prefer function-kind over other
+        # kinds, global binding over local, then the lexically first
+        # name — deterministic whatever order the symbol table
+        # happens to be in, instead of first-iterated-wins.
+        rank = (0 if symbol.kind == SYM_FUNC else 1,
+                0 if symbol.binding == BIND_GLOBAL else 1,
+                symbol.name)
+        if addr not in best or rank < best[addr]:
+            best[addr] = rank
+    return {addr: rank[2] for addr, rank in best.items()}
 
 
 def _stage2_stripped_seed(executable):

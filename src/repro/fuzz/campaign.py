@@ -84,13 +84,44 @@ class _Timed:
         return False
 
 
-def classify_plan(plan, label="fuzz", timings=None):
+def _adoptable_facts(executable):
+    """{start: {summary, text_hash}} for every analyzable routine.
+
+    The donor record :meth:`Executable._adoption_view` checks during a
+    later, closely related analysis (the shrinker's delta candidates);
+    a routine whose analysis fails to summarize is simply left out.
+    """
+    from repro.cache.summary import summarize_routine
+    from repro.core.facts import rules as fact_rules
+
+    facts = {}
+    for routine in executable.all_routines():
+        try:
+            facts[routine.start] = {
+                "summary": summarize_routine(routine),
+                "text_hash": fact_rules.text_hash(
+                    executable, routine.start, routine.end),
+            }
+        except Exception:
+            continue
+    return facts
+
+
+def classify_plan(plan, label="fuzz", timings=None, adopt=None,
+                  capture=None):
     """Run one plan through the full pipeline; return (status, detail).
 
     *timings*, when a dict, is filled with per-stage wall-clock seconds
     (``gen``, ``analyze``, ``check``, ``instrument:<tool>``,
     ``verify:<tool>``) — the per-seed breakdown the campaign writes to
     its event log.
+
+    *adopt* passes a parent plan's surviving facts (see
+    :func:`_adoptable_facts`) into analysis: byte-identical routines
+    restore their CFGs instead of rebuilding, which is what makes the
+    shrinker's long delta chains cheap.  *capture*, when a dict, gets
+    a ``"facts"`` entry holding this plan's adoptable facts for the
+    next delta.
     """
     from repro.core.executable import Executable
     from repro.tools import instrument_image
@@ -107,10 +138,12 @@ def classify_plan(plan, label="fuzz", timings=None):
         try:
             with _Timed(timings, "analyze"):
                 executable = Executable(program.image)
-                executable.read_contents()
+                executable.read_contents(adopt=adopt)
         except Exception as error:
             _C_CRASH.inc()
             return "crash:analyze:%s" % type(error).__name__, str(error)
+        if capture is not None:
+            capture["facts"] = _adoptable_facts(executable)
 
         from repro.fuzz.check import check_manifest
 
@@ -351,9 +384,21 @@ def _triage(result, config, corpus_dir, shrink):
         if shrink:
             from repro.fuzz.shrink import shrink_plan
 
-            plan = shrink_plan(
-                plan, lambda candidate:
-                classify_plan(candidate, label="shrink")[0] == status)
+            # Each accepted delta becomes the next candidates' donor:
+            # routines the delta left byte-identical adopt the parent's
+            # CFG/liveness facts instead of re-deriving them.
+            parent = {"facts": None}
+
+            def _reproduces(candidate, status=status, parent=parent):
+                captured = {}
+                matched = classify_plan(
+                    candidate, label="shrink", adopt=parent["facts"],
+                    capture=captured)[0] == status
+                if matched and captured.get("facts"):
+                    parent["facts"] = captured["facts"]
+                return matched
+
+            plan = shrink_plan(plan, _reproduces)
         entry = _corpus.make_entry(status, outcome.detail, outcome.seed,
                                    plan, status="new")
         result.stored.append(_corpus.save_entry(corpus_dir, entry))

@@ -19,6 +19,9 @@ Schema ``repro.obs/1``::
       "phases": { name: {count, mean, p50, p95, p99, max} },
       "cache": { enabled, dir, hits, misses, stores, invalidations,
                  evictions, hit_rate, latency },  # analysis-cache state
+      "facts": { derived, rederived, refreshed, invalidated, adopted,
+                 hydrated, hydrate_rejects, escalations,
+                 incremental_rate, solve },  # incremental fact store
       "serve": { requests, ok, errors, rejected, timeouts, retries,
                  coalesced, degraded, worker_deaths, ok_rate,
                  latency, queue_wait },
@@ -85,6 +88,13 @@ for _name in ("instructions", "runs", "flyweight.hits",
               "blocks.compiles", "blocks.evictions",
               "blocks.invalidations"):
     metrics.counter("sim." + _name)
+
+# The incremental fact store (repro.core.facts): derivation, dirty-set,
+# hydration, and adoption traffic — the surface the incremental
+# re-analysis benchmark and tests assert against.
+for _name in ("derived", "rederived", "refreshed", "invalidated",
+              "adopted", "hydrated", "hydrate_rejects", "escalations"):
+    metrics.counter("facts." + _name)
 del _name
 
 SCHEMA = "repro.obs/1"
@@ -271,6 +281,31 @@ def sim_section(counters):
     }
 
 
+def facts_section(counters, histograms=None):
+    """Incremental fact-store state: derivation and dirty-set traffic,
+    cache hydration outcomes, and the solve-latency percentiles.
+
+    ``incremental_rate`` is the share of fact derivations that were
+    incremental re-derivations or refreshes (vs. cold derivations) —
+    the number the incremental-analysis benchmark moves."""
+    histograms = histograms or {}
+    derived = counters.get("facts.derived", 0)
+    rederived = counters.get("facts.rederived", 0)
+    refreshed = counters.get("facts.refreshed", 0)
+    return {
+        "derived": derived,
+        "rederived": rederived,
+        "refreshed": refreshed,
+        "invalidated": counters.get("facts.invalidated", 0),
+        "adopted": counters.get("facts.adopted", 0),
+        "hydrated": counters.get("facts.hydrated", 0),
+        "hydrate_rejects": counters.get("facts.hydrate_rejects", 0),
+        "escalations": counters.get("facts.escalations", 0),
+        "incremental_rate": _ratio(rederived + refreshed, derived),
+        "solve": _percentiles(histograms.get("phase.facts.solve")),
+    }
+
+
 def phases_section(histograms):
     """Percentile summary of every per-phase latency histogram
     (refinement, CFG build, indirect resolution, layout, cosim,
@@ -292,6 +327,7 @@ def build_report():
         "derived": derived_metrics(snap["counters"], snap["histograms"]),
         "phases": phases_section(snap["histograms"]),
         "cache": cache_section(snap["counters"], snap["histograms"]),
+        "facts": facts_section(snap["counters"], snap["histograms"]),
         "serve": serve_section(snap["counters"], snap["histograms"]),
         "fleet": fleet_section(snap["counters"], snap["gauges"],
                                snap["histograms"]),

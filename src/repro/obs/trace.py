@@ -39,6 +39,8 @@ PHASE_SPANS = {
     "sim.run": "phase.sim.run",
     "cache.load": "phase.cache.load",
     "cache.store": "phase.cache.store",
+    "facts.populate": "phase.facts.populate",
+    "facts.solve": "phase.facts.solve",
 }
 
 

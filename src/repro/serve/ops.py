@@ -190,12 +190,19 @@ def _op_instrument(server, params):
     if tool not in tool_names():
         raise OpError(E_BAD_REQUEST, "unknown tool %r (have: %s)"
                       % (tool, ", ".join(tool_names())))
+    routines = params.get("routines")
+    if routines is not None:
+        if not isinstance(routines, list) \
+                or not all(isinstance(r, str) for r in routines):
+            raise OpError(E_BAD_REQUEST,
+                          "'routines' must be a list of routine names")
     image = _resolve_image(server, params)
     _analyzed(server, image)  # coalesce the cold analysis across requests
     try:
         session = instrument_image(
             image, tool, mode=params.get("mode", "edge"),
-            cache_size=int(params.get("cache_size", 8192)))
+            cache_size=int(params.get("cache_size", 8192)),
+            only_routines=routines)
     except ValueError as error:
         raise OpError(E_BAD_REQUEST, str(error))
     result = {"tool": tool}

@@ -34,7 +34,8 @@ def tool_names():
     return ("qpt", "sfi", "elsie", "active_memory")
 
 
-def instrument_image(image, tool, mode="edge", jobs=1, cache_size=8192):
+def instrument_image(image, tool, mode="edge", jobs=1, cache_size=8192,
+                     only_routines=None):
     """Instrument *image* with the tool named *tool*.
 
     The single dispatch point for "edit this image with that tool":
@@ -44,6 +45,11 @@ def instrument_image(image, tool, mode="edge", jobs=1, cache_size=8192):
     the tool's host-side runtime state, and ``tool`` the tool instance
     itself (for tool-specific post-run queries such as qpt's count
     reconstruction).
+
+    *only_routines* restricts the edit to the named routines (the rest
+    stay in place, uninstrumented); a name missing from the image
+    raises ``ValueError``.  With a warm analysis cache, a restricted
+    edit touches only those routines' analyses.
     """
     if tool not in tool_names():
         raise ValueError("unknown tool %r (have: %s)"
@@ -53,26 +59,28 @@ def instrument_image(image, tool, mode="edge", jobs=1, cache_size=8192):
     if tool == "qpt":
         from repro.tools.qpt import QptProfiler
 
-        profiler = QptProfiler(image, mode=mode, jobs=jobs).run()
+        profiler = QptProfiler(image, mode=mode, jobs=jobs,
+                               only_routines=only_routines).run()
         return EditSession(profiler.exec, profiler.edited_image(), None,
                            profiler, tool)
     if tool == "sfi":
         from repro.tools.sfi import Sandboxer
 
-        sandboxer = Sandboxer(image)
+        sandboxer = Sandboxer(image, only_routines=only_routines)
         sandboxer.instrument()
         return EditSession(sandboxer.exec, sandboxer.edited_image(), None,
                            sandboxer, tool)
     if tool == "elsie":
         from repro.tools.elsie import ElsieSimulatorBuilder
 
-        builder = ElsieSimulatorBuilder(image)
+        builder = ElsieSimulatorBuilder(image, only_routines=only_routines)
         builder.instrument()
         return EditSession(builder.exec, builder.edited_image(),
                            builder.configure_simulator, builder, tool)
     from repro.tools.active_memory import ActiveMemory
 
-    memory = ActiveMemory(image, cache_size=cache_size, jobs=jobs)
+    memory = ActiveMemory(image, cache_size=cache_size, jobs=jobs,
+                          only_routines=only_routines)
     memory.instrument()
     return EditSession(memory.exec, memory.edited_image(), None,
                        memory, tool)

@@ -63,11 +63,14 @@ class DirectMappedCache:
 class ActiveMemory:
     """Instrument a program with inline cache-state tests."""
 
-    def __init__(self, image, cache_size=8192, jobs=1):
+    def __init__(self, image, cache_size=8192, jobs=1, only_routines=None):
         if image.arch != "sparc":
             raise ValueError("Active Memory tool currently targets SPARC")
+        from repro.tools.common import routine_filter
+
         self.exec = Executable(image)
         self.exec.read_contents(jobs=jobs)
+        self.only = routine_filter(self.exec, only_routines)
         self.cache_size = cache_size
         # All blocks start non-resident (state byte 1).
         self.state_base = self.exec.add_data(
@@ -129,6 +132,8 @@ class ActiveMemory:
 
     def _instrument_routines(self):
         for routine in self.exec.all_routines():
+            if self.only is not None and routine.name not in self.only:
+                continue
             cfg = routine.control_flow_graph()
             if cfg.cti_in_slot:
                 # Paper §3.1: un-editable delayed-delayed flow.

@@ -3,6 +3,23 @@
 from repro.core.snippet import TaggedCodeSnippet
 
 
+def routine_filter(executable, only_routines):
+    """Validated name set for selective instrumentation, or None.
+
+    ``None`` means "instrument everything" (the default).  A routine
+    name that does not exist in *executable* is a caller mistake and
+    raises ``ValueError`` — a silent no-op would read as success.
+    """
+    if only_routines is None:
+        return None
+    names = {str(name) for name in only_routines}
+    known = {routine.name for routine in executable.all_routines()}
+    unknown = sorted(names - known)
+    if unknown:
+        raise ValueError("unknown routines: %s" % ", ".join(unknown))
+    return names
+
+
 class CounterArray:
     """A block of 32-bit counters in fresh data space."""
 

@@ -25,11 +25,14 @@ SPILL_G1 = -124
 class ElsieSimulatorBuilder:
     """Rewrite a program so the memory system is simulated."""
 
-    def __init__(self, image, miss_latency=20):
+    def __init__(self, image, miss_latency=20, only_routines=None):
         if image.arch != "sparc":
             raise ValueError("Elsie tool currently targets SPARC")
+        from repro.tools.common import routine_filter
+
         self.exec = Executable(image)
         self.exec.read_contents()
+        self.only = routine_filter(self.exec, only_routines)
         self.miss_latency = miss_latency
         self.replaced = 0
 
@@ -105,6 +108,8 @@ class ElsieSimulatorBuilder:
     # ------------------------------------------------------------------
     def instrument(self):
         for routine in self.exec.all_routines():
+            if self.only is not None and routine.name not in self.only:
+                continue
             cfg = routine.control_flow_graph()
             if cfg.cti_in_slot:
                 # Paper §3.1: un-editable delayed-delayed flow; leave

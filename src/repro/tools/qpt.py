@@ -16,7 +16,7 @@ test suite compares against simulator ground truth.
 from repro.core import Executable
 from repro.obs import metrics as _metrics
 from repro.obs.trace import span as _span
-from repro.tools.common import CounterArray, counter_snippet
+from repro.tools.common import CounterArray, counter_snippet, routine_filter
 
 _UNEDITABLE_WEIGHT = 1 << 30
 
@@ -39,26 +39,33 @@ class RoutineProfile:
 class QptProfiler:
     """Instrument a program for profiling; reconstruct counts after a run."""
 
-    def __init__(self, image_or_path, mode="edge", jobs=1):
+    def __init__(self, image_or_path, mode="edge", jobs=1,
+                 only_routines=None):
         if mode not in ("edge", "block"):
             raise ValueError("mode must be 'edge' or 'block'")
         self.mode = mode
         self.exec = Executable(image_or_path)
         self.exec.read_contents(jobs=jobs)
+        self.only = routine_filter(self.exec, only_routines)
         self.counters = CounterArray(self.exec, "__qpt_counts", 16384)
         self.profiles = {}  # routine name -> RoutineProfile
         self.block_counters = {}  # (routine, block start) -> counter index
+
+    def _selected(self, routine):
+        return self.only is None or routine.name in self.only
 
     # ------------------------------------------------------------------
     def run(self):
         with _span("qpt.instrument", mode=self.mode) as sp:
             for routine in self.exec.routines():
-                self._instrument(routine)
+                if self._selected(routine):
+                    self._instrument(routine)
             hidden = self.exec.hidden_routines()
             while not hidden.is_empty():
                 routine = hidden.first()
                 hidden.remove(routine)
-                self._instrument(routine)
+                if self._selected(routine):
+                    self._instrument(routine)
                 self.exec.routines().add(routine)
             sp.set(counters=self.counters.used)
         _C_COUNTERS.inc(self.counters.used)

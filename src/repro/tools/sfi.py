@@ -12,6 +12,7 @@ therefore always permitted.
 
 from repro.core import Executable
 from repro.core.snippet import CodeSnippet
+from repro.tools.common import routine_filter
 from repro.sim import Simulator
 from repro.sim.syscalls import ProtectionFault, SYS_FAULT
 
@@ -25,11 +26,12 @@ STACK_SEGMENT_BYTE = 0x7F
 class Sandboxer:
     """Insert store sandboxing checks."""
 
-    def __init__(self, image, check_loads=False):
+    def __init__(self, image, check_loads=False, only_routines=None):
         if image.arch != "sparc":
             raise ValueError("SFI tool currently targets SPARC")
         self.exec = Executable(image)
         self.exec.read_contents()
+        self.only = routine_filter(self.exec, only_routines)
         self.check_loads = check_loads
         self.sites = 0
 
@@ -70,6 +72,8 @@ class Sandboxer:
 
     def instrument(self):
         for routine in self.exec.all_routines():
+            if self.only is not None and routine.name not in self.only:
+                continue
             cfg = routine.control_flow_graph()
             if cfg.cti_in_slot:
                 # Paper §3.1: un-editable delayed-delayed flow; the

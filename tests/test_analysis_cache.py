@@ -339,3 +339,115 @@ def test_memory_layer_serves_hits_without_disk(tmp_path):
             assert _analysis_of(warm) == _analysis_of(exe)
         finally:
             cache.disable_memory_layer()
+
+
+# ----------------------------------------------------------------------
+# Versioned blobs and fact-table hydration (ANALYSIS_VERSION 4)
+# ----------------------------------------------------------------------
+
+def _rewrite_blob(path, mutate):
+    """Round-trip the on-disk EELA blob through *mutate*(summary)."""
+    import struct
+    import zlib
+
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    summary = analysis_from_bytes(blob)
+    mutated = mutate(summary)
+    with open(path, "wb") as handle:
+        handle.write(analysis_to_bytes(mutated if mutated is not None
+                                       else summary))
+
+
+def test_old_version_blob_misses_cleanly(tmp_path):
+    """A blob written by an older ANALYSIS_VERSION must be a clean miss
+    (invalidate + reanalyze), never a partial fact-table hydrate."""
+    import struct
+
+    from repro.binfmt.serialize import ANALYSIS_VERSION
+
+    with _env(REPRO_CACHE="on", REPRO_CACHE_DIR=str(tmp_path)):
+        exe = Executable(build_image("fib")).read_contents()
+        entries = glob.glob(str(tmp_path / "*.eela"))
+        assert len(entries) == 1
+        with open(entries[0], "rb") as handle:
+            blob = handle.read()
+        downgraded = (blob[:4] + struct.pack(">H", ANALYSIS_VERSION - 1)
+                      + blob[6:])
+        with open(entries[0], "wb") as handle:
+            handle.write(downgraded)
+
+        metrics.reset()
+        warm = Executable(build_image("fib")).read_contents()
+        counters = metrics.snapshot()["counters"]
+        assert counters["cache.invalidations"] == 1
+        assert counters["cache.misses"] == 1
+        assert counters["cache.hits"] == 0
+        assert counters.get("facts.hydrated", 0) == 0
+        assert counters["cache.stores"] == 1
+        assert _analysis_of(warm) == _analysis_of(exe)
+
+
+def test_missing_fact_table_rejected_not_partially_hydrated(tmp_path):
+    """A structurally valid blob whose fact table is garbage must fall
+    back to cold analysis with a clean executable (no partial store)."""
+    with _env(REPRO_CACHE="on", REPRO_CACHE_DIR=str(tmp_path)):
+        exe = Executable(build_image("fib")).read_contents()
+        entries = glob.glob(str(tmp_path / "*.eela"))
+
+        def _break_facts(summary):
+            summary["facts"] = {"facts": "not-a-fact-list", "deps": []}
+            return summary
+
+        _rewrite_blob(entries[0], _break_facts)
+        metrics.reset()
+        warm = Executable(build_image("fib")).read_contents()
+        counters = metrics.snapshot()["counters"]
+        assert counters["facts.hydrate_rejects"] == 1
+        assert counters.get("facts.hydrated", 0) == 0
+        assert counters["cache.stores"] == 1  # cold path re-stored
+        assert warm.fact_store() is not None
+        assert _analysis_of(warm) == _analysis_of(exe)
+
+
+def test_partial_fact_table_rejected_not_partially_hydrated(tmp_path):
+    """A fact table missing one routine's derived facts (e.g. truncated
+    by a concurrent writer) rejects as a whole — never half a store."""
+    with _env(REPRO_CACHE="on", REPRO_CACHE_DIR=str(tmp_path)):
+        exe = Executable(build_image("fib")).read_contents()
+        entries = glob.glob(str(tmp_path / "*.eela"))
+
+        def _drop_liveness(summary):
+            table = summary["facts"]
+            victim = next(key for kind, key, _p in table["facts"]
+                          if kind == "liveness")
+            table["facts"] = [row for row in table["facts"]
+                              if not (row[0] == "liveness"
+                                      and row[1] == victim)]
+            table["deps"] = [row for row in table["deps"]
+                             if row[0] != ["liveness", victim]]
+            return summary
+
+        _rewrite_blob(entries[0], _drop_liveness)
+        metrics.reset()
+        warm = Executable(build_image("fib")).read_contents()
+        counters = metrics.snapshot()["counters"]
+        assert counters["facts.hydrate_rejects"] == 1
+        assert counters["cache.stores"] == 1
+        assert _analysis_of(warm) == _analysis_of(exe)
+
+
+def test_hydrated_store_supports_incremental_invalidation(tmp_path):
+    """The point of persisting the dependency edges: a restored store
+    propagates dirtiness exactly like the one that was saved."""
+    with _env(REPRO_CACHE="on", REPRO_CACHE_DIR=str(tmp_path)):
+        Executable(build_image("fib")).read_contents()
+        warm = Executable(build_image("fib")).read_contents()
+        store = warm.fact_store()
+        fib = warm.routine("fib")
+        main = warm.routine("main")
+        warm.invalidate_routine("fib")
+        dirty = store.dirty_facts()
+        assert ("cfg", fib.start) in dirty
+        assert ("callsites", main.start) in dirty
+        assert ("cfg", main.start) not in dirty

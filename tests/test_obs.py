@@ -241,8 +241,8 @@ def test_report_schema_stability(tmp_path):
     built = report.build_report()
     # Top-level key set is the schema contract: widen deliberately only.
     assert sorted(built) == [
-        "cache", "counters", "derived", "fleet", "gauges", "histograms",
-        "phases", "schema", "serve", "sim", "spans",
+        "cache", "counters", "derived", "facts", "fleet", "gauges",
+        "histograms", "phases", "schema", "serve", "sim", "spans",
     ]
     assert built["schema"] == "repro.obs/1"
     assert sorted(built["cache"]) == [

@@ -713,3 +713,44 @@ def test_cli_top_renders_snapshot(make_server, capsys):
     assert "repro-serve pid" in out
     assert "serve.requests" in out
     assert "latency:" in out
+
+
+# ----------------------------------------------------------------------
+# Routine-scoped instrumentation (incremental fact reuse)
+# ----------------------------------------------------------------------
+
+def test_instrument_routines_subset_reuses_warm_facts(make_server,
+                                                      monkeypatch,
+                                                      tmp_path):
+    """A warm image plus a single-routine instrument request must not
+    rebuild unrelated routines' CFGs: every analysis the edit touches
+    comes out of the hydrated fact store."""
+    monkeypatch.setenv("REPRO_CACHE", "on")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    server = make_server(jobs=2)
+    with _client(server) as client:
+        client.request("routines", workload="fib")  # warm the analysis
+        builds_before = _counter("cfg.builds")
+        restores_before = _counter("cache.restored_cfgs")
+        result = client.request("instrument", workload="fib", tool="qpt",
+                                routines=["fib"], return_image=False,
+                                run=True)
+        assert result["run"]["exit_code"] == 0
+        assert _counter("cfg.builds") == builds_before
+        # Only the requested routine's CFG (plus none of the others)
+        # was materialized from facts for instrumentation.
+        assert _counter("cache.restored_cfgs") - restores_before <= 2
+
+
+def test_instrument_rejects_unknown_routine_names(make_server):
+    server = make_server(jobs=1)
+    with _client(server) as client:
+        with pytest.raises(ServeError) as err:
+            client.request("instrument", workload="fib", tool="qpt",
+                           routines=["no_such_routine"])
+        assert err.value.code == protocol.E_BAD_REQUEST
+        assert "no_such_routine" in str(err.value)
+        with pytest.raises(ServeError) as err:
+            client.request("instrument", workload="fib", tool="qpt",
+                           routines="fib")
+        assert err.value.code == protocol.E_BAD_REQUEST

@@ -119,3 +119,93 @@ def test_tables_in_text_program_still_analyzes_and_runs():
     out = exe.edited_image()
     out.entry = exe.edited_addr(exe.start_address())
     assert run_image(out).output == baseline.output
+
+
+# ----------------------------------------------------------------------
+# Stage-1 mislabeling regressions
+# ----------------------------------------------------------------------
+
+def _fresh_image(name):
+    """A private, mutable copy (build_image memoizes the Image)."""
+    from repro.binfmt.serialize import image_from_bytes, image_to_bytes
+
+    return image_from_bytes(image_to_bytes(build_image(name)))
+
+
+def test_l_prefixed_routine_survives_stage1():
+    """Regression: the compiler-temp filter used to prune every symbol
+    starting with ``L`` or ``.L`` — including genuine routines such as
+    ``List_append``.  Only compiler-temp *shapes* (``.L...`` and
+    ``L<digit>``) may be dropped."""
+    image = _fresh_image("fib")
+    for symbol in image.symbols:
+        if symbol.name == "fib":
+            symbol.name = "List_append"
+    exe = Executable(image).read_contents()
+    names = {r.name for r in exe.routines()}
+    assert "List_append" in names
+    assert len(exe.hidden_routines()) == 0
+
+
+def test_compiler_temp_shapes_still_pruned():
+    from repro.binfmt.image import BIND_LOCAL, SYM_FUNC, Symbol
+
+    image = _fresh_image("fib")
+    fib = image.find_symbol("fib")
+    for temp in (".L3", "L5"):
+        image.add_symbol(Symbol(temp, fib.value + 8, kind=SYM_FUNC,
+                                binding=BIND_LOCAL))
+    exe = Executable(image).read_contents()
+    names = {r.name for r in exe.all_routines()}
+    assert ".L3" not in names and "L5" not in names
+    assert "fib" in names
+
+
+def _stage1_with_alias(alias, position, anchor="main"):
+    """The stage-1 name map with *alias* inserted before/after *anchor*
+    (``main`` is a global function symbol in the fib image)."""
+    from repro.core import symtab_refine
+
+    image = _fresh_image("fib")
+    index = next(i for i, s in enumerate(image.symbols)
+                 if s.name == anchor)
+    target = image.symbols[index]
+    alias.value = target.value
+    image.symbols.insert(index if position == "before" else index + 1,
+                         alias)
+    return symtab_refine._stage1_initial_set(Executable(image)), target.value
+
+
+def test_duplicate_address_prefers_global_over_local():
+    """Two symbols at one address: binding outranks insertion order, so
+    the choice cannot depend on symbol-table iteration order."""
+    from repro.binfmt.image import BIND_LOCAL, SYM_FUNC, Symbol
+
+    for position in ("before", "after"):
+        alias = Symbol("aaa_local_alias", 0, kind=SYM_FUNC,
+                       binding=BIND_LOCAL)
+        named, addr = _stage1_with_alias(alias, position)
+        assert named[addr] == "main", position
+
+
+def test_duplicate_address_ties_break_lexically():
+    """Equal rank (both global functions): the lexically smaller name
+    wins in either insertion order — deterministic, not first-seen."""
+    from repro.binfmt.image import BIND_GLOBAL, SYM_FUNC, Symbol
+
+    for position in ("before", "after"):
+        alias = Symbol("aaa_alias", 0, kind=SYM_FUNC, binding=BIND_GLOBAL)
+        named, addr = _stage1_with_alias(alias, position)
+        assert named[addr] == "aaa_alias", position
+
+
+def test_duplicate_address_prefers_function_kind():
+    """An object-kind symbol never outranks (or splits) the function
+    symbol sharing its address."""
+    from repro.binfmt.image import BIND_GLOBAL, SYM_OBJECT, Symbol
+
+    for position in ("before", "after"):
+        alias = Symbol("aaa_data_alias", 0, kind=SYM_OBJECT,
+                       binding=BIND_GLOBAL)
+        named, addr = _stage1_with_alias(alias, position)
+        assert named[addr] == "main", position
