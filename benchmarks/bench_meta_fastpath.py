@@ -1,0 +1,78 @@
+"""Trusted-metadata fast path vs full refinement (ISSUE 10 gate).
+
+The production story for first-party binaries: the producer already
+knows the structure, so cold analysis should collapse to verifying a
+compact ``.eel.meta`` table and hydrating facts from it — spot checks
+plus one linear decode sweep instead of multi-stage symbol refinement
+with its CFG-driven hidden-routine discovery.  The gate: metadata-
+trusted cold analysis at least ``5x`` faster than full refinement,
+summed over the whole minic corpus (cache off on both sides, so both
+paths are genuinely cold).
+"""
+
+import time
+
+from conftest import record, report
+from repro.binfmt.meta import attach_meta
+from repro.binfmt.serialize import image_from_bytes, image_to_bytes
+from repro.core import trust
+from repro.core.executable import Executable
+from repro.workloads import build_image
+from repro.workloads.builder import program_names
+
+TARGET_SPEEDUP = 5.0
+_RUNS = 3
+
+
+def _meta_blob(name):
+    """Serialized metadata-carrying copy of workload *name*."""
+    image = image_from_bytes(image_to_bytes(build_image(name)))
+    executable = Executable(image).read_contents(trust_meta=False)
+    attach_meta(image, trust.meta_from_executable(executable))
+    return image_to_bytes(image)
+
+
+def _cold_read(blob, trusted):
+    """Best-of-N cold read_contents on a fresh image each run; image
+    parsing stays outside the timed region."""
+    best = None
+    for _ in range(_RUNS):
+        image = image_from_bytes(blob)
+        started = time.perf_counter()
+        executable = Executable(image).read_contents(trust_meta=trusted)
+        elapsed = time.perf_counter() - started
+        expected = ("trusted", None) if trusted else ("disabled", None)
+        assert executable.meta_status == expected
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def test_meta_fastpath_speedup(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "off")
+    names = list(program_names())
+    blobs = {name: _meta_blob(name) for name in names}
+
+    rows = [("workload", "refine (s)", "trusted (s)", "speedup")]
+    totals = {"refine": 0.0, "trusted": 0.0}
+    for name in names:
+        refine = _cold_read(blobs[name], trusted=False)
+        fast = _cold_read(blobs[name], trusted=True)
+        totals["refine"] += refine
+        totals["trusted"] += fast
+        rows.append((name, "%.4f" % refine, "%.4f" % fast,
+                     "%.1fx" % (refine / fast if fast else float("inf"))))
+    speedup = totals["refine"] / totals["trusted"] \
+        if totals["trusted"] else float("inf")
+    rows.append(("corpus total", "%.4f" % totals["refine"],
+                 "%.4f" % totals["trusted"], "%.1fx" % speedup))
+    report("Metadata fast path: verify-and-trust vs full refinement "
+           "(%d workloads)" % len(names), rows,
+           paper_note="EEL rediscovers structure the compiler knew; "
+                      "Engel/Verbeek-style producer metadata makes the "
+                      "cold path a verification, not a search")
+    record("meta_fastpath.corpus.refine", totals["refine"], "s")
+    record("meta_fastpath.corpus.trusted", totals["trusted"], "s")
+    record("meta_fastpath.corpus.speedup", speedup, "x")
+    assert speedup >= TARGET_SPEEDUP, (
+        "trusted cold analysis only %.2fx faster than refinement"
+        % speedup)

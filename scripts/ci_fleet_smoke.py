@@ -23,7 +23,9 @@ README promises:
 Exits non-zero (with a diagnostic) on any violation; CI runs it as a
 dedicated step.  The stats JSON, gateway events JSONL, and the fleet
 run dir (shard event logs) are left behind on purpose — CI uploads
-them as artifacts and replays the logs through ``repro trace``.
+them as artifacts and replays the logs through ``repro trace`` — but
+under ``.smoke-artifacts/`` (override with ``$SMOKE_ARTIFACTS_DIR``),
+never the repo root.
 """
 
 import glob
@@ -36,6 +38,8 @@ import threading
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(ROOT, "src")
+ARTIFACTS = os.environ.get("SMOKE_ARTIFACTS_DIR") \
+    or os.path.join(ROOT, ".smoke-artifacts")
 sys.path.insert(0, SRC)
 
 from repro.serve.client import ServeClient, wait_for_daemon  # noqa: E402
@@ -155,10 +159,11 @@ def check_events(events_path, run_dir):
 
 
 def main():
-    sock = os.path.join(ROOT, "fleet-smoke.sock")
-    stats = os.path.join(ROOT, "fleet-smoke-stats.json")
-    events_path = os.path.join(ROOT, "fleet-smoke-events.jsonl")
-    run_dir = os.path.join(ROOT, "fleet-smoke-dir")
+    os.makedirs(ARTIFACTS, exist_ok=True)
+    sock = os.path.join(ARTIFACTS, "fleet-smoke.sock")
+    stats = os.path.join(ARTIFACTS, "fleet-smoke-stats.json")
+    events_path = os.path.join(ARTIFACTS, "fleet-smoke-events.jsonl")
+    run_dir = os.path.join(ARTIFACTS, "fleet-smoke-dir")
     env = dict(os.environ, PYTHONPATH=os.pathsep.join(
         filter(None, [SRC, os.environ.get("PYTHONPATH")])))
     gateway = subprocess.Popen(

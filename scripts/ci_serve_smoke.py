@@ -17,7 +17,8 @@ requests, then SIGTERMs it and checks the contract the README promises:
 Exits non-zero (with a diagnostic) on any violation; CI runs it as a
 dedicated step.  The stats JSON and events JSONL are left behind on
 purpose — CI uploads them as artifacts and replays the log through
-``repro trace``.
+``repro trace`` — but under ``.smoke-artifacts/`` (override with
+``$SMOKE_ARTIFACTS_DIR``), never the repo root.
 """
 
 import json
@@ -29,6 +30,8 @@ import threading
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(ROOT, "src")
+ARTIFACTS = os.environ.get("SMOKE_ARTIFACTS_DIR") \
+    or os.path.join(ROOT, ".smoke-artifacts")
 sys.path.insert(0, SRC)
 
 from repro.serve.client import ServeClient, wait_for_daemon  # noqa: E402
@@ -98,9 +101,10 @@ def check_events(events_path):
 
 
 def main():
-    sock = os.path.join(ROOT, "serve-smoke.sock")
-    stats = os.path.join(ROOT, "serve-smoke-stats.json")
-    events_path = os.path.join(ROOT, "serve-smoke-events.jsonl")
+    os.makedirs(ARTIFACTS, exist_ok=True)
+    sock = os.path.join(ARTIFACTS, "serve-smoke.sock")
+    stats = os.path.join(ARTIFACTS, "serve-smoke-stats.json")
+    events_path = os.path.join(ARTIFACTS, "serve-smoke-events.jsonl")
     env = dict(os.environ, PYTHONPATH=os.pathsep.join(
         filter(None, [SRC, os.environ.get("PYTHONPATH")])))
     daemon = subprocess.Popen(

@@ -32,7 +32,10 @@ ANALYSIS_MAGIC = b"EELA"
 #    entries shrink to identities, and the "facts" section holds every
 #    derived fact plus its dependency edges so warm restores hydrate
 #    the incremental fact store directly.
-ANALYSIS_VERSION = 4
+# 5: summaries record analysis provenance ("discovery" vs "metadata" —
+#    the verified .eel.meta trust path of repro.core.trust), so warm
+#    restores report where the routine set originally came from.
+ANALYSIS_VERSION = 5
 
 
 class FormatError(Exception):

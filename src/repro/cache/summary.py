@@ -84,6 +84,8 @@ def executable_to_summary(executable, jobs=1):
     store = _populate_store(executable, routines + hidden, summaries)
     return {
         "arch": executable.arch,
+        "provenance": getattr(executable, "analysis_provenance",
+                              "discovery"),
         "routines": [routine_identity(routine) for routine in routines],
         "hidden": [routine_identity(routine) for routine in hidden],
         "claimed": sorted(executable._claimed),
@@ -125,6 +127,8 @@ def restore_executable(executable, summary):
                 return None
         executable._claimed = set(summary["claimed"])
         executable.facts = store
+        executable.analysis_provenance = summary.get("provenance",
+                                                     "discovery")
     _C_HYDRATED.inc(len(store))
     return routines, hidden
 

@@ -1,10 +1,11 @@
 """Command-line interface: inspect, run, and instrument EELF executables.
 
-    python -m repro.cli build  <workload> <out.eelf> [--sunpro]
+    python -m repro.cli build  <workload> <out.eelf> [--sunpro] [--emit-meta]
     python -m repro.cli run    <exe.eelf> [--stdin TEXT] [--max-steps N]
     python -m repro.cli disasm <exe.eelf> [--jobs N]
     python -m repro.cli routines <exe.eelf>
     python -m repro.cli facts  <exe.eelf> [--invalidate NAME]
+    python -m repro.cli meta   <exe.eelf> [--emit OUT.eelf]
     python -m repro.cli profile <exe.eelf> <out.eelf> [--mode block|edge]
     python -m repro.cli cachesim <exe.eelf>
     python -m repro.cli stats  <exe.eelf> [--no-run]
@@ -23,6 +24,12 @@ stderr, and ``--stats-json PATH`` writes the full ``repro.obs/1`` JSON
 report.  ``serve`` and ``fuzz`` additionally accept ``--events PATH``
 to append a durable ``repro.events/1`` JSONL log that ``repro trace``
 replays into per-request span trees and anomaly flags.
+
+Analysis-driven commands (``disasm``, ``routines``, ``facts``,
+``profile``, ``cachesim``, ``stats``, ``verify``) accept
+``--trust-meta``/``--no-trust-meta`` to override ``$REPRO_TRUST_META``
+— whether a verified ``.eel.meta`` producer section may seed analysis
+instead of full symbol-table refinement (DESIGN.md §5l).
 """
 
 import argparse
@@ -50,6 +57,28 @@ def _add_jobs_flag(subparser):
     subparser.add_argument("--jobs", type=int, default=1, metavar="N",
                            help="fan cold-cache routine analysis across N "
                                 "worker processes (default: 1, serial)")
+
+
+def _add_trust_flag(subparser):
+    group = subparser.add_mutually_exclusive_group()
+    group.add_argument("--trust-meta", dest="trust_meta",
+                       action="store_true", default=None,
+                       help="hydrate analysis from a verified .eel.meta "
+                            "section when present "
+                            "(default: $REPRO_TRUST_META or on)")
+    group.add_argument("--no-trust-meta", dest="trust_meta",
+                       action="store_false",
+                       help="ignore .eel.meta; always run full refinement")
+
+
+def _apply_trust_flag(args):
+    """Propagate --trust-meta/--no-trust-meta to the environment so the
+    whole process (including analysis worker processes) agrees."""
+    value = getattr(args, "trust_meta", None)
+    if value is not None:
+        import os
+
+        os.environ["REPRO_TRUST_META"] = "on" if value else "off"
 
 
 def _obs_begin(args):
@@ -110,6 +139,8 @@ def _cmd_build(args):
               % ", ".join(program_names()), file=sys.stderr)
         return 1
     options = SUNPRO_LIKE if args.sunpro else GCC_LIKE
+    if args.emit_meta:
+        options = options.named(emit_meta=True)
     write_image(build_image(args.workload, options), args.output)
     print("wrote", args.output)
     return 0
@@ -207,6 +238,67 @@ def _cmd_facts(args):
               % (rederived, refreshed,
                  _metrics.counter("facts.escalations").snapshot()))
     return 0
+
+
+def _cmd_meta(args):
+    """Inspect (or emit) the ``.eel.meta`` trusted-structure section.
+
+    Without ``--emit``, decodes and prints the section's claims and
+    reports whether the verify-and-trust spot checks accept them
+    against this image's bytes.  With ``--emit OUT``, runs full
+    analysis (trust disabled) on the input, derives a fresh table from
+    what it found, and writes a metadata-carrying copy to OUT.
+    """
+    from repro.binfmt.meta import MetaError, extract_meta, has_meta
+    from repro.core import trust
+
+    image = read_image(args.executable)
+    if args.emit:
+        from repro.binfmt.meta import attach_meta
+
+        executable = Executable(image).read_contents(jobs=args.jobs,
+                                                     trust_meta=False)
+        attach_meta(image, trust.meta_from_executable(executable))
+        write_image(image, args.emit)
+        print("wrote", args.emit)
+        return 0
+    if not has_meta(image):
+        print("meta: %s has no .eel.meta section" % args.executable,
+              file=sys.stderr)
+        return 1
+    try:
+        meta = extract_meta(image)
+    except MetaError as error:
+        print("meta: malformed section: %s" % error, file=sys.stderr)
+        return 1
+    print("repro.meta/1: %d routine(s), %d dispatch table(s), "
+          "%d delay-slot CTI(s), %d data island(s)"
+          % (len(meta.routines), len(meta.tables),
+             len(meta.delay_ctis), len(meta.islands)))
+    print("text binding: 0x%x+%d sha256 %s..."
+          % (meta.text_vaddr, meta.text_size, meta.text_sha256.hex()[:16]))
+    for routine in meta.routines:
+        extra = " hidden" if routine.hidden else ""
+        if len(routine.entries) > 1:
+            extra += " entries " + ",".join("0x%x" % entry
+                                            for entry in routine.entries[1:])
+        print("  routine 0x%06x-0x%06x %-20s%s"
+              % (routine.start, routine.end, routine.name, extra))
+    for table in meta.tables:
+        print("  table   0x%06x %4d word(s)%s"
+              % (table.addr, table.count,
+                 " (in .text)" if table.in_text else ""))
+    for start, end in meta.islands:
+        print("  island  0x%06x-0x%06x" % (start, end))
+    if meta.delay_ctis:
+        print("  delay-slot CTIs: %s"
+              % " ".join("0x%x" % addr for addr in meta.delay_ctis))
+    rejection = trust.verify_meta(Executable(image), meta)
+    if rejection is None:
+        print("verification: OK — analysis would trust this table")
+        return 0
+    print("verification: REJECTED (%s): %s" % rejection)
+    return 1
 
 
 def _cmd_profile(args):
@@ -382,11 +474,17 @@ def _cmd_fuzz(args):
 
         obs_events.configure(args.events)
     try:
-        result = fuzz_campaign.run_campaign(
-            args.seeds, base_seed=args.base_seed, jobs=args.jobs,
-            config=config, time_budget=args.time_budget,
-            corpus_dir=args.corpus, shrink=not args.no_shrink,
-            progress=progress)
+        if args.corrupt_meta:
+            result = fuzz_campaign.run_meta_corruption_campaign(
+                args.seeds, base_seed=args.base_seed, jobs=args.jobs,
+                config=config, progress=progress)
+        else:
+            result = fuzz_campaign.run_campaign(
+                args.seeds, base_seed=args.base_seed, jobs=args.jobs,
+                config=config, time_budget=args.time_budget,
+                corpus_dir=args.corpus, shrink=not args.no_shrink,
+                progress=progress,
+                meta_mode="emit" if args.emit_meta else None)
     finally:
         if args.events:
             obs_events.unconfigure()
@@ -639,6 +737,9 @@ def main(argv=None):
     build.add_argument("workload")
     build.add_argument("output")
     build.add_argument("--sunpro", action="store_true")
+    build.add_argument("--emit-meta", action="store_true",
+                       help="attach a .eel.meta trusted-structure section "
+                            "(repro.meta/1) describing what analysis found")
     build.set_defaults(func=_cmd_build)
 
     run = sub.add_parser("run", help="run an executable in the simulator")
@@ -661,12 +762,14 @@ def main(argv=None):
     disasm = sub.add_parser("disasm", help="disassemble text sections")
     disasm.add_argument("executable")
     _add_jobs_flag(disasm)
+    _add_trust_flag(disasm)
     disasm.set_defaults(func=_cmd_disasm)
 
     routines = sub.add_parser("routines",
                               help="list routines found by refinement")
     routines.add_argument("executable")
     _add_jobs_flag(routines)
+    _add_trust_flag(routines)
     routines.set_defaults(func=_cmd_routines)
 
     facts = sub.add_parser("facts",
@@ -677,7 +780,18 @@ def main(argv=None):
                        help="dirty NAME's facts, then run the "
                             "incremental solver and report the work")
     _add_jobs_flag(facts)
+    _add_trust_flag(facts)
     facts.set_defaults(func=_cmd_facts)
+
+    meta = sub.add_parser("meta",
+                          help="inspect (or emit) the .eel.meta "
+                               "trusted-structure section")
+    meta.add_argument("executable")
+    meta.add_argument("--emit", default=None, metavar="OUT",
+                      help="analyze the input and write a copy carrying "
+                           "a freshly derived .eel.meta section to OUT")
+    _add_jobs_flag(meta)
+    meta.set_defaults(func=_cmd_meta)
 
     profile = sub.add_parser("profile", help="instrument with qpt2")
     profile.add_argument("executable")
@@ -687,6 +801,7 @@ def main(argv=None):
     profile.add_argument("--stdin", default="")
     _add_jobs_flag(profile)
     _add_obs_flags(profile)
+    _add_trust_flag(profile)
     profile.set_defaults(func=_cmd_profile)
 
     cachesim = sub.add_parser("cachesim",
@@ -696,6 +811,7 @@ def main(argv=None):
     cachesim.add_argument("--stdin", default="")
     _add_jobs_flag(cachesim)
     _add_obs_flags(cachesim)
+    _add_trust_flag(cachesim)
     cachesim.set_defaults(func=_cmd_cachesim)
 
     stats = sub.add_parser("stats",
@@ -706,6 +822,7 @@ def main(argv=None):
                        help="skip the simulation pass")
     _add_jobs_flag(stats)
     _add_obs_flags(stats)
+    _add_trust_flag(stats)
     stats.set_defaults(func=_cmd_stats, obs_managed=True)
 
     verify = sub.add_parser("verify",
@@ -726,6 +843,7 @@ def main(argv=None):
                         help="verify N workloads in parallel worker "
                              "processes (default: 1, serial)")
     _add_obs_flags(verify)
+    _add_trust_flag(verify)
     verify.set_defaults(func=_cmd_verify)
 
     fuzz = sub.add_parser("fuzz",
@@ -755,6 +873,15 @@ def main(argv=None):
     fuzz.add_argument("--events", default=None, metavar="PATH",
                       help="append per-seed classification events "
                            "(repro.events/1 JSONL) to PATH")
+    meta_group = fuzz.add_mutually_exclusive_group()
+    meta_group.add_argument("--emit-meta", action="store_true",
+                            help="attach ground-truth .eel.meta tables "
+                                 "derived from each plan's manifest and "
+                                 "analyze with trust on")
+    meta_group.add_argument("--corrupt-meta", action="store_true",
+                            help="metadata adversary: attach a table with "
+                                 "one seeded lie per seed; every seed must "
+                                 "be rejected or caught downstream")
     _add_obs_flags(fuzz)
     fuzz.set_defaults(func=_cmd_fuzz)
 
@@ -878,6 +1005,7 @@ def main(argv=None):
     export.set_defaults(func=_cmd_export, obs_managed=True)
 
     args = parser.parse_args(argv)
+    _apply_trust_flag(args)
     if getattr(args, "obs_managed", False):
         return args.func(args)
     enabled = _obs_begin(args)

@@ -291,6 +291,21 @@ class CFG:
                 break
             known_targets |= new_targets
         self._finalize_indirect_edges()
+        # Tables resolved by this build's own slicing land in data_addrs
+        # even when no new targets forced another discovery pass (whose
+        # snapshot would have picked them up as claimed data): the
+        # summary's data/unreached split is defined by what the finished
+        # build has proven to be data, not by claim timing — hydrating
+        # claims up front (the metadata trust path) and discovering them
+        # mid-build must summarize identically.
+        from repro.core.analysis.indirect import table_extent
+
+        for info in self.indirect_jumps:
+            if info.status == "table":
+                addr, size = table_extent(info)
+                for offset in range(0, size, 4):
+                    if routine.contains(addr + offset):
+                        self.data_addrs.add(addr + offset)
         self._compute_unreached(known_targets)
 
     def _materialize(self, discovery):

@@ -80,6 +80,13 @@ class Executable:
         self._hidden = RoutineList()
         self._read = False
         self.facts = None  # FactStore, set by read_contents
+        # Where the routine set came from: "discovery" (full refinement)
+        # or "metadata" (verified .eel.meta hydration); cache blobs
+        # round-trip it.  meta_status is (state, reason) with state in
+        # absent/disabled/rejected/trusted.
+        self.analysis_provenance = "discovery"
+        self.meta_status = ("absent", None)
+        self.meta_reject_detail = None
         self._adopt = None  # start -> adoptable summary (fuzz shrinking)
         self._claimed = set()  # data addresses claimed inside text
         self._edited_routines = {}  # name -> Routine (with .edited set)
@@ -101,13 +108,20 @@ class Executable:
     # ------------------------------------------------------------------
     # Reading and analysis
     # ------------------------------------------------------------------
-    def read_contents(self, jobs=1, adopt=None):
+    def read_contents(self, jobs=1, adopt=None, trust_meta=None):
         """Analyze the symbol table and program to find all routines.
 
         With a warm analysis cache (see :mod:`repro.cache`) the refined
         routine set, per-routine analyses, and the fact table restore
         from disk instead of being recomputed.  On a cold cache, *jobs*
         > 1 fans the per-routine analysis out across worker processes.
+
+        When the image carries a verified ``.eel.meta`` section (see
+        :mod:`repro.core.trust`) the routine set hydrates straight from
+        it instead of running full refinement; any inconsistency falls
+        back to refinement with a typed ``meta.reject.*`` reason.
+        *trust_meta* overrides the ``$REPRO_TRUST_META`` default
+        (None = use the environment, default on).
 
         *adopt* maps routine start addresses to surviving analysis
         summaries from a closely related executable (the fuzz
@@ -116,6 +130,7 @@ class Executable:
         instead of rebuilding — even during refinement's stage 4.
         """
         from repro import cache
+        from repro.core import trust
         from repro.core.facts import FactStore
         from repro.core.facts import rules as _fact_rules
         from repro.core.symtab_refine import refine_symbol_table
@@ -131,8 +146,15 @@ class Executable:
                        cached=True)
                 return self
             self._adopt = adopt or None
-            routines, hidden = refine_symbol_table(self)
-            sp.set(routines=len(routines), hidden=len(hidden))
+            hydrated = trust.attempt(self, trust_meta)
+            if hydrated is not None:
+                routines, hidden = hydrated
+                self.analysis_provenance = "metadata"
+            else:
+                routines, hidden = refine_symbol_table(self)
+                self.analysis_provenance = "discovery"
+            sp.set(routines=len(routines), hidden=len(hidden),
+                   provenance=self.analysis_provenance)
             self._routines = RoutineList(routines)
             self._hidden = RoutineList(hidden)
             self._read = True

@@ -10,6 +10,9 @@ entire pipeline and classified:
   leader, transfer, call, table, live, incomplete);
 * ``verify:<tool>`` — instrumentation succeeded but differential
   verification found an error;
+* ``meta-reject:<reason>`` — the image carried ``.eel.meta`` (the
+  ``meta_mode`` campaigns) and the trust checks rejected it with that
+  typed reason (see :mod:`repro.core.trust`);
 * ``crash:<stage>:<Exception>`` — some pipeline stage raised.
 
 Campaigns fan out across processes; each worker counts ``fuzz.*`` and
@@ -43,6 +46,7 @@ _C_VERIFY = _metrics.counter("fuzz.verify_failures")
 _C_CRASH = _metrics.counter("fuzz.crashes")
 _C_KNOWN = _metrics.counter("fuzz.known_failures")
 _C_STORED = _metrics.counter("fuzz.reproducers_stored")
+_C_META_REJECT = _metrics.counter("fuzz.meta_rejects")
 
 Outcome = collections.namedtuple("Outcome", "seed status detail")
 
@@ -108,7 +112,7 @@ def _adoptable_facts(executable):
 
 
 def classify_plan(plan, label="fuzz", timings=None, adopt=None,
-                  capture=None):
+                  capture=None, meta_mode=None):
     """Run one plan through the full pipeline; return (status, detail).
 
     *timings*, when a dict, is filled with per-stage wall-clock seconds
@@ -122,6 +126,13 @@ def classify_plan(plan, label="fuzz", timings=None, adopt=None,
     shrinker's long delta chains cheap.  *capture*, when a dict, gets
     a ``"facts"`` entry holding this plan's adoptable facts for the
     next delta.
+
+    *meta_mode* turns the generator into a metadata producer:
+    ``"emit"`` attaches a ``.eel.meta`` table derived from the plan's
+    ground-truth manifest (analysis must trust it and still classify
+    ``clean``); ``"corrupt"`` additionally applies one seeded lie (see
+    :mod:`repro.fuzz.meta`) and the outcome must be reject-or-caught —
+    a trust rejection returns ``meta-reject:<reason>``.
     """
     from repro.core.executable import Executable
     from repro.tools import instrument_image
@@ -132,16 +143,26 @@ def classify_plan(plan, label="fuzz", timings=None, adopt=None,
         try:
             with _Timed(timings, "gen"):
                 program = plan_to_program(plan)
+                if meta_mode:
+                    mutation = _attach_fuzz_meta(program, meta_mode)
+                    if capture is not None:
+                        capture["meta_mutation"] = mutation
         except Exception as error:
             _C_CRASH.inc()
             return "crash:gen:%s" % type(error).__name__, str(error)
         try:
             with _Timed(timings, "analyze"):
                 executable = Executable(program.image)
-                executable.read_contents(adopt=adopt)
+                executable.read_contents(adopt=adopt,
+                                         trust_meta=True if meta_mode
+                                         else None)
         except Exception as error:
             _C_CRASH.inc()
             return "crash:analyze:%s" % type(error).__name__, str(error)
+        if meta_mode and executable.meta_status[0] == "rejected":
+            _C_META_REJECT.inc()
+            return ("meta-reject:%s" % executable.meta_status[1],
+                    executable.meta_reject_detail or "")
         if capture is not None:
             capture["facts"] = _adoptable_facts(executable)
 
@@ -184,10 +205,24 @@ def classify_plan(plan, label="fuzz", timings=None, adopt=None,
         return "clean", ""
 
 
-def classify_seed(seed, config=None, timings=None):
+def _attach_fuzz_meta(program, meta_mode):
+    """Attach manifest-derived metadata to a generated image; returns
+    the mutation kind applied (None in plain ``emit`` mode)."""
+    from repro.binfmt.meta import attach_meta
+    from repro.fuzz.meta import corrupt_meta, meta_from_manifest
+
+    meta = meta_from_manifest(program.manifest, program.image)
+    mutation = None
+    if meta_mode == "corrupt":
+        meta, mutation = corrupt_meta(meta, program.plan["seed"])
+    attach_meta(program.image, meta)
+    return mutation
+
+
+def classify_seed(seed, config=None, timings=None, meta_mode=None):
     config = config or GenConfig()
     return classify_plan(build_plan(seed, config), label="fuzz-%d" % seed,
-                         timings=timings)
+                         timings=timings, meta_mode=meta_mode)
 
 
 # ----------------------------------------------------------------------
@@ -207,13 +242,14 @@ def _campaign_worker(payload):
     Generated images are all distinct, so persisting their analyses
     would only churn the cache directory: the worker runs cache-off.
     """
-    seed, config_dict = payload
+    seed, config_dict, meta_mode = payload
     os.environ["REPRO_CACHE"] = "off"
     before = _fuzz_counters()
     timings = {}
     try:
         status, detail = classify_seed(seed, GenConfig(**config_dict),
-                                       timings=timings)
+                                       timings=timings,
+                                       meta_mode=meta_mode)
     except Exception as error:  # classify itself must not raise
         status, detail = "crash:driver:%s" % type(error).__name__, str(error)
     after = _fuzz_counters()
@@ -275,16 +311,19 @@ class CampaignResult:
 
 def run_campaign(seeds, base_seed=0, jobs=1, config=None,
                  time_budget=None, corpus_dir=None, shrink=True,
-                 progress=None):
+                 progress=None, meta_mode=None):
     """Classify ``base_seed .. base_seed+seeds-1``; triage via corpus.
 
     *progress*, when given, is called with each :class:`Outcome` as it
-    arrives.  Returns a :class:`CampaignResult`.
+    arrives.  *meta_mode* (``"emit"``/``"corrupt"``) makes every
+    generated image carry manifest-derived ``.eel.meta`` — see
+    :func:`classify_plan`.  Returns a :class:`CampaignResult`.
     """
     config = config or GenConfig()
     result = CampaignResult()
     started = time.monotonic()
-    payloads = [(base_seed + i, config.to_dict()) for i in range(seeds)]
+    payloads = [(base_seed + i, config.to_dict(), meta_mode)
+                for i in range(seeds)]
 
     def out_of_time():
         return (time_budget is not None
@@ -298,7 +337,7 @@ def run_campaign(seeds, base_seed=0, jobs=1, config=None,
                                progress)
         else:
             _serial_outcomes(payloads, result, out_of_time, progress)
-        _triage(result, config, corpus_dir, shrink)
+        _triage(result, config, corpus_dir, shrink, meta_mode=meta_mode)
     _events.emit("campaign.end", seeds=len(result.outcomes),
                  clean=result.clean, skipped=result.skipped,
                  known=len(result.known),
@@ -364,7 +403,7 @@ def _parallel_outcomes(payloads, jobs, result, out_of_time, progress):
 # ----------------------------------------------------------------------
 
 
-def _triage(result, config, corpus_dir, shrink):
+def _triage(result, config, corpus_dir, shrink, meta_mode=None):
     known = (_corpus.known_failures(corpus_dir)
              if corpus_dir is not None else set())
     new_classes = collections.OrderedDict()  # status -> first Outcome
@@ -393,7 +432,7 @@ def _triage(result, config, corpus_dir, shrink):
                 captured = {}
                 matched = classify_plan(
                     candidate, label="shrink", adopt=parent["facts"],
-                    capture=captured)[0] == status
+                    capture=captured, meta_mode=meta_mode)[0] == status
                 if matched and captured.get("facts"):
                     parent["facts"] = captured["facts"]
                 return matched
@@ -442,6 +481,84 @@ def replay_corpus(corpus_dir, progress=None):
             (result.passed if record[0] else result.failed).append(record[1:])
             if progress:
                 progress(entry, record)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Metadata-corruption campaign (`repro fuzz --corrupt-meta`)
+# ----------------------------------------------------------------------
+
+
+class MetaCampaignResult:
+    """Reject-or-caught bookkeeping for a corruption campaign."""
+
+    def __init__(self):
+        self.rejected = []  # Outcome: trust checks refused the table
+        self.caught = []  # Outcome: lie trusted, divergence caught later
+        self.silent = []  # Outcome: corrupted seed classified clean
+
+    @property
+    def ok(self):
+        return not self.silent
+
+    def render(self):
+        total = len(self.rejected) + len(self.caught) + len(self.silent)
+        by_reason = collections.Counter(
+            o.status for o in self.rejected + self.caught)
+        lines = ["meta-fuzz: %d corrupted seed(s), %d rejected, "
+                 "%d caught downstream, %d silent"
+                 % (total, len(self.rejected), len(self.caught),
+                    len(self.silent))]
+        for status, count in sorted(by_reason.items()):
+            lines.append("  %-28s %4d seed(s)" % (status, count))
+        for outcome in self.silent:
+            lines.append("  SILENT LIE seed %d: corrupted metadata "
+                         "classified clean" % outcome.seed)
+        lines.append("meta-fuzz: %s" % ("PASS (every lie rejected or "
+                                        "caught)" if self.ok
+                                        else "FAIL (silent wrong "
+                                        "answers)"))
+        return "\n".join(lines)
+
+
+def run_meta_corruption_campaign(seeds, base_seed=0, jobs=1, config=None,
+                                 progress=None):
+    """Corrupt every seed's metadata; assert reject-or-caught.
+
+    Each seed's image carries a ground-truth ``.eel.meta`` table with
+    one seeded lie applied (:func:`repro.fuzz.meta.corrupt_meta`).  A
+    seed passes if the trust checks reject the table
+    (``meta-reject:<reason>``) or any downstream stage flags the
+    divergence (mismatch/verify/crash); a ``clean`` classification
+    means the lie silently survived and fails the campaign.
+    """
+    config = config or GenConfig()
+    result = MetaCampaignResult()
+    payloads = [(base_seed + i, config.to_dict(), "corrupt")
+                for i in range(seeds)]
+    collector = CampaignResult()
+
+    def _collect(outcome):
+        if outcome.status.startswith("meta-reject:"):
+            result.rejected.append(outcome)
+        elif outcome.status == "clean":
+            result.silent.append(outcome)
+        else:
+            result.caught.append(outcome)
+        if progress:
+            progress(outcome)
+
+    _events.emit("meta_campaign.begin", seeds=seeds, base_seed=base_seed,
+                 jobs=jobs)
+    with _span("fuzz.meta_campaign", seeds=seeds, jobs=jobs):
+        if jobs > 1:
+            _parallel_outcomes(payloads, jobs, collector,
+                               lambda: False, _collect)
+        else:
+            _serial_outcomes(payloads, collector, lambda: False, _collect)
+    _events.emit("meta_campaign.end", seeds=seeds,
+                 rejected=len(result.rejected), caught=len(result.caught),
+                 silent=len(result.silent), ok=result.ok)
     return result
 
 

@@ -1,0 +1,210 @@
+"""Ground-truth ``.eel.meta`` tables and the metadata adversary.
+
+Two jobs, same module because they share the manifest mapping:
+
+* :func:`meta_from_manifest` turns a generated program's ground-truth
+  manifest into a ``repro.meta/1`` table — the fuzz generator acting as
+  a trusted producer (``repro fuzz --emit-meta``).  The manifest is
+  built from the emitter's own bookkeeping, so a correct generator
+  yields metadata the verify-and-trust checks accept.
+* :func:`corrupt_meta` is the seeded adversary: it picks one mutation
+  (shifted extent, dropped delay-slot CTI, a dispatch extent moved onto
+  a data island, a stale text hash, ...) and applies it.  The campaign
+  contract is *reject-or-caught*: every corrupted seed must either be
+  rejected by the trust checks with a typed reason or flagged
+  downstream by manifest checking / differential verification — a
+  corrupted table that classifies ``clean`` is a silent wrong answer
+  and fails the campaign.
+"""
+
+import random
+from dataclasses import replace
+
+from repro.binfmt.meta import (
+    MetaDispatch,
+    MetaRoutine,
+    MetaTable,
+    compute_text_hash,
+)
+
+# Every mutation kind the adversary can pick (see _MUTATORS below).
+MUTATION_KINDS = ("stale-text-hash", "shift-extent", "drop-delay-cti",
+                  "add-delay-cti", "dispatch-overlap-island",
+                  "wrong-table-count", "drop-routine", "fake-entry",
+                  "flip-hidden")
+
+
+def meta_from_manifest(manifest, image):
+    """A ``repro.meta/1`` table from a generated program's manifest.
+
+    Hidden routines take the ``hidden_0x%x`` names discovery would
+    assign, so a trust-hydrated analysis is indistinguishable from a
+    discovered one.  The delay-CTI map comes from the manifest's
+    ``cti-slot`` transfers: the slot (the word after the delayed
+    branch) is what the consumer's exact scan must find.
+    """
+    routines = []
+    tables = []
+    delay_ctis = []
+    islands = []
+    for record in manifest["routines"]:
+        name = ("hidden_0x%x" % record["start"] if record["hidden"]
+                else record["name"])
+        routines.append(MetaRoutine(name, record["start"], record["end"],
+                                    tuple(record["entries"]),
+                                    hidden=bool(record["hidden"])))
+        for table in record["tables"]:
+            tables.append(MetaDispatch(table["table"],
+                                       len(table["targets"]),
+                                       in_text=bool(table["in_text"])))
+        for transfer in record["transfers"]:
+            if transfer["kind"] == "cti-slot":
+                delay_ctis.append(transfer["src"] + 4)
+        for start, end in record["islands"]:
+            islands.append((start, end))
+    text = image.get_section(".text")
+    return MetaTable(text.vaddr, text.size, compute_text_hash(image),
+                     routines=tuple(sorted(routines,
+                                           key=lambda r: r.start)),
+                     tables=tuple(sorted(tables, key=lambda t: t.addr)),
+                     delay_ctis=tuple(sorted(set(delay_ctis))),
+                     islands=tuple(sorted(islands)))
+
+
+# ----------------------------------------------------------------------
+# The adversary
+# ----------------------------------------------------------------------
+
+def _mut_stale_text_hash(meta, rng):
+    digest = bytearray(meta.text_sha256)
+    digest[rng.randrange(len(digest))] ^= 0xFF
+    return replace(meta, text_sha256=bytes(digest))
+
+
+def _mut_shift_extent(meta, rng):
+    if not meta.routines:
+        return None
+    index = rng.randrange(len(meta.routines))
+    routines = list(meta.routines)
+    victim = routines[index]
+    # Growing the end by one word either overlaps the next routine or
+    # walks off the end of .text — an extent lie either way.
+    routines[index] = replace(victim, end=victim.end + 4)
+    return replace(meta, routines=tuple(routines))
+
+
+def _mut_drop_delay_cti(meta, rng):
+    if not meta.delay_ctis:
+        return None
+    ctis = list(meta.delay_ctis)
+    ctis.pop(rng.randrange(len(ctis)))
+    return replace(meta, delay_ctis=tuple(ctis))
+
+
+def _mut_add_delay_cti(meta, rng):
+    # A routine's first word can never be a delay slot of a CTI in the
+    # same extent, so claiming it is always a lie the scan refutes.
+    for routine in meta.routines:
+        if routine.start not in meta.delay_ctis:
+            return replace(meta, delay_ctis=tuple(
+                sorted(meta.delay_ctis + (routine.start,))))
+    return None
+
+
+def _mut_dispatch_overlap_island(meta, rng):
+    if not meta.tables or not meta.islands:
+        return None
+    index = rng.randrange(len(meta.tables))
+    island = meta.islands[rng.randrange(len(meta.islands))]
+    tables = list(meta.tables)
+    tables[index] = replace(tables[index], addr=island[0], in_text=True)
+    return replace(meta, tables=tuple(tables))
+
+
+def _mut_wrong_table_count(meta, rng):
+    if not meta.tables:
+        return None
+    index = rng.randrange(len(meta.tables))
+    tables = list(meta.tables)
+    tables[index] = replace(tables[index],
+                            count=tables[index].count + 1)
+    return replace(meta, tables=tuple(tables))
+
+
+def _mut_drop_routine(meta, rng):
+    if len(meta.routines) < 2:
+        return None
+    index = rng.randrange(1, len(meta.routines))
+    victim = meta.routines[index]
+    routines = tuple(r for r in meta.routines if r is not victim)
+    # Scrub the victim's delay CTIs and in-extent tables too: the point
+    # of this mutation is a lie that *survives* the spot checks (extent
+    # gaps are legal), so downstream divergence detection has to catch
+    # the missing routine.
+    ctis = tuple(a for a in meta.delay_ctis
+                 if not victim.start <= a < victim.end)
+    tables = tuple(t for t in meta.tables
+                   if not (t.in_text
+                           and victim.start <= t.addr < victim.end))
+    return replace(meta, routines=routines, delay_ctis=ctis,
+                   tables=tables)
+
+
+def _mut_fake_entry(meta, rng):
+    candidates = [i for i, r in enumerate(meta.routines)
+                  if r.end - r.start >= 12]
+    if not candidates:
+        return None
+    index = rng.choice(candidates)
+    routines = list(meta.routines)
+    victim = routines[index]
+    words = (victim.end - victim.start) // 4
+    for _ in range(8):
+        entry = victim.start + 4 * rng.randrange(1, words)
+        if entry not in victim.entries:
+            routines[index] = replace(victim, entries=tuple(
+                sorted(victim.entries + (entry,))))
+            return replace(meta, routines=tuple(routines))
+    return None
+
+
+def _mut_flip_hidden(meta, rng):
+    if not meta.routines:
+        return None
+    index = rng.randrange(len(meta.routines))
+    routines = list(meta.routines)
+    victim = routines[index]
+    name = ("hidden_0x%x" % victim.start if not victim.hidden
+            else "unhidden_0x%x" % victim.start)
+    routines[index] = replace(victim, name=name, hidden=not victim.hidden)
+    return replace(meta, routines=tuple(routines))
+
+
+_MUTATORS = {
+    "stale-text-hash": _mut_stale_text_hash,
+    "shift-extent": _mut_shift_extent,
+    "drop-delay-cti": _mut_drop_delay_cti,
+    "add-delay-cti": _mut_add_delay_cti,
+    "dispatch-overlap-island": _mut_dispatch_overlap_island,
+    "wrong-table-count": _mut_wrong_table_count,
+    "drop-routine": _mut_drop_routine,
+    "fake-entry": _mut_fake_entry,
+    "flip-hidden": _mut_flip_hidden,
+}
+
+
+def corrupt_meta(meta, seed):
+    """Apply one seeded lie to *meta*; returns (mutated, kind).
+
+    The rng walks the mutation kinds in a seed-dependent order and
+    applies the first one applicable to this table (``stale-text-hash``
+    is always applicable, so the walk always terminates with a lie).
+    """
+    rng = random.Random(seed ^ 0xC0_44A7)
+    kinds = list(MUTATION_KINDS)
+    rng.shuffle(kinds)
+    for kind in kinds:
+        mutated = _MUTATORS[kind](meta, rng)
+        if mutated is not None:
+            return mutated, kind
+    raise AssertionError("stale-text-hash mutation cannot be inapplicable")

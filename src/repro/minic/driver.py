@@ -30,6 +30,7 @@ class CompilerOptions:
     annul_branches: bool = True  # branch delay fill with annul bit
     hide_statics: bool = False  # omit symbols for static functions
     strip: bool = False  # strip the executable entirely
+    emit_meta: bool = False  # emit the .eel.meta trusted-structure section
 
     def named(self, **changes):
         return replace(self, **changes)
@@ -78,4 +79,25 @@ def compile_to_image(sources, options=GCC_LIKE, with_libc=True):
         image.strip()
     elif options.hide_statics and hidden:
         image.hide_symbols(hidden)
+    if options.emit_meta:
+        _attach_metadata(image)
     return image
+
+
+def _attach_metadata(image):
+    """Emit the ``.eel.meta`` trusted-structure section (repro.meta/1).
+
+    The compiler is the producer that already knows the program's
+    structure; rather than thread that knowledge through codegen, run
+    the real analysis pipeline once at build time and emit exactly what
+    it found — which guarantees the consumer's verify-and-trust checks
+    accept the table as long as the text bytes are unchanged.  Runs
+    after strip/hide so the claimed routine set matches what discovery
+    would find on the shipped image.
+    """
+    from repro.binfmt.meta import attach_meta
+    from repro.core.executable import Executable
+    from repro.core.trust import meta_from_executable
+
+    executable = Executable(image).read_contents(trust_meta=False)
+    attach_meta(image, meta_from_executable(executable))

@@ -22,6 +22,8 @@ Schema ``repro.obs/1``::
       "facts": { derived, rederived, refreshed, invalidated, adopted,
                  hydrated, hydrate_rejects, escalations,
                  incremental_rate, solve },  # incremental fact store
+      "meta": { present, trusted, rejects, trust_rate,
+                reject_reasons: {reason: int} },  # .eel.meta trust path
       "serve": { requests, ok, errors, rejected, timeouts, retries,
                  coalesced, degraded, worker_deaths, ok_rate,
                  latency, queue_wait },
@@ -95,6 +97,16 @@ for _name in ("instructions", "runs", "flyweight.hits",
 for _name in ("derived", "rederived", "refreshed", "invalidated",
               "adopted", "hydrated", "hydrate_rejects", "escalations"):
     metrics.counter("facts." + _name)
+
+# Trusted-producer metadata (repro.core.trust): how often .eel.meta was
+# present, trusted, or rejected — with one counter per typed rejection
+# reason so the adversarial fuzz campaign's classification is visible
+# in stats/top/Prometheus without parsing details.
+for _name in ("present", "trusted", "rejects"):
+    metrics.counter("meta." + _name)
+for _name in ("format", "text-hash", "extent", "entry", "dispatch",
+              "island", "probe", "cti"):
+    metrics.counter("meta.reject." + _name)
 del _name
 
 SCHEMA = "repro.obs/1"
@@ -306,6 +318,24 @@ def facts_section(counters, histograms=None):
     }
 
 
+def meta_section(counters):
+    """Trusted-metadata fast-path outcomes: how many analyzed images
+    carried ``.eel.meta``, how many were trusted vs rejected, and the
+    per-reason rejection breakdown (see ``repro.core.trust``)."""
+    present = counters.get("meta.present", 0)
+    trusted = counters.get("meta.trusted", 0)
+    prefix = "meta.reject."
+    return {
+        "present": present,
+        "trusted": trusted,
+        "rejects": counters.get("meta.rejects", 0),
+        "trust_rate": _ratio(trusted, present),
+        "reject_reasons": {name[len(prefix):]: value
+                           for name, value in sorted(counters.items())
+                           if name.startswith(prefix)},
+    }
+
+
 def phases_section(histograms):
     """Percentile summary of every per-phase latency histogram
     (refinement, CFG build, indirect resolution, layout, cosim,
@@ -328,6 +358,7 @@ def build_report():
         "phases": phases_section(snap["histograms"]),
         "cache": cache_section(snap["counters"], snap["histograms"]),
         "facts": facts_section(snap["counters"], snap["histograms"]),
+        "meta": meta_section(snap["counters"]),
         "serve": serve_section(snap["counters"], snap["histograms"]),
         "fleet": fleet_section(snap["counters"], snap["gauges"],
                                snap["histograms"]),

@@ -1,0 +1,104 @@
+"""Differential corpus gate: metadata-on vs metadata-off (ISSUE 10).
+
+For every workload in the corpus — 15 SPARC minic programs plus the 3
+handwritten MIPS ones — build a metadata-carrying copy and run the
+pipeline twice, once trusting the table and once with trust disabled.
+The fast path may change speed, never results: fact-store summaries,
+routine identities, qpt-instrumented output bytes, and cosim verdicts
+must all be identical.  The analysis cache is off for the comparison —
+with it on, the second run would restore the first run's facts and the
+differential would compare a path against itself.
+"""
+
+import pytest
+
+from repro.binfmt.meta import attach_meta
+from repro.binfmt.serialize import image_from_bytes, image_to_bytes
+from repro.core import trust
+from repro.core.executable import Executable
+from repro.core.facts import rules as fact_rules
+from repro.verify import corpus_names
+from repro.workloads import builder
+
+_CORPUS = corpus_names()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _cache_off():
+    patcher = pytest.MonkeyPatch()
+    patcher.setenv("REPRO_CACHE", "off")
+    yield
+    patcher.undo()
+
+
+_META_IMAGES = {}
+
+
+def _meta_image(name):
+    """A metadata-carrying copy of workload *name* (built once)."""
+    if name not in _META_IMAGES:
+        if name in builder.mips_program_names():
+            base = builder.build_mips_image(name)
+        else:
+            base = builder.build_image(name)
+        image = image_from_bytes(image_to_bytes(base))
+        executable = Executable(image).read_contents(trust_meta=False)
+        attach_meta(image, trust.meta_from_executable(executable))
+        _META_IMAGES[name] = image_to_bytes(image)
+    return image_from_bytes(_META_IMAGES[name])
+
+
+def _analyze(name, trusted):
+    executable = Executable(_meta_image(name)) \
+        .read_contents(trust_meta=trusted)
+    store = executable.fact_store()
+    fact_rules.populate(executable, store)
+    return executable, store
+
+
+def test_corpus_is_the_expected_size():
+    assert len(_CORPUS) == 18
+
+
+@pytest.mark.parametrize("name", _CORPUS)
+def test_fact_stores_identical(name):
+    trusted, trusted_store = _analyze(name, True)
+    discovered, discovered_store = _analyze(name, False)
+    assert trusted.meta_status == ("trusted", None)
+    assert trusted.analysis_provenance == "metadata"
+    assert discovered.analysis_provenance == "discovery"
+
+    def identities(executable):
+        return sorted((r.name, r.start, r.end, tuple(r.entries), r.hidden)
+                      for r in executable.all_routines())
+
+    assert identities(trusted) == identities(discovered)
+    assert trusted_store.to_summary() == discovered_store.to_summary()
+
+
+@pytest.mark.parametrize("name", _CORPUS)
+def test_qpt_output_and_cosim_verdicts_identical(name, monkeypatch):
+    from repro.tools import instrument_image
+    from repro.verify import verify_session
+
+    sessions = {}
+    for trusted in (True, False):
+        monkeypatch.setenv("REPRO_TRUST_META", "on" if trusted else "off")
+        sessions[trusted] = instrument_image(_meta_image(name), "qpt",
+                                             mode="edge")
+    monkeypatch.delenv("REPRO_TRUST_META")
+    on_bytes = image_to_bytes(sessions[True].edited_image)
+    off_bytes = image_to_bytes(sessions[False].edited_image)
+    assert on_bytes == off_bytes, \
+        "qpt output differs between trust paths on %s" % name
+
+    verdicts = {}
+    for trusted, session in sessions.items():
+        result = verify_session(session.executable, session.edited_image,
+                                configure_edited=session.configure_edited,
+                                use_memo=False,
+                                label="%s[meta=%s]" % (name, trusted))
+        verdicts[trusted] = (result.ok, result.syncs,
+                            sorted(f.code for f in result.findings))
+    assert verdicts[True] == verdicts[False]
+    assert verdicts[True][0], "cosim failed on %s" % name

@@ -242,7 +242,7 @@ def test_report_schema_stability(tmp_path):
     # Top-level key set is the schema contract: widen deliberately only.
     assert sorted(built) == [
         "cache", "counters", "derived", "facts", "fleet", "gauges",
-        "histograms", "phases", "schema", "serve", "sim", "spans",
+        "histograms", "meta", "phases", "schema", "serve", "sim", "spans",
     ]
     assert built["schema"] == "repro.obs/1"
     assert sorted(built["cache"]) == [
@@ -273,6 +273,9 @@ def test_report_schema_stability(tmp_path):
     ]
     from repro.sim import ENGINES
     assert built["sim"]["default_engine"] in ENGINES
+    assert sorted(built["meta"]) == [
+        "present", "reject_reasons", "rejects", "trust_rate", "trusted",
+    ]
     assert built["derived"]["sim.flyweight.hit_rate"] == 0.9
     assert built["derived"]["indirect.resolved"] == 3
     assert built["derived"]["indirect.fallback"] == 1
